@@ -1,0 +1,59 @@
+//! Criterion microbench behind Table 3 / Algorithm 2: upper-bound
+//! evaluation and the O(1) incremental demand bound vs. the Eq. 9 rescan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+use ct_core::ranked::{rescan_bound, IncrementalBound};
+use ct_core::{estrada_bound, general_bound, increment_bound, path_bound, RankedList};
+
+fn bench_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bounds");
+
+    // Closed-form bounds at Chicago scale.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let eigs: Vec<f64> = {
+        let mut v: Vec<f64> = (0..120).map(|_| rng.gen_range(0.0..5.5)).collect();
+        v.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        v
+    };
+    group.bench_function("estrada", |b| {
+        b.iter(|| estrada_bound(black_box(6892), 15, 6171))
+    });
+    group.bench_function("general_lemma3", |b| {
+        b.iter(|| general_bound(black_box(0.8), &eigs, 30, 6171))
+    });
+    group.bench_function("path_lemma4", |b| {
+        b.iter(|| path_bound(black_box(0.8), &eigs, 30, 6171))
+    });
+
+    // Ranked lists and the Algorithm 2 incremental bound.
+    for n in [1_000usize, 30_000] {
+        let values: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1e6)).collect();
+        group.bench_with_input(BenchmarkId::new("ranked_list_build", n), &values, |b, v| {
+            b.iter(|| RankedList::new(black_box(v)))
+        });
+        let list = RankedList::new(&values);
+        group.bench_with_input(BenchmarkId::new("increment_bound_topk", n), &list, |b, l| {
+            b.iter(|| increment_bound(black_box(l), 30))
+        });
+        let path: Vec<u32> = (0..20u32).collect();
+        group.bench_with_input(BenchmarkId::new("algo2_incremental", n), &list, |b, l| {
+            b.iter(|| {
+                let mut bound = IncrementalBound::for_seed(l, 30, 0);
+                for &e in &path[1..] {
+                    bound.append(l, e);
+                }
+                bound.ub
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("eq9_rescan", n), &list, |b, l| {
+            b.iter(|| rescan_bound(black_box(l), 30, &path))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bounds);
+criterion_main!(benches);

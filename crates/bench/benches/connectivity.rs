@@ -1,0 +1,47 @@
+//! Criterion microbench behind Table 2: exact eigendecomposition vs.
+//! stochastic Lanczos quadrature vs. bound evaluation, per λ(Gr) query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use ct_core::{general_bound, path_bound, CtBusParams};
+use ct_data::CityConfig;
+use ct_linalg::{block_krylov_topk, natural_connectivity_exact, ConnectivityEstimator};
+
+fn bench_connectivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("connectivity");
+    group.sample_size(10);
+
+    for (name, cfg) in [
+        ("medium", CityConfig::medium()),
+        ("bronx", CityConfig::bronx_like()),
+    ] {
+        let city = cfg.generate();
+        let adj = city.transit.adjacency_matrix();
+        let params = CtBusParams::paper_defaults();
+        let est = ConnectivityEstimator::new(adj.n(), &params.trace_params(), 1);
+
+        group.bench_with_input(BenchmarkId::new("eigen_exact", name), &adj, |b, adj| {
+            b.iter(|| natural_connectivity_exact(black_box(adj)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("lanczos_slq", name), &adj, |b, adj| {
+            b.iter(|| est.lambda(black_box(adj)).unwrap())
+        });
+
+        // Bound evaluation given a precomputed spectrum head.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let eigs = block_krylov_topk(&adj, 60, 0, &mut rng).unwrap();
+        let base = est.lambda(&adj).unwrap();
+        group.bench_with_input(BenchmarkId::new("general_bound", name), &eigs, |b, eigs| {
+            b.iter(|| general_bound(black_box(base), eigs, 30, adj.n()))
+        });
+        group.bench_with_input(BenchmarkId::new("path_bound", name), &eigs, |b, eigs| {
+            b.iter(|| path_bound(black_box(base), eigs, 30, adj.n()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_connectivity);
+criterion_main!(benches);

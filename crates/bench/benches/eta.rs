@@ -1,0 +1,37 @@
+//! Criterion microbench behind Table 7: one planning run, ETA (online
+//! Lanczos scoring) vs ETA-Pre (pre-computed surrogate), across k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ct_core::{CtBusParams, Planner, PlannerMode};
+use ct_data::{CityConfig, DemandModel};
+
+fn bench_eta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eta");
+    group.sample_size(10);
+
+    let city = CityConfig::small().seed(77).generate();
+    let demand = DemandModel::from_city(&city);
+
+    for k in [6usize, 10, 14] {
+        let mut params = CtBusParams::small_defaults();
+        params.k = k;
+        params.it_max = 400;
+        params.sn = 150;
+        let planner = Planner::new(&city, &demand, params);
+
+        group.bench_with_input(BenchmarkId::new("eta_online", k), &planner, |b, p| {
+            b.iter(|| p.run(PlannerMode::Eta))
+        });
+        group.bench_with_input(BenchmarkId::new("eta_pre", k), &planner, |b, p| {
+            b.iter(|| p.run(PlannerMode::EtaPre))
+        });
+        group.bench_with_input(BenchmarkId::new("vk_tsp", k), &planner, |b, p| {
+            b.iter(|| p.run(PlannerMode::VkTsp))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eta);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion microbench for the graph substrate: Dijkstra, adjacency
+//! matvec, transfer index — the kernels everything else is built from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ct_data::CityConfig;
+use ct_graph::{dijkstra_tree, shortest_path, TransferIndex};
+
+fn bench_graph_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_ops");
+
+    let city = CityConfig::medium().generate();
+    let road = &city.road;
+    let transit = &city.transit;
+    let n = road.num_nodes() as u32;
+
+    group.bench_function("road_dijkstra_point_to_point", |b| {
+        b.iter(|| shortest_path(black_box(road), 0, n - 1))
+    });
+    group.bench_function("road_dijkstra_full_tree", |b| {
+        b.iter(|| dijkstra_tree(black_box(road), 0))
+    });
+
+    let adj = transit.adjacency_matrix();
+    let x = vec![1.0; adj.n()];
+    let mut y = vec![0.0; adj.n()];
+    group.bench_function("transit_adjacency_matvec", |b| {
+        b.iter(|| adj.matvec(black_box(&x), &mut y))
+    });
+    group.bench_function("transit_adjacency_build", |b| {
+        b.iter(|| black_box(transit).adjacency_matrix())
+    });
+
+    group.bench_function("transfer_index_build", |b| {
+        b.iter(|| TransferIndex::new(black_box(transit)))
+    });
+    let idx = TransferIndex::new(transit);
+    let stops = transit.num_stops() as u32;
+    group.bench_with_input(BenchmarkId::new("min_transfers", stops), &idx, |b, idx| {
+        b.iter(|| idx.min_transfers(0, stops - 1))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_ops);
+criterion_main!(benches);

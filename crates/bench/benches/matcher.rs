@@ -1,0 +1,56 @@
+//! Criterion microbench for the map-matching substrate: candidate
+//! projection, transition construction, full trace matching, stitching.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ct_data::CityConfig;
+use ct_match::{
+    simulate_trace, stitch_route, CandidateIndex, GpsSimConfig, HmmParams, MapMatcher,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_matcher(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matcher");
+
+    let city = CityConfig::medium().trajectories(50).generate();
+    let road = &city.road;
+    let truth = city
+        .trajectories
+        .iter()
+        .filter(|t| t.len() >= 5)
+        .max_by_key(|t| t.len())
+        .expect("a long trajectory")
+        .clone();
+    let mut rng = StdRng::seed_from_u64(0xBE);
+    let cfg = GpsSimConfig { noise_sigma_m: 12.0, sample_interval_s: 10.0, ..Default::default() };
+    let trace = simulate_trace(road, &truth, &cfg, &mut rng);
+
+    group.bench_function("candidate_index_build", |b| {
+        b.iter(|| CandidateIndex::new(black_box(road), 250.0))
+    });
+
+    let index = CandidateIndex::new(road, 250.0);
+    let q = trace.samples[trace.len() / 2].pos;
+    group.bench_function("candidate_query", |b| {
+        b.iter(|| index.candidates(black_box(road), &q, 75.0, 8))
+    });
+
+    let matcher = MapMatcher::new(road, HmmParams::default());
+    group.bench_with_input(
+        BenchmarkId::new("match_trace_samples", trace.len()),
+        &trace,
+        |b, trace| b.iter(|| matcher.match_trace(black_box(trace))),
+    );
+
+    let result = matcher.match_trace(&trace);
+    group.bench_function("stitch_route", |b| {
+        b.iter(|| stitch_route(black_box(road), black_box(&result)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_matcher);
+criterion_main!(benches);

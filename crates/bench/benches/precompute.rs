@@ -1,0 +1,54 @@
+//! Criterion microbench behind Table 4: candidate generation (road
+//! shortest paths) and the per-edge Δ(e) sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ct_core::{CandidateSet, CtBusParams, Precomputed};
+use ct_data::{CityConfig, DemandModel};
+
+fn bench_precompute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("precompute");
+    group.sample_size(10);
+
+    for (name, cfg) in [
+        ("small", CityConfig::small()),
+        ("medium", CityConfig::medium()),
+    ] {
+        let city = cfg.generate();
+        let demand = DemandModel::from_city(&city);
+        let params = CtBusParams::small_defaults();
+
+        group.bench_with_input(
+            BenchmarkId::new("candidates_shortest_paths", name),
+            &city,
+            |b, city| {
+                b.iter(|| {
+                    CandidateSet::build(
+                        black_box(city),
+                        &demand,
+                        params.tau_m,
+                        params.max_detour_factor,
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_precompute_with_delta_sweep", name),
+            &city,
+            |b, city| b.iter(|| Precomputed::build(black_box(city), &demand, &params)),
+        );
+
+        // Reparameterization must be orders of magnitude cheaper.
+        let pre = Precomputed::build(&city, &demand, &params);
+        let mut p2 = params;
+        p2.k = 12;
+        group.bench_with_input(BenchmarkId::new("reparameterize", name), &pre, |b, pre| {
+            b.iter(|| pre.reparameterize(black_box(&p2)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_precompute);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Experiment driver: regenerates every table and figure of the paper.
+//!
+//! ```sh
+//! exp <id>            # one experiment: fig1, table2, ..., fig12
+//! exp all             # everything, full scale
+//! exp all --fast      # everything, reduced scale (smoke run)
+//! exp list            # available ids
+//! ```
+
+use std::time::Instant;
+
+use ct_bench::experiments;
+use ct_bench::harness::ExperimentCtx;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let ids: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+
+    if ids.is_empty() || ids[0] == "list" {
+        eprintln!("usage: exp <id>|all [--fast]");
+        eprintln!("ids: {}", experiments::all_ids().join(" "));
+        std::process::exit(if ids.is_empty() { 2 } else { 0 });
+    }
+
+    let mut ctx = ExperimentCtx::new(fast);
+    let to_run: Vec<&str> = if ids[0] == "all" {
+        experiments::all_ids().to_vec()
+    } else {
+        ids
+    };
+
+    let t0 = Instant::now();
+    for id in to_run {
+        eprintln!("\n=== {id} ===");
+        let t = Instant::now();
+        if !experiments::run(id, &mut ctx) {
+            eprintln!("unknown experiment id: {id}");
+            eprintln!("ids: {}", experiments::all_ids().join(" "));
+            std::process::exit(2);
+        }
+        eprintln!("[done] {id} in {:.1}s", t.elapsed().as_secs_f64());
+    }
+    eprintln!("\nall requested experiments done in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,84 @@
+//! Extension experiment (paper §2): why natural connectivity.
+//!
+//! The paper adopts natural connectivity after arguing the classical
+//! measures fail on transit networks: algebraic connectivity "shows
+//! drastic changes by small graph alterations", edge connectivity "no
+//! change by big graph alteration", while natural connectivity "can
+//! monotonically evolve w.r.t. more modifications" (verified by their
+//! Fig. 1 route-removal study). This experiment runs the same removal
+//! protocol with all three measures side by side, making the §2 argument
+//! quantitative.
+
+use ct_graph::edge_connectivity;
+use ct_linalg::{algebraic_connectivity, natural_connectivity_exact};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::harness::{ExperimentCtx, OutputSink};
+
+/// Runs this experiment and writes its artifacts.
+pub fn run(ctx: &mut ExperimentCtx) {
+    let mut sink = OutputSink::new("ext_measures");
+    sink.line("# Extension — connectivity measures under route removal (paper §2, Fig. 1 protocol)");
+    sink.blank();
+
+    let mut json = Vec::new();
+    for name in ctx.main_city_names() {
+        ctx.prepare(name);
+        let bundle = ctx.bundle(name);
+        let transit = &bundle.city.transit;
+        let n_routes = transit.num_routes();
+        let max_removed = if name == "nyc" { n_routes * 4 / 5 } else { n_routes / 2 };
+        let steps = if ctx.fast { 5 } else { 10 };
+
+        // Fixed random removal order (the paper's protocol).
+        let mut order: Vec<u32> = (0..n_routes as u32).collect();
+        order.shuffle(&mut rand::rngs::StdRng::seed_from_u64(0xF161));
+
+        sink.line(format!("## {name} — {n_routes} routes, removing up to {max_removed}"));
+        let mut rows = Vec::new();
+        let mut naturals = Vec::new();
+        for i in 0..=steps {
+            let removed = i * max_removed / steps;
+            let net = transit.without_routes(&order[..removed]);
+            let adj = net.adjacency_matrix();
+            let natural = natural_connectivity_exact(&adj).unwrap_or(0.0);
+            let algebraic = algebraic_connectivity(&adj, 60).unwrap_or(0.0);
+            let edge = edge_connectivity(&net).unwrap_or(0);
+            naturals.push(natural);
+            rows.push(vec![
+                format!("{removed}"),
+                format!("{natural:.4}"),
+                format!("{algebraic:.5}"),
+                format!("{edge}"),
+            ]);
+            json.push(serde_json::json!({
+                "city": name,
+                "removed": removed,
+                "natural": natural,
+                "algebraic": algebraic,
+                "edge_connectivity": edge,
+            }));
+        }
+        sink.table(&["#removed", "natural λ", "algebraic λ₂", "edge conn"], &rows);
+
+        // Monotonicity check for natural connectivity (the Fig. 1 shape).
+        let monotone = naturals.windows(2).all(|w| w[1] <= w[0] + 1e-9);
+        sink.line(format!(
+            "natural connectivity monotone non-increasing: {monotone}; \
+             total drop {:.4} → {:.4}",
+            naturals.first().unwrap(),
+            naturals.last().unwrap()
+        ));
+        sink.blank();
+    }
+    sink.line(
+        "Shape check (paper §2 + Fig. 1): natural connectivity decreases \
+         smoothly and monotonically with every removed route; algebraic \
+         connectivity collapses to ~0 the moment any stop is stranded (and \
+         stays there, blind to further damage); edge connectivity is \
+         pinned at 1 by any degree-1 stop and carries no signal at all.",
+    );
+    sink.write_json(&serde_json::json!({ "rows": json }));
+    sink.finish();
+}

@@ -1,0 +1,77 @@
+//! Extension experiment (paper §8): stop site selection for under-served
+//! cities — demand coverage and connectivity-linkability of greedily
+//! placed new stops, as the number of sites and the weight `w` vary.
+
+use ct_core::{select_sites, SiteParams};
+use ct_data::{CityConfig, DemandModel};
+
+use crate::harness::{ExperimentCtx, OutputSink};
+
+/// Runs this experiment and writes its artifacts.
+pub fn run(ctx: &mut ExperimentCtx) {
+    let mut sink = OutputSink::new("ext_sites");
+    sink.line("# Extension — stop site selection for an under-served city (paper §8)");
+    sink.blank();
+
+    // The §8 scenario: a city whose transit is too sparse for its demand.
+    let routes = if ctx.fast { 3 } else { 5 };
+    let city = CityConfig::medium().routes(routes).trajectories(if ctx.fast { 600 } else { 2000 }).seed(808).generate();
+    let demand = DemandModel::from_city(&city);
+    let s = city.stats();
+    sink.line(format!(
+        "city: {} road nodes, {} stops on {} routes, |D| = {} (total demand {:.0})",
+        s.road_nodes,
+        s.stops,
+        s.routes,
+        s.trajectories,
+        demand.total_weight()
+    ));
+    sink.blank();
+
+    let ks: Vec<usize> = if ctx.fast { vec![2, 5, 10] } else { vec![2, 5, 10, 20, 40] };
+    let ws = [1.0, 0.7, 0.3];
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for &k in &ks {
+        let mut cells = vec![format!("{k}")];
+        for &w in &ws {
+            let sel = select_sites(&city, &demand, &SiteParams { num_sites: k, w, ..Default::default() });
+            let mean_conn = if sel.sites.is_empty() {
+                0.0
+            } else {
+                sel.sites.iter().map(|x| x.conn_potential).sum::<f64>() / sel.sites.len() as f64
+            };
+            cells.push(format!("{:.1}%", sel.coverage_fraction * 100.0));
+            cells.push(format!("{mean_conn:.2}"));
+            json.push(serde_json::json!({
+                "k": k,
+                "w": w,
+                "coverage": sel.coverage_fraction,
+                "mean_conn_potential": mean_conn,
+                "sites": sel.sites.len(),
+            }));
+        }
+        rows.push(cells);
+    }
+    sink.table(
+        &[
+            "k",
+            "cover (w=1)",
+            "conn",
+            "cover (w=0.7)",
+            "conn",
+            "cover (w=0.3)",
+            "conn",
+        ],
+        &rows,
+    );
+    sink.blank();
+    sink.line(
+        "Shape check: coverage grows concavely with k (submodular greedy); \
+         lowering w trades a little coverage for markedly more linkable \
+         sites (higher mean subgraph centrality nearby) — the same \
+         demand-vs-connectivity dial as the route planner's w.",
+    );
+    sink.write_json(&serde_json::json!({ "rows": json }));
+    sink.finish();
+}

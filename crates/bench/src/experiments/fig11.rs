@@ -1,0 +1,62 @@
+//! Figure 11: sensitivity to the weight w, including the ETA-AN
+//! (all-neighbors) and ETA-DT (no domination table) ablations.
+
+use ct_core::PlannerMode;
+
+use crate::harness::{f, ExperimentCtx, OutputSink};
+
+/// Runs this experiment and writes its artifacts.
+pub fn run(ctx: &mut ExperimentCtx) {
+    let mut sink = OutputSink::new("fig11");
+    sink.line("# Fig. 11 — sensitivity to w, with AN/DT ablations (ETA-Pre)");
+    sink.blank();
+
+    let it_cap = if ctx.fast { 4_000u64 } else { 20_000 };
+    let ws = [0.3, 0.5, 0.7];
+
+    let mut json = serde_json::Map::new();
+    for name in ctx.main_city_names() {
+        ctx.prepare(name);
+        sink.line(format!("## {name}"));
+        let mut rows = Vec::new();
+        let mut area = serde_json::Map::new();
+        for &w in &ws {
+            for (label, mode) in [
+                ("ETA-Pre", PlannerMode::EtaPre),
+                ("ETA-AN", PlannerMode::EtaAllNeighbors),
+                ("ETA-DT", PlannerMode::EtaNoDomination),
+            ] {
+                let mut params = ctx.base_params();
+                params.w = w;
+                params.it_max = it_cap;
+                params.sn = if ctx.fast { 800 } else { 2000 };
+                let planner = ctx.planner(name, params);
+                let res = planner.run(mode);
+                let final_obj = res.trace.last().map(|&(_, o)| o).unwrap_or(0.0);
+                rows.push(vec![
+                    format!("w={w}"),
+                    label.to_string(),
+                    f(final_obj, 4),
+                    res.iterations.to_string(),
+                    format!("{:.2}", res.runtime_secs),
+                ]);
+                area.insert(format!("{label}-w{w}"), serde_json::json!({
+                    "trace": res.trace,
+                    "iterations": res.iterations,
+                    "runtime_secs": res.runtime_secs,
+                }));
+            }
+        }
+        sink.table(&["w", "method", "final objective", "iterations", "runtime (s)"], &rows);
+        sink.blank();
+        json.insert(name.to_string(), serde_json::Value::Object(area));
+    }
+    sink.line(
+        "Shape checks (paper): convergence is robust across w; the \
+         best-neighbor rule and the domination table both prune work \
+         (ETA-AN / ETA-DT need more iterations or queue churn for the same \
+         objective).",
+    );
+    sink.write_json(&serde_json::Value::Object(json));
+    sink.finish();
+}

@@ -1,0 +1,72 @@
+//! Figure 12: sensitivity to k (50, 80), the turn budget Tn (1, 5), and
+//! the seeding number sn (3000, 7000).
+
+use ct_core::PlannerMode;
+
+use crate::harness::{f, ExperimentCtx, OutputSink};
+
+/// Runs this experiment and writes its artifacts.
+pub fn run(ctx: &mut ExperimentCtx) {
+    let mut sink = OutputSink::new("fig12");
+    sink.line("# Fig. 12 — sensitivity to k, Tn, sn (ETA-Pre)");
+    sink.blank();
+
+    let it_cap = if ctx.fast { 4_000u64 } else { 20_000 };
+    // (label, k, tn, sn) — defaults are k=30, Tn=3, sn=2000 at our scale;
+    // the paper's sn grid {3000, 5000, 7000} is scaled to the candidate
+    // pool proportionally.
+    let settings: Vec<(&str, usize, u32, usize)> = vec![
+        ("k=50", 50, 3, 2000),
+        ("k=80", 80, 3, 2000),
+        ("Tn=1", 30, 1, 2000),
+        ("Tn=5", 30, 5, 2000),
+        ("sn=1200", 30, 3, 1200),
+        ("sn=2800", 30, 3, 2800),
+    ];
+
+    let mut json = serde_json::Map::new();
+    for name in ctx.main_city_names() {
+        ctx.prepare(name);
+        sink.line(format!("## {name}"));
+        let mut rows = Vec::new();
+        let mut area = serde_json::Map::new();
+        for &(label, k, tn, sn) in &settings {
+            let mut params = ctx.base_params();
+            params.k = k;
+            params.tn_max = tn;
+            params.sn = if ctx.fast { sn / 2 } else { sn };
+            params.it_max = it_cap;
+            let planner = ctx.planner(name, params);
+            let res = planner.run(PlannerMode::EtaPre);
+            let final_obj = res.trace.last().map(|&(_, o)| o).unwrap_or(0.0);
+            rows.push(vec![
+                label.to_string(),
+                f(final_obj, 4),
+                res.best.num_edges().to_string(),
+                res.best.turns.to_string(),
+                res.iterations.to_string(),
+                format!("{:.2}", res.runtime_secs),
+            ]);
+            area.insert(label.to_string(), serde_json::json!({
+                "trace": res.trace,
+                "objective": final_obj,
+                "edges": res.best.num_edges(),
+                "turns": res.best.turns,
+            }));
+        }
+        sink.table(
+            &["setting", "final objective", "#edges", "#turns", "iterations", "runtime (s)"],
+            &rows,
+        );
+        sink.blank();
+        json.insert(name.to_string(), serde_json::Value::Object(area));
+    }
+    sink.line(
+        "Shape checks (paper): none of k / Tn / sn derails convergence; \
+         larger k lowers the *normalized* objective (Eq. 12 normalizers \
+         grow), turn budgets bind only at Tn=1, and sn shifts where the \
+         search starts, not where it ends.",
+    );
+    sink.write_json(&serde_json::Value::Object(json));
+    sink.finish();
+}

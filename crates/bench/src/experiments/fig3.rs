@@ -1,0 +1,77 @@
+//! Figure 3: percentage difference θ between the true joint increment
+//! Oλ(μ) and the sum of per-edge increments ΣΔ(e), vs. number of edges.
+//!
+//! The paper uses this to show natural connectivity is monotone but *not*
+//! submodular (θ > 0 appears as sets grow), yet the linear surrogate stays
+//! close enough for ETA-Pre.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::harness::{f, ExperimentCtx, OutputSink};
+
+/// Runs this experiment and writes its artifacts.
+pub fn run(ctx: &mut ExperimentCtx) {
+    let mut sink = OutputSink::new("fig3");
+    sink.line("# Fig. 3 — θ = (Oλ(μ) − ΣΔ(e)) / ΣΔ(e) vs. number of edges");
+    sink.blank();
+
+    let sizes: Vec<usize> =
+        if ctx.fast { vec![2, 10, 20, 35, 50] } else { vec![2, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50] };
+    let samples = if ctx.fast { 8 } else { 15 };
+
+    let mut json = serde_json::Map::new();
+    for name in ctx.main_city_names() {
+        ctx.prepare(name);
+        let bundle = ctx.bundle(name);
+        let pre = &bundle.pre;
+        let new_ids: Vec<u32> = (0..pre.candidates.len() as u32)
+            .filter(|&i| !pre.candidates.edge(i).existing)
+            .collect();
+        sink.line(format!("## {name} ({} new candidates)", new_ids.len()));
+
+        let mut rows = Vec::new();
+        let mut dist = Vec::new();
+        let mut rng = StdRng::seed_from_u64(0xF163);
+        for &size in &sizes {
+            let mut thetas = Vec::with_capacity(samples);
+            for _ in 0..samples {
+                let mut pool = new_ids.clone();
+                pool.shuffle(&mut rng);
+                let chosen = &pool[..size.min(pool.len())];
+                let sum_delta: f64 = chosen.iter().map(|&id| pre.delta[id as usize]).sum();
+                if sum_delta <= 0.0 {
+                    continue;
+                }
+                let pairs = pre.candidates.new_stop_pairs(chosen);
+                let augmented = pre.base_adj.with_added_unit_edges(&pairs);
+                let joint = match pre.estimator.trace_exp(&augmented) {
+                    Ok(tr) => (tr.max(f64::MIN_POSITIVE) / pre.base_trace).ln(),
+                    Err(_) => continue,
+                };
+                thetas.push((joint - sum_delta) / sum_delta);
+            }
+            thetas.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let mean = thetas.iter().sum::<f64>() / thetas.len().max(1) as f64;
+            let med = thetas.get(thetas.len() / 2).copied().unwrap_or(0.0);
+            let lo = thetas.first().copied().unwrap_or(0.0);
+            let hi = thetas.last().copied().unwrap_or(0.0);
+            rows.push(vec![size.to_string(), f(mean, 4), f(med, 4), f(lo, 4), f(hi, 4)]);
+            dist.push(serde_json::json!({
+                "size": size, "mean": mean, "median": med, "min": lo, "max": hi,
+                "samples": thetas,
+            }));
+        }
+        sink.table(&["#edges", "mean θ", "median θ", "min θ", "max θ"], &rows);
+        sink.blank();
+        json.insert(name.to_string(), serde_json::Value::Array(dist));
+    }
+    sink.line(
+        "Shape check (paper): |θ| stays small (≲ 0.1), and θ trends positive \
+         as the edge set grows — superadditive, hence non-submodular, yet \
+         ΣΔ(e) remains a faithful surrogate.",
+    );
+    sink.write_json(&serde_json::Value::Object(json));
+    sink.finish();
+}

@@ -1,0 +1,31 @@
+//! Figure 5: road/transit network overviews — emitted as JSON geometry
+//! dumps (the measurable substitute for the paper's map renders).
+
+use ct_data::city_summary_json;
+
+use crate::harness::{ExperimentCtx, OutputSink};
+
+/// Runs this experiment and writes its artifacts.
+pub fn run(ctx: &mut ExperimentCtx) {
+    let mut sink = OutputSink::new("fig5");
+    sink.line("# Fig. 5 — network overviews (JSON geometry exports)");
+    sink.blank();
+
+    let mut json = serde_json::Map::new();
+    for name in ctx.main_city_names() {
+        ctx.prepare(name);
+        let bundle = ctx.bundle(name);
+        let summary = city_summary_json(&bundle.city);
+        let s = bundle.city.stats();
+        sink.line(format!(
+            "{name}: {} road nodes / {} road edges; {} stops over {} routes \
+             (avg {:.1} stops/route) — full geometry in fig5.json",
+            s.road_nodes, s.road_edges, s.stops, s.routes, s.avg_route_len
+        ));
+        json.insert(name.to_string(), summary);
+    }
+    sink.blank();
+    sink.line("Each JSON entry lists every route's ordered stop coordinates (projected meters).");
+    sink.write_json(&serde_json::Value::Object(json));
+    sink.finish();
+}

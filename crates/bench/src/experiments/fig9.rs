@@ -1,0 +1,69 @@
+//! Figure 9: convergence of the best objective over iterations for ETA,
+//! ETA-Pre, and ETA-ALL (all-candidate seeding).
+
+use ct_core::PlannerMode;
+
+use crate::harness::{f, ExperimentCtx, OutputSink};
+
+/// Runs this experiment and writes its artifacts.
+pub fn run(ctx: &mut ExperimentCtx) {
+    let mut sink = OutputSink::new("fig9");
+    sink.line("# Fig. 9 — convergence of ETA / ETA-Pre / ETA-ALL");
+    sink.blank();
+
+    let pre_it = if ctx.fast { 5_000u64 } else { 20_000 };
+    let eta_it = if ctx.fast { 200u64 } else { 800 };
+
+    let mut json = serde_json::Map::new();
+    for name in ctx.main_city_names() {
+        ctx.prepare(name);
+        sink.line(format!("## {name}"));
+        let mut rows = Vec::new();
+        let mut area = serde_json::Map::new();
+        for (label, mode, cap) in [
+            ("ETA", PlannerMode::Eta, eta_it),
+            ("ETA-Pre", PlannerMode::EtaPre, pre_it),
+            ("ETA-ALL", PlannerMode::EtaAll, pre_it),
+        ] {
+            let mut params = ctx.base_params();
+            params.it_max = cap;
+            params.sn = if ctx.fast { 800 } else { 2000 };
+            if mode == PlannerMode::Eta {
+                params.sn = params.sn.min(300);
+            }
+            let planner = ctx.planner(name, params);
+            let res = planner.run(mode);
+            let final_obj = res.trace.last().map(|&(_, o)| o).unwrap_or(0.0);
+            // Iterations to reach 95% of the final objective.
+            let conv_at = res
+                .trace
+                .iter()
+                .find(|&&(_, o)| o >= 0.95 * final_obj)
+                .map(|&(i, _)| i)
+                .unwrap_or(0);
+            rows.push(vec![
+                label.to_string(),
+                res.iterations.to_string(),
+                f(final_obj, 4),
+                conv_at.to_string(),
+                format!("{:.2}", res.runtime_secs),
+            ]);
+            area.insert(label.to_string(), serde_json::json!({
+                "trace": res.trace, "runtime_secs": res.runtime_secs,
+            }));
+        }
+        sink.table(
+            &["method", "iterations", "final objective", "95%-conv @ iter", "runtime (s)"],
+            &rows,
+        );
+        sink.blank();
+        json.insert(name.to_string(), serde_json::Value::Object(area));
+    }
+    sink.line(
+        "Shape check (paper): ETA-Pre converges within a few hundred \
+         iterations to an objective comparable to (or better than) online \
+         ETA; seeding with *all* edges (ETA-ALL) converges more slowly.",
+    );
+    sink.write_json(&serde_json::Value::Object(json));
+    sink.finish();
+}

@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+//! Evaluation harness for the CT-Bus reproduction.
+//!
+//! One experiment per table/figure of the paper's §7 (see DESIGN.md §4 for
+//! the full index). The `exp` binary dispatches by experiment id:
+//!
+//! ```sh
+//! cargo run --release -p ct-bench --bin exp -- table6          # one experiment
+//! cargo run --release -p ct-bench --bin exp -- all             # everything
+//! cargo run --release -p ct-bench --bin exp -- all --fast      # reduced scales
+//! ```
+//!
+//! Every experiment prints its table/series to stdout *and* writes a
+//! markdown/JSON artifact under `target/experiments/`.
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{ExperimentCtx, OutputSink};

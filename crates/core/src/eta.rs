@@ -1,0 +1,721 @@
+//! The Expansion-based Traversal Algorithm (paper Algorithm 1) and its
+//! variants.
+//!
+//! Candidate paths live in a max-priority queue keyed by their objective
+//! upper bound `O↑`. Each iteration polls the most promising path, extends
+//! it at both ends (best-neighbor by default, all-neighbors in the ETA-AN
+//! ablation), verifies feasibility (circle-free, turn budget, length ≤ k),
+//! updates the incumbent, and re-inserts survivors after the Algorithm 2
+//! incremental bound update and domination check.
+//!
+//! Variants (paper §7):
+//!
+//! | mode               | conn scoring  | neighbors | domination | seeding |
+//! |--------------------|---------------|-----------|------------|---------|
+//! | `Eta`              | online SLQ    | best      | yes        | top-sn  |
+//! | `EtaPre`           | linear Δ(e)   | best      | yes        | top-sn  |
+//! | `EtaAll`           | linear Δ(e)   | best      | yes        | all     |
+//! | `EtaAllNeighbors`  | linear Δ(e)   | all       | yes        | top-sn  |
+//! | `EtaNoDomination`  | linear Δ(e)   | best      | no         | top-sn  |
+//! | `VkTsp`            | (w = 1)       | best      | yes        | top-sn, new edges only |
+//!
+//! Deviations from the pseudo-code, documented here and in DESIGN.md:
+//! deflections sharper than π/2 reject the extension outright (the paper
+//! saturates the turn counter, which keeps the kinked path as a result;
+//! rejecting is strictly cleaner for route quality), and one-way loops are
+//! not closed (strict simple paths).
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::Instant;
+
+use ct_data::{City, DemandModel};
+use ct_spatial::{turn_angle, TurnClass};
+use serde::{Deserialize, Serialize};
+
+
+use crate::params::CtBusParams;
+use crate::plan::RoutePlan;
+use crate::precompute::Precomputed;
+use crate::ranked::{IncrementalBound, RankedList};
+use crate::scorer::ConnScorer;
+
+/// Which planner variant to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlannerMode {
+    /// Online connectivity estimation (paper "ETA").
+    Eta,
+    /// Pre-computed linear connectivity (paper "ETA-Pre").
+    EtaPre,
+    /// ETA-Pre seeded with *all* candidates (paper "ETA-ALL").
+    EtaAll,
+    /// ETA-Pre expanding with all neighbors instead of best (paper "ETA-AN").
+    EtaAllNeighbors,
+    /// ETA-Pre without the domination table (paper "ETA-DT").
+    EtaNoDomination,
+    /// Demand-first baseline: `w = 1`, new edges only (paper "vk-TSP").
+    VkTsp,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ModeConfig {
+    online_scoring: bool,
+    all_neighbors: bool,
+    domination: bool,
+    seed_all: bool,
+    new_edges_only: bool,
+    w_override: Option<f64>,
+}
+
+impl PlannerMode {
+    fn config(self) -> ModeConfig {
+        let base = ModeConfig {
+            online_scoring: false,
+            all_neighbors: false,
+            domination: true,
+            seed_all: false,
+            new_edges_only: false,
+            w_override: None,
+        };
+        match self {
+            PlannerMode::Eta => ModeConfig { online_scoring: true, ..base },
+            PlannerMode::EtaPre => base,
+            PlannerMode::EtaAll => ModeConfig { seed_all: true, ..base },
+            PlannerMode::EtaAllNeighbors => ModeConfig { all_neighbors: true, ..base },
+            PlannerMode::EtaNoDomination => ModeConfig { domination: false, ..base },
+            PlannerMode::VkTsp => ModeConfig {
+                new_edges_only: true,
+                w_override: Some(1.0),
+                ..base
+            },
+        }
+    }
+}
+
+/// Outcome of one planner run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The best route found (empty if no feasible route exists).
+    pub best: RoutePlan,
+    /// Convergence trace: `(iteration, best objective so far)`, recorded
+    /// every `record_every` iterations (paper Figs. 9–12).
+    pub trace: Vec<(u64, f64)>,
+    /// Queue polls performed.
+    pub iterations: u64,
+    /// Wall-clock seconds.
+    pub runtime_secs: f64,
+    /// Candidate-path objective evaluations performed.
+    pub evaluations: u64,
+}
+
+#[derive(Debug, Clone)]
+struct CandPath {
+    stops: Vec<u32>,
+    edges: Vec<u32>,
+    demand_sum: f64,
+    /// Objective value; for linear scoring this is the running `Σ L_e[e]`,
+    /// for online scoring the latest full evaluation.
+    obj: f64,
+    tn: u32,
+    bound: IncrementalBound,
+    ub: f64,
+}
+
+impl CandPath {
+    fn front_stop(&self) -> u32 {
+        self.stops[0]
+    }
+
+    fn back_stop(&self) -> u32 {
+        *self.stops.last().expect("paths are never empty")
+    }
+
+    fn contains_stop(&self, s: u32) -> bool {
+        self.stops.contains(&s)
+    }
+
+    fn contains_edge(&self, e: u32) -> bool {
+        self.edges.contains(&e)
+    }
+
+    fn dt_key(&self) -> (u32, u32) {
+        let first = self.edges[0];
+        let last = *self.edges.last().expect("paths are never empty");
+        (first.min(last), first.max(last))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum End {
+    Front,
+    Back,
+}
+
+struct QEntry {
+    ub: f64,
+    seq: u64,
+    path: CandPath,
+}
+
+impl PartialEq for QEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.ub == other.ub && self.seq == other.seq
+    }
+}
+impl Eq for QEntry {}
+impl Ord for QEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on ub; FIFO on ties for determinism.
+        self.ub
+            .partial_cmp(&other.ub)
+            .expect("bounds are not NaN")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for QEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The CT-Bus planner: pre-computation plus Algorithm 1 in all variants.
+pub struct Planner<'a> {
+    city: &'a City,
+    params: CtBusParams,
+    pre: Precomputed,
+}
+
+impl<'a> Planner<'a> {
+    /// Builds a planner, running the full pre-computation stage.
+    pub fn new(city: &'a City, demand: &DemandModel, params: CtBusParams) -> Self {
+        assert!(params.validate().is_empty(), "invalid params: {:?}", params.validate());
+        let pre = Precomputed::build(city, demand, &params);
+        Planner { city, params, pre }
+    }
+
+    /// Builds a planner around an existing pre-computation.
+    pub fn with_precomputed(city: &'a City, params: CtBusParams, pre: Precomputed) -> Self {
+        Planner { city, params, pre }
+    }
+
+    /// The pre-computation artifacts.
+    pub fn precomputed(&self) -> &Precomputed {
+        &self.pre
+    }
+
+    /// The parameters in force.
+    pub fn params(&self) -> &CtBusParams {
+        &self.params
+    }
+
+    /// Runs Algorithm 1 in the requested variant.
+    pub fn run(&self, mode: PlannerMode) -> RunResult {
+        let t0 = Instant::now();
+        let cfg = mode.config();
+        let w = cfg.w_override.unwrap_or(self.params.w);
+        let k = self.params.k;
+        let cands = &self.pre.candidates;
+        let evaluations = std::cell::Cell::new(0u64);
+
+        let scorer = if cfg.online_scoring {
+            ConnScorer::Online {
+                est: &self.pre.estimator,
+                base: &self.pre.base_adj,
+                base_trace: self.pre.base_trace,
+            }
+        } else {
+            ConnScorer::Linear { delta: &self.pre.delta }
+        };
+
+        // Per-run ranked list: L_d for online bounds, L_e(w) for linear.
+        let le_values: Vec<f64> = if cfg.online_scoring {
+            Vec::new()
+        } else {
+            cands
+                .edges()
+                .iter()
+                .enumerate()
+                .map(|(i, e)| {
+                    w * e.demand / self.pre.d_max
+                        + (1.0 - w) * self.pre.delta[i] / self.pre.lambda_max
+                })
+                .collect()
+        };
+        let le_list = (!cfg.online_scoring).then(|| RankedList::new(&le_values));
+        let bound_list: &RankedList = le_list.as_ref().unwrap_or(&self.pre.ld);
+
+        let ub_of = |bound: &IncrementalBound| -> f64 {
+            if cfg.online_scoring {
+                w * bound.ub / self.pre.d_max
+                    + (1.0 - w) * self.pre.conn_path_ub / self.pre.lambda_max
+            } else {
+                bound.ub
+            }
+        };
+
+        // Candidate admissibility under the mode.
+        let admissible =
+            |id: u32| -> bool { !cfg.new_edges_only || !cands.edge(id).existing };
+
+        // Path objective evaluation. Linear paths carry their objective
+        // incrementally; online paths are re-estimated in full.
+        let eval_full = |edges: &[u32], demand_sum: f64| -> f64 {
+            evaluations.set(evaluations.get() + 1);
+            if cfg.online_scoring {
+                w * demand_sum / self.pre.d_max
+                    + (1.0 - w) * scorer.increment(edges, cands) / self.pre.lambda_max
+            } else {
+                edges.iter().map(|&e| le_values[e as usize]).sum()
+            }
+        };
+
+        // ---- Initialization (Algorithm 1 lines 19–27). ----
+        let seed_ids: Vec<u32> = if cfg.seed_all {
+            (0..cands.len() as u32).filter(|&id| admissible(id)).collect()
+        } else {
+            bound_list
+                .iter_desc()
+                .filter(|&id| admissible(id))
+                .take(self.params.sn)
+                .collect()
+        };
+
+        let mut o_max = f64::NEG_INFINITY;
+        let mut best: Option<CandPath> = None;
+        let mut q: BinaryHeap<QEntry> = BinaryHeap::new();
+        let mut seq = 0u64;
+        for &id in &seed_ids {
+            let e = cands.edge(id);
+            let obj = eval_full(&[id], e.demand);
+            let bound = IncrementalBound::for_seed(bound_list, k, id);
+            let path = CandPath {
+                stops: vec![e.u, e.v],
+                edges: vec![id],
+                demand_sum: e.demand,
+                obj,
+                tn: 0,
+                bound,
+                ub: 0.0,
+            };
+            let mut path = path;
+            path.ub = ub_of(&path.bound);
+            if obj > o_max {
+                o_max = obj;
+                best = Some(path.clone());
+            }
+            q.push(QEntry { ub: path.ub, seq, path });
+            seq += 1;
+        }
+
+        // ---- Main loop (lines 3–16). ----
+        let mut dt: HashMap<(u32, u32), f64> = HashMap::new();
+        let mut it = 0u64;
+        let mut trace: Vec<(u64, f64)> = vec![(0, o_max.max(0.0))];
+
+        while let Some(entry) = q.pop() {
+            if entry.ub <= o_max || it >= self.params.it_max {
+                break;
+            }
+            it += 1;
+            if it.is_multiple_of(self.params.record_every) {
+                trace.push((it, o_max));
+            }
+            let cp = entry.path;
+
+            if cfg.all_neighbors {
+                // ETA-AN: enqueue every feasible single-edge extension.
+                for end in [End::Front, End::Back] {
+                    let anchor = match end {
+                        End::Front => cp.front_stop(),
+                        End::Back => cp.back_stop(),
+                    };
+                    for &e_id in cands.incident(anchor) {
+                        if !admissible(e_id) {
+                            continue;
+                        }
+                        let mut p = cp.clone();
+                        if !self.try_append(&mut p, e_id, end, bound_list, cfg.online_scoring, &le_values) {
+                            continue;
+                        }
+                        if cfg.online_scoring {
+                            p.obj = eval_full(&p.edges, p.demand_sum);
+                        } else {
+                            evaluations.set(evaluations.get() + 1);
+                        }
+                        p.ub = ub_of(&p.bound);
+                        if p.obj > o_max {
+                            o_max = p.obj;
+                            best = Some(p.clone());
+                        }
+                        self.further_expansion(p, o_max, &mut dt, &mut q, &mut seq, cfg.domination, k);
+                    }
+                }
+            } else {
+                // Best-neighbor: pick the best feasible extension at each end
+                // (lines 8–12), then cp ← be + cp + ee (line 13).
+                let mut newp = cp.clone();
+                let mut extended = false;
+                for end in [End::Front, End::Back] {
+                    let anchor = match end {
+                        End::Front => newp.front_stop(),
+                        End::Back => newp.back_stop(),
+                    };
+                    let mut best_ext: Option<(u32, f64)> = None;
+                    for &e_id in cands.incident(anchor) {
+                        if !admissible(e_id) {
+                            continue;
+                        }
+                        if !self.extension_feasible(&newp, e_id, end) {
+                            continue;
+                        }
+                        let score = if cfg.online_scoring {
+                            let mut edges = newp.edges.clone();
+                            match end {
+                                End::Front => edges.insert(0, e_id),
+                                End::Back => edges.push(e_id),
+                            }
+                            eval_full(&edges, newp.demand_sum + cands.edge(e_id).demand)
+                        } else {
+                            evaluations.set(evaluations.get() + 1);
+                            newp.obj + le_values[e_id as usize]
+                        };
+                        if best_ext.is_none_or(|(_, s)| score > s) {
+                            best_ext = Some((e_id, score));
+                        }
+                    }
+                    if let Some((e_id, _)) = best_ext {
+                        if self.try_append(&mut newp, e_id, end, bound_list, cfg.online_scoring, &le_values) {
+                            extended = true;
+                        }
+                    }
+                }
+                if !extended {
+                    continue;
+                }
+                if cfg.online_scoring {
+                    newp.obj = eval_full(&newp.edges, newp.demand_sum);
+                }
+                newp.ub = ub_of(&newp.bound);
+                if newp.obj > o_max {
+                    o_max = newp.obj;
+                    best = Some(newp.clone());
+                }
+                self.further_expansion(newp, o_max, &mut dt, &mut q, &mut seq, cfg.domination, k);
+            }
+        }
+        trace.push((it, o_max.max(0.0)));
+
+        // Report the objective under the *configured* weight, even when the
+        // search used an override (vk-TSP searches with w = 1 but Table 6
+        // compares all methods under the shared objective).
+        let best_plan = match best {
+            Some(cp) => self.plan_from(&cp, self.params.w),
+            None => RoutePlan::empty(),
+        };
+        RunResult {
+            best: best_plan,
+            trace,
+            iterations: it,
+            runtime_secs: t0.elapsed().as_secs_f64(),
+            evaluations: evaluations.get(),
+        }
+    }
+
+    /// Feasibility of appending candidate `e_id` at `end` (circle-free,
+    /// length, turn checks) without mutating the path.
+    fn extension_feasible(&self, path: &CandPath, e_id: u32, end: End) -> bool {
+        if path.edges.len() >= self.params.k || path.contains_edge(e_id) {
+            return false;
+        }
+        let e = self.pre.candidates.edge(e_id);
+        let anchor = match end {
+            End::Front => path.front_stop(),
+            End::Back => path.back_stop(),
+        };
+        if e.u != anchor && e.v != anchor {
+            return false;
+        }
+        let far = e.other(anchor);
+        if path.contains_stop(far) {
+            return false;
+        }
+        match self.turn_class_at(path, far, end) {
+            TurnClass::Sharp => false,
+            TurnClass::Turn => path.tn < self.params.tn_max,
+            TurnClass::Straight => true,
+        }
+    }
+
+    fn turn_class_at(&self, path: &CandPath, far: u32, end: End) -> TurnClass {
+        if path.stops.len() < 2 {
+            return TurnClass::Straight;
+        }
+        let transit = &self.city.transit;
+        let pos = |s: u32| transit.stop(s).pos;
+        let angle = match end {
+            End::Back => {
+                let n = path.stops.len();
+                turn_angle(&pos(path.stops[n - 2]), &pos(path.stops[n - 1]), &pos(far))
+            }
+            End::Front => turn_angle(&pos(far), &pos(path.stops[0]), &pos(path.stops[1])),
+        };
+        TurnClass::from_angle(angle)
+    }
+
+    /// Appends `e_id` to `path` at `end`; returns false (path unchanged in
+    /// any meaningful way) if the extension is infeasible.
+    fn try_append(
+        &self,
+        path: &mut CandPath,
+        e_id: u32,
+        end: End,
+        bound_list: &RankedList,
+        online: bool,
+        le_values: &[f64],
+    ) -> bool {
+        if !self.extension_feasible(path, e_id, end) {
+            return false;
+        }
+        let e = self.pre.candidates.edge(e_id);
+        let anchor = match end {
+            End::Front => path.front_stop(),
+            End::Back => path.back_stop(),
+        };
+        let far = e.other(anchor);
+        if self.turn_class_at(path, far, end) == TurnClass::Turn {
+            path.tn += 1;
+        }
+        match end {
+            End::Front => {
+                path.stops.insert(0, far);
+                path.edges.insert(0, e_id);
+            }
+            End::Back => {
+                path.stops.push(far);
+                path.edges.push(e_id);
+            }
+        }
+        path.demand_sum += e.demand;
+        if !online {
+            path.obj += le_values[e_id as usize];
+        }
+        path.bound.append(bound_list, e_id);
+        true
+    }
+
+    /// Lines 29–34: bound/turn/length gates, domination table, enqueue.
+    #[allow(clippy::too_many_arguments)]
+    fn further_expansion(
+        &self,
+        path: CandPath,
+        o_max: f64,
+        dt: &mut HashMap<(u32, u32), f64>,
+        q: &mut BinaryHeap<QEntry>,
+        seq: &mut u64,
+        domination: bool,
+        k: usize,
+    ) {
+        if path.tn >= self.params.tn_max || path.edges.len() >= k || path.ub <= o_max {
+            return;
+        }
+        if domination {
+            let key = path.dt_key();
+            let entry = dt.entry(key).or_insert(f64::NEG_INFINITY);
+            if path.obj <= *entry {
+                return;
+            }
+            *entry = path.obj;
+        }
+        q.push(QEntry { ub: path.ub, seq: *seq, path });
+        *seq += 1;
+    }
+
+    /// Converts the winning path into a reported plan, re-scoring its
+    /// connectivity with the SLQ estimator (the paper does the same for
+    /// ETA-Pre's final answer, Fig. 9).
+    fn plan_from(&self, cp: &CandPath, w: f64) -> RoutePlan {
+        let cands = &self.pre.candidates;
+        let online = ConnScorer::Online {
+            est: &self.pre.estimator,
+            base: &self.pre.base_adj,
+            base_trace: self.pre.base_trace,
+        };
+        let conn = online.increment(&cp.edges, cands);
+        let demand = cp.demand_sum;
+        let objective = self.pre.objective(w, demand, conn);
+        let length_m = cp.edges.iter().map(|&e| cands.edge(e).length_m).sum();
+        RoutePlan {
+            stops: cp.stops.clone(),
+            cand_edges: cp.edges.clone(),
+            new_stop_pairs: cands.new_stop_pairs(&cp.edges),
+            demand,
+            conn_increment: conn,
+            objective,
+            turns: cp.tn,
+            length_m,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_data::CityConfig;
+
+    fn planner_fixture() -> (City, DemandModel, CtBusParams) {
+        let city = CityConfig::small().seed(21).generate();
+        let demand = DemandModel::from_city(&city);
+        let params = CtBusParams::small_defaults();
+        (city, demand, params)
+    }
+
+    fn check_plan_feasible(city: &City, params: &CtBusParams, plan: &RoutePlan) {
+        assert!(!plan.is_empty(), "no route found");
+        assert!(plan.num_edges() <= params.k, "too many edges");
+        assert_eq!(plan.stops.len(), plan.num_edges() + 1);
+        assert!(plan.turns <= params.tn_max);
+        // Circle-free: no repeated stops.
+        let mut sorted = plan.stops.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), plan.stops.len(), "repeated stop");
+        // New pairs must be absent from the base network.
+        for &(u, v) in &plan.new_stop_pairs {
+            assert!(city.transit.edge_between(u, v).is_none());
+        }
+    }
+
+    #[test]
+    fn eta_pre_finds_feasible_route() {
+        let (city, demand, params) = planner_fixture();
+        let planner = Planner::new(&city, &demand, params);
+        let res = planner.run(PlannerMode::EtaPre);
+        check_plan_feasible(&city, &params, &res.best);
+        assert!(res.best.objective > 0.0);
+        assert!(res.best.conn_increment > 0.0, "route should add connectivity");
+        assert!(res.iterations > 0);
+    }
+
+    #[test]
+    fn eta_online_finds_feasible_route() {
+        let (city, demand, mut params) = planner_fixture();
+        params.sn = 40; // online scoring is expensive; keep the test fast
+        params.it_max = 150;
+        let planner = Planner::new(&city, &demand, params);
+        let res = planner.run(PlannerMode::Eta);
+        check_plan_feasible(&city, &params, &res.best);
+    }
+
+    #[test]
+    fn eta_pre_objective_comparable_to_online() {
+        // Paper Table 6 / Fig. 9: ETA-Pre reaches objective values similar
+        // to online ETA.
+        let (city, demand, mut params) = planner_fixture();
+        params.sn = 40;
+        params.it_max = 150;
+        let planner = Planner::new(&city, &demand, params);
+        let pre = planner.run(PlannerMode::EtaPre);
+        let online = planner.run(PlannerMode::Eta);
+        assert!(
+            pre.best.objective >= 0.5 * online.best.objective,
+            "pre {} vs online {}",
+            pre.best.objective,
+            online.best.objective
+        );
+    }
+
+    #[test]
+    fn vk_tsp_uses_only_new_edges() {
+        let (city, demand, params) = planner_fixture();
+        let planner = Planner::new(&city, &demand, params);
+        let res = planner.run(PlannerMode::VkTsp);
+        check_plan_feasible(&city, &params, &res.best);
+        assert_eq!(
+            res.best.num_new_edges(),
+            res.best.num_edges(),
+            "vk-TSP must only add new edges"
+        );
+    }
+
+    #[test]
+    fn vk_tsp_has_lower_connectivity_than_eta_pre() {
+        // The paper's headline effectiveness claim (Table 6): demand-only
+        // planning yields smaller connectivity increments.
+        let (city, demand, params) = planner_fixture();
+        let planner = Planner::new(&city, &demand, params);
+        let pre = planner.run(PlannerMode::EtaPre);
+        let vk = planner.run(PlannerMode::VkTsp);
+        assert!(
+            pre.best.conn_increment >= vk.best.conn_increment * 0.8,
+            "ETA-Pre conn {} unexpectedly below vk-TSP {}",
+            pre.best.conn_increment,
+            vk.best.conn_increment
+        );
+    }
+
+    #[test]
+    fn trace_is_monotone_nondecreasing() {
+        let (city, demand, params) = planner_fixture();
+        let planner = Planner::new(&city, &demand, params);
+        let res = planner.run(PlannerMode::EtaPre);
+        for w in res.trace.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-12, "objective regressed in trace");
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let (city, demand, params) = planner_fixture();
+        let planner = Planner::new(&city, &demand, params);
+        let a = planner.run(PlannerMode::EtaPre);
+        let b = planner.run(PlannerMode::EtaPre);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn ablations_complete_and_stay_feasible() {
+        let (city, demand, mut params) = planner_fixture();
+        params.it_max = 1_000;
+        let planner = Planner::new(&city, &demand, params);
+        for mode in [
+            PlannerMode::EtaAll,
+            PlannerMode::EtaAllNeighbors,
+            PlannerMode::EtaNoDomination,
+        ] {
+            let res = planner.run(mode);
+            check_plan_feasible(&city, &params, &res.best);
+        }
+    }
+
+    #[test]
+    fn larger_k_does_not_reduce_raw_demand() {
+        let (city, demand, mut params) = planner_fixture();
+        params.k = 4;
+        let p4 = Planner::new(&city, &demand, params).run(PlannerMode::EtaPre);
+        params.k = 10;
+        let p10 = Planner::new(&city, &demand, params).run(PlannerMode::EtaPre);
+        assert!(
+            p10.best.demand >= p4.best.demand * 0.9,
+            "k=10 demand {} << k=4 demand {}",
+            p10.best.demand,
+            p4.best.demand
+        );
+    }
+
+    #[test]
+    fn w_zero_and_one_extremes() {
+        let (city, demand, mut params) = planner_fixture();
+        params.w = 0.0;
+        let conn_first = Planner::new(&city, &demand, params).run(PlannerMode::EtaPre);
+        params.w = 1.0;
+        let demand_first = Planner::new(&city, &demand, params).run(PlannerMode::EtaPre);
+        check_plan_feasible(&city, &params, &conn_first.best);
+        check_plan_feasible(&city, &params, &demand_first.best);
+        assert!(
+            demand_first.best.demand >= conn_first.best.demand,
+            "w=1 should meet at least as much demand as w=0"
+        );
+    }
+}

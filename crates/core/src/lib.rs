@@ -1,0 +1,65 @@
+#![warn(missing_docs)]
+//! CT-Bus core: the paper's contribution.
+//!
+//! Given a [`ct_data::City`] and its [`ct_data::DemandModel`], plan a new
+//! bus route `μ` with at most `k` edges maximizing
+//!
+//! ```text
+//! O(μ) = w · Od(μ)/d_max + (1 − w) · Oλ(μ)/λ_max          (Definition 6)
+//! ```
+//!
+//! subject to stop spacing ≤ τ, turn budget `Tn`, and circle-freeness.
+//! The pipeline:
+//!
+//! 1. [`candidates`] enumerates candidate edges — every existing transit
+//!    edge plus every unconnected stop pair within τ, with demand from the
+//!    road shortest path between the stops;
+//! 2. [`precompute`] estimates each candidate's connectivity increment
+//!    `Δ(e)` with paired-probe stochastic Lanczos quadrature and builds the
+//!    ranked lists `L_d`, `L_λ`, `L_e` (§6) and the Eq. 12 normalizers;
+//! 3. [`bounds`] provides the four upper bounds of §5.2–5.3 (Estrada,
+//!    Lemma 3 general, Lemma 4 path, increment) and the Algorithm 2
+//!    incremental demand bound;
+//! 4. [`eta`] runs the expansion-based traversal (Algorithm 1) in any of
+//!    its variants — online-Lanczos ETA, pre-computed ETA-Pre, and the
+//!    ablations ETA-ALL / ETA-AN / ETA-DT — plus the demand-first vk-TSP
+//!    baseline;
+//! 5. [`metrics`] scores plans with the paper's transfer-convenience
+//!    metrics (Table 6) and [`baselines`] implements the connectivity-first
+//!    comparison (Fig. 6);
+//! 6. [`multi`] chains plans into multi-route planning (§6.3), and
+//!    [`sites`] implements the paper's §8 future-work direction — stop
+//!    site selection for cities without sophisticated transit.
+
+pub mod augment;
+pub mod baselines;
+pub mod bounds;
+pub mod candidates;
+pub mod eta;
+pub mod metrics;
+pub mod multi;
+pub mod params;
+pub mod plan;
+pub mod precompute;
+pub mod ranked;
+pub mod rknn;
+pub mod scorer;
+pub mod sites;
+
+pub use augment::{
+    augment_connectivity, golden_thompson_edge_bound, AugmentEval, AugmentParams, AugmentResult,
+    AugmentStats,
+};
+pub use baselines::{connectivity_first_edges, stitch_edges_into_route, StitchedRoute};
+pub use bounds::{estrada_bound, general_bound, increment_bound, path_bound};
+pub use candidates::{CandidateEdge, CandidateSet};
+pub use eta::{Planner, PlannerMode, RunResult};
+pub use metrics::{apply_plan, evaluate_plan, PlanMetrics};
+pub use multi::plan_multiple;
+pub use params::CtBusParams;
+pub use plan::RoutePlan;
+pub use precompute::{DeltaMethod, Precomputed, PrecomputeTimings};
+pub use ranked::RankedList;
+pub use rknn::{rknn_demand, route_service_distance, RknnDemand, RknnParams};
+pub use scorer::ConnScorer;
+pub use sites::{select_sites, SelectedSite, SiteParams, SiteSelection};

@@ -1,0 +1,139 @@
+//! Planner parameters (paper §3.2.3 and §7.1.4).
+
+use ct_linalg::trace::TraceParams;
+use serde::{Deserialize, Serialize};
+
+/// All knobs of the CT-Bus problem and its solver.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CtBusParams {
+    /// Maximum number of route edges `k` (paper default 30).
+    pub k: usize,
+    /// Demand/connectivity weight `w ∈ [0, 1]` (paper default 0.5;
+    /// `w = 1` is demand-only, `w = 0` connectivity-only).
+    pub w: f64,
+    /// Stop spacing threshold τ in meters (paper: 0.5 km).
+    pub tau_m: f64,
+    /// Turn budget `Tn` (paper default 3).
+    pub tn_max: u32,
+    /// Seeding number `sn`: how many top candidates start the expansion
+    /// (paper default 5000).
+    pub sn: usize,
+    /// Iteration cap (paper uses 100 000 in Figs. 9–12).
+    pub it_max: u64,
+    /// Record the best objective every this many iterations (paper: 100).
+    pub record_every: u64,
+    /// Hutchinson probes `s` for connectivity estimation (paper default 50).
+    pub trace_probes: usize,
+    /// Lanczos steps `t` per probe (paper default 10).
+    pub lanczos_steps: usize,
+    /// Seed for the frozen probe vectors (determinism).
+    pub probe_seed: u64,
+    /// New candidate edges whose road path exceeds `tau_m × this factor`
+    /// are discarded as unrealistic bus hops.
+    pub max_detour_factor: f64,
+}
+
+impl CtBusParams {
+    /// Paper-default parameters (§7.1.4).
+    pub fn paper_defaults() -> Self {
+        CtBusParams {
+            k: 30,
+            w: 0.5,
+            tau_m: 500.0,
+            tn_max: 3,
+            sn: 5000,
+            it_max: 100_000,
+            record_every: 100,
+            trace_probes: 50,
+            lanczos_steps: 10,
+            probe_seed: 0xC7B5,
+            max_detour_factor: 6.0,
+        }
+    }
+
+    /// Scaled-down parameters for unit tests and small synthetic cities.
+    pub fn small_defaults() -> Self {
+        CtBusParams {
+            k: 8,
+            w: 0.5,
+            tau_m: 450.0,
+            tn_max: 3,
+            sn: 300,
+            it_max: 4_000,
+            record_every: 50,
+            trace_probes: 16,
+            lanczos_steps: 8,
+            probe_seed: 0xC7B5,
+            max_detour_factor: 6.0,
+        }
+    }
+
+    /// The trace-estimation parameters implied by this configuration.
+    pub fn trace_params(&self) -> TraceParams {
+        TraceParams {
+            probes: self.trace_probes,
+            lanczos_steps: self.lanczos_steps,
+            ..TraceParams::default()
+        }
+    }
+
+    /// Validates parameter ranges; returns problems (empty = valid).
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.k < 1 {
+            problems.push("k must be at least 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.w) {
+            problems.push(format!("w must be in [0, 1], got {}", self.w));
+        }
+        if self.tau_m <= 0.0 {
+            problems.push("tau_m must be positive".into());
+        }
+        if self.trace_probes == 0 {
+            problems.push("trace_probes must be positive".into());
+        }
+        if self.lanczos_steps == 0 {
+            problems.push("lanczos_steps must be positive".into());
+        }
+        if self.max_detour_factor < 1.0 {
+            problems.push("max_detour_factor must be at least 1".into());
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_7() {
+        let p = CtBusParams::paper_defaults();
+        assert_eq!(p.k, 30);
+        assert_eq!(p.w, 0.5);
+        assert_eq!(p.tau_m, 500.0);
+        assert_eq!(p.tn_max, 3);
+        assert_eq!(p.sn, 5000);
+        assert_eq!(p.trace_probes, 50);
+        assert_eq!(p.lanczos_steps, 10);
+        assert!(p.validate().is_empty());
+    }
+
+    #[test]
+    fn invalid_params_are_reported() {
+        let mut p = CtBusParams::paper_defaults();
+        p.w = 1.5;
+        p.k = 0;
+        p.tau_m = -1.0;
+        let problems = p.validate();
+        assert_eq!(problems.len(), 3);
+    }
+
+    #[test]
+    fn trace_params_plumbed() {
+        let p = CtBusParams::paper_defaults();
+        let t = p.trace_params();
+        assert_eq!(t.probes, 50);
+        assert_eq!(t.lanczos_steps, 10);
+    }
+}

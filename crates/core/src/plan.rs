@@ -1,0 +1,85 @@
+//! The output of planning: a new bus route and its scores.
+
+use serde::{Deserialize, Serialize};
+
+/// A planned bus route.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutePlan {
+    /// Ordered stop ids (existing stops only — CT-Bus never builds stops).
+    pub stops: Vec<u32>,
+    /// Candidate-edge ids along the route (see [`crate::CandidateSet`]).
+    pub cand_edges: Vec<u32>,
+    /// Stop pairs of the *new* edges the route adds to the transit graph.
+    pub new_stop_pairs: Vec<(u32, u32)>,
+    /// Met commuting demand `Od(μ) = Σ f_e·|e|`.
+    pub demand: f64,
+    /// Connectivity increment `Oλ(μ) = λ(G'r) − λ(Gr)` (estimated).
+    pub conn_increment: f64,
+    /// Normalized weighted objective `O(μ)` (Definition 6).
+    pub objective: f64,
+    /// Number of turns `tn(μ)`.
+    pub turns: u32,
+    /// Route length in meters (sum of edge travel lengths).
+    pub length_m: f64,
+}
+
+impl RoutePlan {
+    /// An empty plan (no feasible route found).
+    pub fn empty() -> Self {
+        RoutePlan {
+            stops: Vec::new(),
+            cand_edges: Vec::new(),
+            new_stop_pairs: Vec::new(),
+            demand: 0.0,
+            conn_increment: 0.0,
+            objective: 0.0,
+            turns: 0,
+            length_m: 0.0,
+        }
+    }
+
+    /// Number of edges on the route.
+    pub fn num_edges(&self) -> usize {
+        self.cand_edges.len()
+    }
+
+    /// Number of newly created edges.
+    pub fn num_new_edges(&self) -> usize {
+        self.new_stop_pairs.len()
+    }
+
+    /// Whether the plan contains a usable route.
+    pub fn is_empty(&self) -> bool {
+        self.cand_edges.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan() {
+        let p = RoutePlan::empty();
+        assert!(p.is_empty());
+        assert_eq!(p.num_edges(), 0);
+        assert_eq!(p.num_new_edges(), 0);
+    }
+
+    #[test]
+    fn counts() {
+        let p = RoutePlan {
+            stops: vec![1, 2, 3],
+            cand_edges: vec![10, 11],
+            new_stop_pairs: vec![(1, 2)],
+            demand: 5.0,
+            conn_increment: 0.01,
+            objective: 0.3,
+            turns: 1,
+            length_m: 800.0,
+        };
+        assert_eq!(p.num_edges(), 2);
+        assert_eq!(p.num_new_edges(), 1);
+        assert!(!p.is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! Connectivity scoring backends for the planner.
+//!
+//! The planner asks one question over and over: *by how much does this set
+//! of new edges raise the network's natural connectivity?* Three backends
+//! answer it, trading accuracy for speed exactly along the paper's axis:
+//!
+//! * [`ConnScorer::Exact`] — full eigendecomposition; test oracle only;
+//! * [`ConnScorer::Online`] — stochastic Lanczos quadrature with frozen
+//!   probes (the paper's "ETA" with §5 acceleration);
+//! * [`ConnScorer::Linear`] — the §6 pre-computed surrogate
+//!   `Oλ(μ) ≈ Σ_{e∈μ} Δ(e)` ("ETA-Pre").
+
+use ct_linalg::{natural_connectivity_exact, ConnectivityEstimator, CsrMatrix};
+
+use crate::candidates::CandidateSet;
+
+/// A connectivity-increment scorer over candidate-edge paths.
+pub enum ConnScorer<'a> {
+    /// Exact eigendecomposition of the augmented network (slow; tests).
+    Exact {
+        /// Base adjacency.
+        base: &'a CsrMatrix,
+        /// `λ(Gr)` of the base network.
+        base_lambda: f64,
+    },
+    /// Paired-probe SLQ estimate of the augmented network.
+    Online {
+        /// The frozen-probe estimator.
+        est: &'a ConnectivityEstimator,
+        /// Base adjacency.
+        base: &'a CsrMatrix,
+        /// `tr(e^A)` of the base network under the same probes.
+        base_trace: f64,
+    },
+    /// Linear surrogate from pre-computed per-edge increments.
+    Linear {
+        /// `Δ(e)` indexed by candidate id (0 for existing edges).
+        delta: &'a [f64],
+    },
+}
+
+impl ConnScorer<'_> {
+    /// Connectivity increment `Oλ` for a path given by candidate ids.
+    pub fn increment(&self, cand_ids: &[u32], cands: &CandidateSet) -> f64 {
+        match self {
+            ConnScorer::Exact { base, base_lambda } => {
+                let pairs = cands.new_stop_pairs(cand_ids);
+                if pairs.is_empty() {
+                    return 0.0;
+                }
+                let augmented = base.with_added_unit_edges(&pairs);
+                natural_connectivity_exact(&augmented)
+                    .map(|l| l - base_lambda)
+                    .unwrap_or(0.0)
+            }
+            ConnScorer::Online { est, base, base_trace } => {
+                let pairs = cands.new_stop_pairs(cand_ids);
+                if pairs.is_empty() {
+                    return 0.0;
+                }
+                let augmented = base.with_added_unit_edges(&pairs);
+                match est.trace_exp(&augmented) {
+                    Ok(tr) => (tr.max(f64::MIN_POSITIVE) / base_trace).ln(),
+                    Err(_) => 0.0,
+                }
+            }
+            ConnScorer::Linear { delta } => cand_ids
+                .iter()
+                .map(|&id| delta[id as usize])
+                .sum(),
+        }
+    }
+
+    /// Whether this scorer is the pre-computed linear surrogate.
+    pub fn is_linear(&self) -> bool {
+        matches!(self, ConnScorer::Linear { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CtBusParams;
+    use ct_data::{CityConfig, DemandModel};
+    use ct_linalg::trace::TraceParams;
+
+    #[test]
+    fn exact_and_online_agree_on_small_city() {
+        let city = CityConfig::small().seed(5).generate();
+        let demand = DemandModel::from_city(&city);
+        let cands = CandidateSet::build(&city, &demand, 450.0, 6.0);
+        let base = city.transit.adjacency_matrix();
+        let base_lambda = natural_connectivity_exact(&base).unwrap();
+
+        let params = TraceParams { probes: 40, lanczos_steps: 12, ..Default::default() };
+        let est = ConnectivityEstimator::new(base.n(), &params, 1);
+        let base_trace = est.trace_exp(&base).unwrap();
+
+        let exact = ConnScorer::Exact { base: &base, base_lambda };
+        let online = ConnScorer::Online { est: &est, base: &base, base_trace };
+
+        // A few new candidates as a pseudo-path.
+        let new_ids: Vec<u32> = (0..cands.len() as u32)
+            .filter(|&i| !cands.edge(i).existing)
+            .take(4)
+            .collect();
+        assert!(!new_ids.is_empty());
+        let e = exact.increment(&new_ids, &cands);
+        let o = online.increment(&new_ids, &cands);
+        assert!(e > 0.0);
+        assert!(
+            (e - o).abs() < 0.5 * e + 1e-4,
+            "exact {e} vs online {o}"
+        );
+    }
+
+    #[test]
+    fn existing_edges_contribute_nothing() {
+        let city = CityConfig::small().seed(5).generate();
+        let demand = DemandModel::from_city(&city);
+        let cands = CandidateSet::build(&city, &demand, 450.0, 6.0);
+        let base = city.transit.adjacency_matrix();
+        let base_lambda = natural_connectivity_exact(&base).unwrap();
+        let exact = ConnScorer::Exact { base: &base, base_lambda };
+        let existing: Vec<u32> = (0..cands.len() as u32)
+            .filter(|&i| cands.edge(i).existing)
+            .take(3)
+            .collect();
+        assert_eq!(exact.increment(&existing, &cands), 0.0);
+    }
+
+    #[test]
+    fn linear_sums_deltas() {
+        let city = CityConfig::small().seed(5).generate();
+        let demand = DemandModel::from_city(&city);
+        let params = CtBusParams::small_defaults();
+        let cands = CandidateSet::build(&city, &demand, params.tau_m, params.max_detour_factor);
+        let delta: Vec<f64> = (0..cands.len()).map(|i| i as f64 * 0.001).collect();
+        let s = ConnScorer::Linear { delta: &delta };
+        assert!((s.increment(&[1, 3], &cands) - 0.004).abs() < 1e-12);
+        assert!(s.is_linear());
+    }
+}

@@ -1,0 +1,438 @@
+//! Stop site selection (paper §8, future work).
+//!
+//! > "For small-scale cities that do not have sophisticated transit
+//! > systems, the optimal site selection for deploying new bus stops based
+//! > on trajectories and connectivity will be another interesting
+//! > direction for future research."
+//!
+//! This module implements that direction with the same two ingredients as
+//! CT-Bus itself:
+//!
+//! * **demand**: a site at road node `v` covers the demand `f_e·|e|` of
+//!   every road edge with an endpoint within walking distance; covered
+//!   demand counts once, so the objective is monotone **submodular** and
+//!   lazy greedy (CELF) applies with the classic `1 − 1/e` guarantee —
+//!   unlike route planning (§6.1), where we show non-submodularity;
+//! * **connectivity**: a new stop only helps the network if it can be
+//!   linked in, so each site is scored by the best *subgraph centrality*
+//!   `(e^A)_{ss}` among existing stops within the linking radius τ —
+//!   exactly the Estrada-index diagonal underlying natural connectivity
+//!   (attaching a pendant vertex at stop `s` adds closed walks in
+//!   proportion to `(e^A)_{ss}` to leading order).
+
+use ct_data::{City, DemandModel};
+use ct_graph::dijkstra_bounded;
+use ct_linalg::lanczos_expv;
+use ct_spatial::GridIndex;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Parameters for stop site selection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SiteParams {
+    /// Number of sites to select.
+    pub num_sites: usize,
+    /// Walking catchment radius (network distance over roads), meters.
+    pub walk_radius_m: f64,
+    /// Minimum straight-line spacing between selected sites and from any
+    /// existing stop, meters.
+    pub min_gap_m: f64,
+    /// Linking radius for the connectivity term (paper τ), meters.
+    pub tau_m: f64,
+    /// Demand-vs-connectivity weight (same role as the paper's `w`).
+    pub w: f64,
+    /// Lanczos steps for the subgraph-centrality solves.
+    pub lanczos_steps: usize,
+}
+
+impl Default for SiteParams {
+    fn default() -> Self {
+        SiteParams {
+            num_sites: 5,
+            walk_radius_m: 400.0,
+            min_gap_m: 300.0,
+            tau_m: 500.0,
+            w: 0.7,
+            lanczos_steps: 10,
+        }
+    }
+}
+
+/// One selected site with its score decomposition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectedSite {
+    /// Road node the stop would be deployed at.
+    pub road_node: u32,
+    /// Demand newly covered by this site at selection time (marginal).
+    pub marginal_demand: f64,
+    /// Connectivity potential: best nearby-stop subgraph centrality,
+    /// normalized to `[0, 1]` over the candidate pool.
+    pub conn_potential: f64,
+    /// Combined score the greedy maximized when picking this site.
+    pub score: f64,
+}
+
+/// The outcome of a site-selection run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteSelection {
+    /// Selected sites in pick order (greedy: non-increasing scores).
+    pub sites: Vec<SelectedSite>,
+    /// Demand covered by all selected sites together.
+    pub covered_demand: f64,
+    /// Fraction of the corpus' total demand covered.
+    pub coverage_fraction: f64,
+    /// Number of candidate nodes considered.
+    pub candidates: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapItem {
+    gain: f64,
+    node: u32,
+    round: usize,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on (possibly stale) gain.
+        self.gain
+            .partial_cmp(&other.gain)
+            .expect("gains are not NaN")
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Selects up to `params.num_sites` new stop sites with lazy greedy.
+///
+/// Candidates are all road nodes at least `min_gap_m` from every existing
+/// stop. The objective per site is
+/// `w·(marginal covered demand)/D + (1−w)·centrality`, where `D`
+/// normalizes by the best single-site coverage so both terms live on
+/// `[0, 1]`. Returns fewer sites when candidates run out.
+///
+/// ```
+/// use ct_core::{select_sites, SiteParams};
+/// use ct_data::{CityConfig, DemandModel};
+/// let city = CityConfig::small().routes(3).seed(1).generate();
+/// let demand = DemandModel::from_city(&city);
+/// let sel = select_sites(&city, &demand, &SiteParams { num_sites: 3, ..Default::default() });
+/// assert_eq!(sel.sites.len(), 3);
+/// assert!(sel.coverage_fraction > 0.0);
+/// ```
+pub fn select_sites(city: &City, demand: &DemandModel, params: &SiteParams) -> SiteSelection {
+    assert!((0.0..=1.0).contains(&params.w), "w must be in [0,1], got {}", params.w);
+    assert!(params.walk_radius_m > 0.0, "walk radius must be positive");
+    let road = &city.road;
+    let transit = &city.transit;
+
+    // Candidate pool: road nodes ≥ min_gap from every existing stop.
+    let stop_positions: Vec<_> = transit.stops().iter().map(|s| s.pos).collect();
+    let stop_index = GridIndex::build(params.min_gap_m.max(1.0), &stop_positions);
+    let candidates: Vec<u32> = (0..road.num_nodes() as u32)
+        .filter(|&v| {
+            let p = road.position(v);
+            match stop_index.nearest(&p) {
+                Some(s) => stop_positions[s as usize].dist(&p) >= params.min_gap_m,
+                None => true,
+            }
+        })
+        .collect();
+
+    // Walking catchment per candidate: road edges with an endpoint within
+    // walk_radius_m (network distance).
+    let catchment: Vec<Vec<u32>> = candidates
+        .iter()
+        .map(|&v| {
+            let mut edges: Vec<u32> = Vec::new();
+            for (node, _) in dijkstra_bounded(road, v, params.walk_radius_m) {
+                for &(_, e) in road.neighbors(node) {
+                    edges.push(e);
+                }
+            }
+            edges.sort_unstable();
+            edges.dedup();
+            edges
+        })
+        .collect();
+
+    // Connectivity potential: best subgraph centrality among stops within
+    // τ of the candidate, normalized over the pool.
+    let conn_raw: Vec<f64> = {
+        let adj = transit.adjacency_matrix();
+        let n = adj.n();
+        // (e^A)_{ss} for every stop via one Lanczos column solve each.
+        let mut centrality = vec![0.0; n];
+        for s in 0..n {
+            let mut e_s = vec![0.0; n];
+            e_s[s] = 1.0;
+            if let Ok(col) = lanczos_expv(&adj, &e_s, params.lanczos_steps) {
+                centrality[s] = col[s];
+            }
+        }
+        let tau_index = GridIndex::build(params.tau_m.max(1.0), &stop_positions);
+        candidates
+            .iter()
+            .map(|&v| {
+                let mut best = 0.0f64;
+                tau_index.for_each_within(&road.position(v), params.tau_m, |s| {
+                    best = best.max(centrality[s as usize]);
+                });
+                best
+            })
+            .collect()
+    };
+    let conn_max = conn_raw.iter().fold(0.0f64, |a, &b| a.max(b));
+    let conn_norm: Vec<f64> =
+        conn_raw.iter().map(|&c| if conn_max > 0.0 { c / conn_max } else { 0.0 }).collect();
+
+    // Demand normalizer: best single-site coverage.
+    let site_demand = |edges: &[u32], covered: &[bool]| -> f64 {
+        edges.iter().filter(|&&e| !covered[e as usize]).map(|&e| demand.weight(e)).sum()
+    };
+    let no_cover = vec![false; road.num_edges()];
+    let d_norm = catchment
+        .iter()
+        .map(|edges| site_demand(edges, &no_cover))
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+
+    // Lazy greedy (CELF): pop the stalest best; recompute; re-push unless
+    // still on top. Coverage is submodular, so stale gains upper-bound
+    // fresh ones and the first up-to-date item is the true argmax.
+    let mut covered = no_cover;
+    let mut heap: BinaryHeap<HeapItem> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, &node)| HeapItem {
+            gain: params.w * site_demand(&catchment[i], &covered) / d_norm
+                + (1.0 - params.w) * conn_norm[i],
+            node,
+            round: 0,
+        })
+        .collect();
+    let index_of: std::collections::HashMap<u32, usize> =
+        candidates.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+
+    let mut sites = Vec::new();
+    let mut covered_demand = 0.0;
+    let mut round = 0usize;
+    let mut picked_positions: Vec<ct_spatial::Point> = Vec::new();
+    while sites.len() < params.num_sites {
+        let Some(top) = heap.pop() else { break };
+        let i = index_of[&top.node];
+        // Spacing against already-picked sites.
+        let p = road.position(top.node);
+        if picked_positions.iter().any(|q| q.dist(&p) < params.min_gap_m) {
+            continue;
+        }
+        if top.round < round {
+            // Stale: recompute and re-insert.
+            let fresh = params.w * site_demand(&catchment[i], &covered) / d_norm
+                + (1.0 - params.w) * conn_norm[i];
+            heap.push(HeapItem { gain: fresh, node: top.node, round });
+            continue;
+        }
+        // Up to date: take it.
+        let marginal = site_demand(&catchment[i], &covered);
+        for &e in &catchment[i] {
+            covered[e as usize] = true;
+        }
+        covered_demand += marginal;
+        picked_positions.push(p);
+        sites.push(SelectedSite {
+            road_node: top.node,
+            marginal_demand: marginal,
+            conn_potential: conn_norm[i],
+            score: top.gain,
+        });
+        round += 1;
+    }
+
+    let total = demand.total_weight().max(f64::MIN_POSITIVE);
+    SiteSelection {
+        sites,
+        covered_demand,
+        coverage_fraction: covered_demand / total,
+        candidates: candidates.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_data::CityConfig;
+
+    fn small_city() -> (City, DemandModel) {
+        let city = CityConfig::small().seed(17).generate();
+        let demand = DemandModel::from_city(&city);
+        (city, demand)
+    }
+
+    #[test]
+    fn selects_requested_number_of_sites() {
+        let (city, demand) = small_city();
+        let params = SiteParams { num_sites: 4, ..Default::default() };
+        let sel = select_sites(&city, &demand, &params);
+        assert_eq!(sel.sites.len(), 4);
+        assert!(sel.covered_demand > 0.0);
+        assert!(sel.coverage_fraction > 0.0 && sel.coverage_fraction <= 1.0);
+    }
+
+    #[test]
+    fn sites_respect_spacing_constraints() {
+        let (city, demand) = small_city();
+        let params = SiteParams { num_sites: 6, min_gap_m: 350.0, ..Default::default() };
+        let sel = select_sites(&city, &demand, &params);
+        let pos: Vec<_> = sel.sites.iter().map(|s| city.road.position(s.road_node)).collect();
+        for (i, a) in pos.iter().enumerate() {
+            for b in &pos[i + 1..] {
+                assert!(a.dist(b) >= params.min_gap_m, "sites too close: {}", a.dist(b));
+            }
+            for stop in city.transit.stops() {
+                assert!(
+                    a.dist(&stop.pos) >= params.min_gap_m,
+                    "site within gap of existing stop"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_scores_are_non_increasing() {
+        let (city, demand) = small_city();
+        let params = SiteParams { num_sites: 5, ..Default::default() };
+        let sel = select_sites(&city, &demand, &params);
+        for w in sel.sites.windows(2) {
+            assert!(
+                w[0].score >= w[1].score - 1e-9,
+                "greedy picked a better site later: {} then {}",
+                w[0].score,
+                w[1].score
+            );
+        }
+    }
+
+    #[test]
+    fn coverage_is_monotone_in_k() {
+        let (city, demand) = small_city();
+        let mut last = 0.0;
+        for k in [1, 2, 4, 8] {
+            let params = SiteParams { num_sites: k, ..Default::default() };
+            let sel = select_sites(&city, &demand, &params);
+            assert!(sel.covered_demand >= last - 1e-9);
+            last = sel.covered_demand;
+        }
+    }
+
+    #[test]
+    fn lazy_greedy_matches_naive_greedy_on_demand_only() {
+        // With w = 1 the objective is pure (submodular) coverage; CELF must
+        // equal the naive greedy exactly.
+        let (city, demand) = small_city();
+        let params = SiteParams { num_sites: 3, w: 1.0, ..Default::default() };
+        let sel = select_sites(&city, &demand, &params);
+
+        // Naive reference.
+        let road = &city.road;
+        let stop_positions: Vec<_> = city.transit.stops().iter().map(|s| s.pos).collect();
+        let stop_index = GridIndex::build(params.min_gap_m, &stop_positions);
+        let candidates: Vec<u32> = (0..road.num_nodes() as u32)
+            .filter(|&v| {
+                let p = road.position(v);
+                match stop_index.nearest(&p) {
+                    Some(s) => stop_positions[s as usize].dist(&p) >= params.min_gap_m,
+                    None => true,
+                }
+            })
+            .collect();
+        let catchment: Vec<Vec<u32>> = candidates
+            .iter()
+            .map(|&v| {
+                let mut edges: Vec<u32> = Vec::new();
+                for (node, _) in dijkstra_bounded(road, v, params.walk_radius_m) {
+                    for &(_, e) in road.neighbors(node) {
+                        edges.push(e);
+                    }
+                }
+                edges.sort_unstable();
+                edges.dedup();
+                edges
+            })
+            .collect();
+        let mut covered = vec![false; road.num_edges()];
+        let mut picked: Vec<ct_spatial::Point> = Vec::new();
+        let mut naive = Vec::new();
+        for _ in 0..params.num_sites {
+            let mut best: Option<(f64, u32, usize)> = None;
+            for (i, &v) in candidates.iter().enumerate() {
+                let p = road.position(v);
+                if picked.iter().any(|q| q.dist(&p) < params.min_gap_m) {
+                    continue;
+                }
+                let gain: f64 = catchment[i]
+                    .iter()
+                    .filter(|&&e| !covered[e as usize])
+                    .map(|&e| demand.weight(e))
+                    .sum();
+                // Tie-break on node id descending-gain/ascending-node like
+                // the heap does.
+                if best.is_none_or(|(bg, bn, _)| gain > bg || (gain == bg && v < bn)) {
+                    best = Some((gain, v, i));
+                }
+            }
+            let (gain, v, i) = best.expect("candidates remain");
+            for &e in &catchment[i] {
+                covered[e as usize] = true;
+            }
+            picked.push(road.position(v));
+            naive.push((v, gain));
+        }
+        let lazy: Vec<(u32, f64)> =
+            sel.sites.iter().map(|s| (s.road_node, s.marginal_demand)).collect();
+        assert_eq!(lazy.len(), naive.len());
+        for ((lv, lg), (nv, ng)) in lazy.iter().zip(&naive) {
+            assert_eq!(lv, nv, "CELF and naive greedy disagree on a pick");
+            assert!((lg - ng).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn high_w_prefers_demand_low_w_prefers_connectivity() {
+        let (city, demand) = small_city();
+        let d = select_sites(&city, &demand, &SiteParams { num_sites: 3, w: 1.0, ..Default::default() });
+        let c = select_sites(&city, &demand, &SiteParams { num_sites: 3, w: 0.0, ..Default::default() });
+        let mean_dem = |s: &SiteSelection| {
+            s.sites.iter().map(|x| x.marginal_demand).sum::<f64>() / s.sites.len() as f64
+        };
+        let mean_conn = |s: &SiteSelection| {
+            s.sites.iter().map(|x| x.conn_potential).sum::<f64>() / s.sites.len() as f64
+        };
+        assert!(mean_dem(&d) >= mean_dem(&c));
+        assert!(mean_conn(&c) >= mean_conn(&d));
+    }
+
+    #[test]
+    fn impossible_spacing_returns_fewer_sites() {
+        let (city, demand) = small_city();
+        // A gap larger than the city: at most one site fits.
+        let params = SiteParams { num_sites: 5, min_gap_m: 1e7, ..Default::default() };
+        let sel = select_sites(&city, &demand, &params);
+        assert!(sel.sites.len() <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "w must be in [0,1]")]
+    fn invalid_w_panics() {
+        let (city, demand) = small_city();
+        select_sites(&city, &demand, &SiteParams { w: 2.0, ..Default::default() });
+    }
+}

@@ -1,0 +1,134 @@
+//! A complete dataset: road network + transit network + trajectories.
+
+use ct_graph::{RoadNetwork, TransitNetwork};
+use serde::{Deserialize, Serialize};
+
+use crate::trajectory::Trajectory;
+
+/// Everything CT-Bus needs about one city.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct City {
+    /// Human-readable dataset name (e.g. `"chicago-like"`).
+    pub name: String,
+    /// The road network `G`.
+    pub road: RoadNetwork,
+    /// The transit network `Gr`.
+    pub transit: TransitNetwork,
+    /// The trajectory corpus `D`.
+    pub trajectories: Vec<Trajectory>,
+}
+
+/// Dataset statistics in the shape of the paper's Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CityStats {
+    /// `|R|`: number of bus routes.
+    pub routes: usize,
+    /// `len(R)`: average number of stops per route.
+    pub avg_route_len: f64,
+    /// `|V|`: road vertices.
+    pub road_nodes: usize,
+    /// `|Vr|`: bus stops.
+    pub stops: usize,
+    /// `|E|`: road edges.
+    pub road_edges: usize,
+    /// `|Er|`: transit edges.
+    pub transit_edges: usize,
+    /// `|D|`: trajectories.
+    pub trajectories: usize,
+}
+
+impl City {
+    /// Table 5-style statistics.
+    pub fn stats(&self) -> CityStats {
+        CityStats {
+            routes: self.transit.num_routes(),
+            avg_route_len: self.transit.avg_route_len(),
+            road_nodes: self.road.num_nodes(),
+            stops: self.transit.num_stops(),
+            road_edges: self.road.num_edges(),
+            transit_edges: self.transit.num_edges(),
+            trajectories: self.trajectories.len(),
+        }
+    }
+
+    /// Sanity checks tying the three layers together; returns human-readable
+    /// problems (empty = consistent).
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for (i, s) in self.transit.stops().iter().enumerate() {
+            if (s.road_node as usize) >= self.road.num_nodes() {
+                problems.push(format!("stop {i} sits on unknown road node {}", s.road_node));
+            }
+        }
+        for (i, e) in self.transit.edges().iter().enumerate() {
+            for &re in &e.road_edges {
+                if (re as usize) >= self.road.num_edges() {
+                    problems.push(format!("transit edge {i} references unknown road edge {re}"));
+                }
+            }
+            if e.length <= 0.0 {
+                problems.push(format!("transit edge {i} has non-positive length"));
+            }
+        }
+        for (i, t) in self.trajectories.iter().enumerate() {
+            if !t.is_consistent(&self.road) {
+                problems.push(format!("trajectory {i} is not a connected road path"));
+                if problems.len() > 20 {
+                    break;
+                }
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_graph::{RoadEdge, TransitNetworkBuilder};
+    use ct_spatial::Point;
+
+    fn tiny_city() -> City {
+        let positions: Vec<Point> = (0..4).map(|i| Point::new(i as f64 * 100.0, 0.0)).collect();
+        let road_edges: Vec<RoadEdge> = (0..3)
+            .map(|i| RoadEdge { u: i, v: i + 1, length: 100.0 })
+            .collect();
+        let road = RoadNetwork::new(positions.clone(), road_edges);
+        let mut b = TransitNetworkBuilder::new();
+        let s0 = b.add_stop(0, positions[0]);
+        let s1 = b.add_stop(2, positions[2]);
+        b.add_route(&[s0, s1], |_, _| (200.0, vec![0, 1]));
+        City {
+            name: "tiny".into(),
+            road,
+            transit: b.build(),
+            trajectories: vec![Trajectory::new(vec![0, 1, 2], vec![0, 1])],
+        }
+    }
+
+    #[test]
+    fn stats_reflect_structure() {
+        let c = tiny_city();
+        let s = c.stats();
+        assert_eq!(s.routes, 1);
+        assert_eq!(s.road_nodes, 4);
+        assert_eq!(s.stops, 2);
+        assert_eq!(s.transit_edges, 1);
+        assert_eq!(s.trajectories, 1);
+        assert_eq!(s.avg_route_len, 2.0);
+    }
+
+    #[test]
+    fn valid_city_has_no_problems() {
+        assert!(tiny_city().validate().is_empty());
+    }
+
+    #[test]
+    fn broken_trajectory_is_reported() {
+        let mut c = tiny_city();
+        c.trajectories.push(Trajectory { nodes: vec![0, 3], edges: vec![0] });
+        let problems = c.validate();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("trajectory"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Minimal RFC-4180 CSV reading for GTFS feeds.
+//!
+//! GTFS values may be quoted and contain commas or escaped quotes
+//! (`"Main St, NE"`, `"say ""hi"""`), which `str::split(',')` mangles; this
+//! module implements just enough of RFC 4180 for well-formed feeds, plus a
+//! header→column lookup.
+
+use std::collections::HashMap;
+
+/// Splits one CSV record into fields, honoring double-quote quoting.
+///
+/// A quote inside a quoted field is escaped by doubling (`""`). Unterminated
+/// quotes swallow the rest of the line (the lenient, common behaviour).
+pub fn split_record(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if field.is_empty() => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut field));
+            }
+            _ => field.push(c),
+        }
+    }
+    fields.push(field);
+    fields
+}
+
+/// A parsed CSV header: case-sensitive column name → index.
+#[derive(Debug, Clone)]
+pub struct Header {
+    cols: HashMap<String, usize>,
+}
+
+impl Header {
+    /// Parses the header record. A UTF-8 BOM on the first column is
+    /// stripped (GTFS feeds exported from Windows tools often carry one).
+    pub fn parse(line: &str) -> Self {
+        let mut cols = HashMap::new();
+        for (i, name) in split_record(line).into_iter().enumerate() {
+            let name = name.trim().trim_start_matches('\u{feff}').to_string();
+            cols.entry(name).or_insert(i);
+        }
+        Header { cols }
+    }
+
+    /// Index of `name`, if the column exists.
+    pub fn index(&self, name: &str) -> Option<usize> {
+        self.cols.get(name).copied()
+    }
+
+    /// Fetches column `name` from a split record; `None` when the column is
+    /// missing from the header or the record is short.
+    pub fn get<'a>(&self, record: &'a [String], name: &str) -> Option<&'a str> {
+        record.get(self.index(name)?).map(|s| s.trim())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_fields() {
+        assert_eq!(split_record("a,b,c"), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn empty_fields_preserved() {
+        assert_eq!(split_record("a,,c,"), vec!["a", "", "c", ""]);
+        assert_eq!(split_record(""), vec![""]);
+    }
+
+    #[test]
+    fn quoted_comma() {
+        assert_eq!(split_record(r#"1,"Main St, NE",2"#), vec!["1", "Main St, NE", "2"]);
+    }
+
+    #[test]
+    fn escaped_quotes() {
+        assert_eq!(split_record(r#""say ""hi""",x"#), vec![r#"say "hi""#, "x"]);
+    }
+
+    #[test]
+    fn quote_mid_field_is_literal() {
+        // Not RFC-strict input; we keep it as-is rather than erroring.
+        assert_eq!(split_record(r#"ab"c,d"#), vec![r#"ab"c"#, "d"]);
+    }
+
+    #[test]
+    fn unterminated_quote_swallows_rest() {
+        assert_eq!(split_record(r#""a,b"#), vec!["a,b"]);
+    }
+
+    #[test]
+    fn header_lookup_and_bom() {
+        let h = Header::parse("\u{feff}stop_id,stop_name,stop_lat");
+        assert_eq!(h.index("stop_id"), Some(0));
+        assert_eq!(h.index("stop_lat"), Some(2));
+        assert_eq!(h.index("missing"), None);
+        let rec: Vec<String> = vec!["s1".into(), " Elm ".into(), "40.7".into()];
+        assert_eq!(h.get(&rec, "stop_name"), Some("Elm"));
+        assert_eq!(h.get(&rec, "missing"), None);
+    }
+
+    #[test]
+    fn duplicate_header_keeps_first() {
+        let h = Header::parse("a,b,a");
+        assert_eq!(h.index("a"), Some(0));
+    }
+}

@@ -1,0 +1,141 @@
+//! Per-edge commuting demand aggregation (paper Eq. 4).
+//!
+//! The CT-Bus objective never touches raw trajectories at query time: every
+//! road edge `e` carries `f_e` (how many trajectories traverse it) and the
+//! weight `f_e · |e|`, and route demand is a sum of edge weights. This is
+//! why the method is "independent of |D|" (§6.3).
+
+use ct_graph::RoadNetwork;
+use serde::{Deserialize, Serialize};
+
+use crate::city::City;
+use crate::trajectory::Trajectory;
+
+/// Aggregated demand over the road network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DemandModel {
+    /// `f_e`: trajectory count per road edge.
+    counts: Vec<u32>,
+    /// `f_e · |e|`: demand weight per road edge.
+    weights: Vec<f64>,
+}
+
+impl DemandModel {
+    /// Aggregates a trajectory corpus over a road network.
+    pub fn new(road: &RoadNetwork, trajectories: &[Trajectory]) -> Self {
+        let mut counts = vec![0u32; road.num_edges()];
+        for t in trajectories {
+            for &e in &t.edges {
+                counts[e as usize] += 1;
+            }
+        }
+        let weights = counts
+            .iter()
+            .enumerate()
+            .map(|(e, &f)| f as f64 * road.edge(e as u32).length)
+            .collect();
+        DemandModel { counts, weights }
+    }
+
+    /// Convenience constructor from a [`City`].
+    pub fn from_city(city: &City) -> Self {
+        Self::new(&city.road, &city.trajectories)
+    }
+
+    /// Number of road edges covered.
+    pub fn num_edges(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `f_e` for road edge `e`.
+    pub fn count(&self, e: u32) -> u32 {
+        self.counts[e as usize]
+    }
+
+    /// `f_e · |e|` for road edge `e`.
+    pub fn weight(&self, e: u32) -> f64 {
+        self.weights[e as usize]
+    }
+
+    /// Total demand weight of a road path: `Σ f_e · |e|` (paper Eq. 4).
+    pub fn path_weight(&self, road_edges: &[u32]) -> f64 {
+        road_edges.iter().map(|&e| self.weight(e)).sum()
+    }
+
+    /// Total demand weight across the whole network.
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Fraction of road edges with nonzero demand.
+    pub fn coverage(&self) -> f64 {
+        if self.counts.is_empty() {
+            return 0.0;
+        }
+        self.counts.iter().filter(|&&c| c > 0).count() as f64 / self.counts.len() as f64
+    }
+
+    /// Zeroes the demand on the given road edges.
+    ///
+    /// Used by multi-route planning (§6.3): edges covered by an
+    /// already-planned route should not attract the next one.
+    pub fn zero_edges(&mut self, road: &RoadNetwork, road_edges: &[u32]) {
+        for &e in road_edges {
+            self.counts[e as usize] = 0;
+            self.weights[e as usize] = 0.0;
+        }
+        let _ = road; // signature keeps road handy for future re-weighting
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_graph::RoadEdge;
+    use ct_spatial::Point;
+
+    fn line_road() -> RoadNetwork {
+        let positions = (0..5).map(|i| Point::new(i as f64 * 100.0, 0.0)).collect();
+        let edges = (0..4)
+            .map(|i| RoadEdge { u: i, v: i + 1, length: 100.0 })
+            .collect();
+        RoadNetwork::new(positions, edges)
+    }
+
+    #[test]
+    fn counts_and_weights() {
+        let road = line_road();
+        let trajs = vec![
+            Trajectory::new(vec![0, 1, 2], vec![0, 1]),
+            Trajectory::new(vec![1, 2, 3], vec![1, 2]),
+        ];
+        let d = DemandModel::new(&road, &trajs);
+        assert_eq!(d.count(0), 1);
+        assert_eq!(d.count(1), 2);
+        assert_eq!(d.count(3), 0);
+        assert_eq!(d.weight(1), 200.0);
+        assert_eq!(d.path_weight(&[0, 1]), 300.0);
+        assert_eq!(d.total_weight(), 400.0);
+        assert_eq!(d.coverage(), 0.75);
+    }
+
+    #[test]
+    fn empty_corpus_is_all_zero() {
+        let road = line_road();
+        let d = DemandModel::new(&road, &[]);
+        assert_eq!(d.total_weight(), 0.0);
+        assert_eq!(d.coverage(), 0.0);
+    }
+
+    #[test]
+    fn zeroing_edges_for_multi_route() {
+        let road = line_road();
+        let trajs = vec![Trajectory::new(vec![0, 1, 2, 3], vec![0, 1, 2])];
+        let mut d = DemandModel::new(&road, &trajs);
+        d.zero_edges(&road, &[1]);
+        assert_eq!(d.count(1), 0);
+        assert_eq!(d.weight(1), 0.0);
+        assert_eq!(d.count(0), 1);
+        assert_eq!(d.path_weight(&[0, 1, 2]), 200.0);
+    }
+}

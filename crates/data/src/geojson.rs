@@ -1,0 +1,153 @@
+//! GeoJSON (RFC 7946) export of networks and routes.
+//!
+//! Synthetic cities live in projected meters; exports go through an
+//! anchor [`Projection`] so the output is valid WGS84 GeoJSON that drops
+//! straight into any web map — the practical replacement for the paper's
+//! Mapv renders (Figs. 5–8).
+
+use ct_spatial::{GeoPoint, Point, Projection};
+use serde_json::{json, Value};
+
+use crate::city::City;
+
+/// Exports geometry anchored at a geographic origin.
+#[derive(Debug, Clone, Copy)]
+pub struct GeoJsonExporter {
+    projection: Projection,
+}
+
+impl GeoJsonExporter {
+    /// Creates an exporter whose local `(0, 0)` maps to `origin`.
+    pub fn new(origin: GeoPoint) -> Self {
+        GeoJsonExporter { projection: Projection::new(origin) }
+    }
+
+    /// An exporter anchored at Chicago's loop (useful default for the
+    /// synthetic presets).
+    pub fn chicago_anchor() -> Self {
+        Self::new(GeoPoint::new(41.8781, -87.6298))
+    }
+
+    fn coord(&self, p: &Point) -> Value {
+        let g = self.projection.unproject(p);
+        json!([g.lon, g.lat])
+    }
+
+    /// One route as a GeoJSON `LineString` feature.
+    pub fn route_feature(&self, city: &City, route_id: u32, props: Value) -> Value {
+        let route = city.transit.route(route_id);
+        let coords: Vec<Value> = route
+            .stops
+            .iter()
+            .map(|&s| self.coord(&city.transit.stop(s).pos))
+            .collect();
+        json!({
+            "type": "Feature",
+            "geometry": { "type": "LineString", "coordinates": coords },
+            "properties": props,
+        })
+    }
+
+    /// An arbitrary stop sequence (e.g. a planned route) as a `LineString`.
+    pub fn stop_seq_feature(&self, city: &City, stops: &[u32], props: Value) -> Value {
+        let coords: Vec<Value> = stops
+            .iter()
+            .map(|&s| self.coord(&city.transit.stop(s).pos))
+            .collect();
+        json!({
+            "type": "Feature",
+            "geometry": { "type": "LineString", "coordinates": coords },
+            "properties": props,
+        })
+    }
+
+    /// All bus stops as a `MultiPoint` feature.
+    pub fn stops_feature(&self, city: &City) -> Value {
+        let coords: Vec<Value> = city
+            .transit
+            .stops()
+            .iter()
+            .map(|s| self.coord(&s.pos))
+            .collect();
+        json!({
+            "type": "Feature",
+            "geometry": { "type": "MultiPoint", "coordinates": coords },
+            "properties": { "layer": "stops", "count": city.transit.num_stops() },
+        })
+    }
+
+    /// The whole transit network as a `FeatureCollection`: every existing
+    /// route, the stop layer, and optionally a highlighted new route.
+    pub fn transit_feature_collection(&self, city: &City, new_route: Option<&[u32]>) -> Value {
+        let mut features: Vec<Value> = (0..city.transit.num_routes() as u32)
+            .map(|r| {
+                self.route_feature(
+                    city,
+                    r,
+                    json!({ "layer": "existing", "route_id": r }),
+                )
+            })
+            .collect();
+        features.push(self.stops_feature(city));
+        if let Some(stops) = new_route {
+            features.push(self.stop_seq_feature(
+                city,
+                stops,
+                json!({ "layer": "planned", "stroke": "#ff0000", "stroke-width": 4 }),
+            ));
+        }
+        json!({ "type": "FeatureCollection", "features": features })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::CityConfig;
+
+    fn exporter_and_city() -> (GeoJsonExporter, City) {
+        (GeoJsonExporter::chicago_anchor(), CityConfig::small().trajectories(10).generate())
+    }
+
+    #[test]
+    fn feature_collection_has_all_layers() {
+        let (ex, city) = exporter_and_city();
+        let planned = vec![0u32, 1];
+        let fc = ex.transit_feature_collection(&city, Some(&planned));
+        assert_eq!(fc["type"], "FeatureCollection");
+        let features = fc["features"].as_array().unwrap();
+        // routes + stops + planned
+        assert_eq!(features.len(), city.transit.num_routes() + 2);
+        let last = features.last().unwrap();
+        assert_eq!(last["properties"]["layer"], "planned");
+        assert_eq!(
+            last["geometry"]["coordinates"].as_array().unwrap().len(),
+            2
+        );
+    }
+
+    #[test]
+    fn coordinates_are_plausible_wgs84() {
+        let (ex, city) = exporter_and_city();
+        let fc = ex.transit_feature_collection(&city, None);
+        let first_route = &fc["features"][0]["geometry"]["coordinates"][0];
+        let lon = first_route[0].as_f64().unwrap();
+        let lat = first_route[1].as_f64().unwrap();
+        assert!((-180.0..=180.0).contains(&lon));
+        assert!((-90.0..=90.0).contains(&lat));
+        // Within ~1 degree of the Chicago anchor.
+        assert!((lat - 41.8781).abs() < 1.0, "lat {lat}");
+        assert!((lon + 87.6298).abs() < 1.0, "lon {lon}");
+    }
+
+    #[test]
+    fn route_feature_is_linestring_of_route_length() {
+        let (ex, city) = exporter_and_city();
+        let f = ex.route_feature(&city, 0, serde_json::json!({}));
+        assert_eq!(f["geometry"]["type"], "LineString");
+        assert_eq!(
+            f["geometry"]["coordinates"].as_array().unwrap().len(),
+            city.transit.route(0).stops.len()
+        );
+    }
+}

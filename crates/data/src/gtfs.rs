@@ -1,0 +1,1017 @@
+//! GTFS feed ingestion and export.
+//!
+//! The paper extracts its transit networks from public shapefile/GTFS
+//! feeds (§7.1.1, refs [3, 8]). This module reads the four core GTFS
+//! tables — `stops.txt`, `routes.txt`, `trips.txt`, `stop_times.txt` — and
+//! assembles a [`TransitNetwork`] over a road network by snapping stops to
+//! road nodes and realizing inter-stop hops as road shortest paths; the
+//! reverse direction exports any transit network (including planned
+//! routes) back to GTFS so results round-trip into standard tooling.
+//!
+//! Scope: static topology only. Calendars, fares, frequencies, and
+//! transfers are irrelevant to CT-Bus (the paper plans geometry, not
+//! timetables — its footnote 5) and are ignored on read; exports emit a
+//! single synthetic trip per route with a constant-speed schedule so the
+//! files validate.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::BufRead;
+use std::path::Path;
+
+use ct_graph::{shortest_path, RoadNetwork, TransitNetwork, TransitNetworkBuilder};
+use ct_spatial::{GeoPoint, GridIndex, Projection};
+use serde::{Deserialize, Serialize};
+
+use crate::csv::{split_record, Header};
+
+/// One record of `stops.txt`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GtfsStop {
+    /// `stop_id`.
+    pub id: String,
+    /// `stop_name` (may be empty).
+    pub name: String,
+    /// `stop_lat` in WGS84 degrees.
+    pub lat: f64,
+    /// `stop_lon` in WGS84 degrees.
+    pub lon: f64,
+}
+
+/// One record of `routes.txt`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GtfsRoute {
+    /// `route_id`.
+    pub id: String,
+    /// `route_short_name` (falls back to `route_long_name`, may be empty).
+    pub short_name: String,
+}
+
+/// One record of `trips.txt`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GtfsTrip {
+    /// `trip_id`.
+    pub id: String,
+    /// `route_id` the trip belongs to.
+    pub route_id: String,
+}
+
+/// One record of `stop_times.txt` (times are ignored on read).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GtfsStopTime {
+    /// `trip_id`.
+    pub trip_id: String,
+    /// `stop_id`.
+    pub stop_id: String,
+    /// `stop_sequence` (ordering key within the trip).
+    pub sequence: u32,
+}
+
+/// A parsed GTFS feed (the four tables CT-Bus needs).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GtfsFeed {
+    /// All stops.
+    pub stops: Vec<GtfsStop>,
+    /// All routes.
+    pub routes: Vec<GtfsRoute>,
+    /// All trips.
+    pub trips: Vec<GtfsTrip>,
+    /// All stop-time records.
+    pub stop_times: Vec<GtfsStopTime>,
+}
+
+/// Errors raised while reading or importing a GTFS feed.
+#[derive(Debug)]
+pub enum GtfsError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A required column is missing from a file's header.
+    MissingColumn {
+        /// File (e.g. `"stops.txt"`).
+        file: &'static str,
+        /// Column name.
+        column: &'static str,
+    },
+    /// A record could not be interpreted.
+    BadRecord {
+        /// File the record came from.
+        file: &'static str,
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The feed references an id that is not defined.
+    DanglingReference {
+        /// Kind of entity (e.g. `"stop"`).
+        kind: &'static str,
+        /// The unresolved id.
+        id: String,
+    },
+    /// The feed produced no usable route.
+    EmptyFeed,
+}
+
+impl fmt::Display for GtfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GtfsError::Io(e) => write!(f, "gtfs i/o error: {e}"),
+            GtfsError::MissingColumn { file, column } => {
+                write!(f, "{file}: missing required column `{column}`")
+            }
+            GtfsError::BadRecord { file, line, reason } => {
+                write!(f, "{file}:{line}: {reason}")
+            }
+            GtfsError::DanglingReference { kind, id } => {
+                write!(f, "dangling {kind} reference `{id}`")
+            }
+            GtfsError::EmptyFeed => write!(f, "feed contains no usable route"),
+        }
+    }
+}
+
+impl std::error::Error for GtfsError {}
+
+impl From<std::io::Error> for GtfsError {
+    fn from(e: std::io::Error) -> Self {
+        GtfsError::Io(e)
+    }
+}
+
+/// What happened while snapping a feed onto a road network.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GtfsImportStats {
+    /// Stops imported (deduplicated by snapped road node per stop id).
+    pub stops: usize,
+    /// Routes imported.
+    pub routes: usize,
+    /// Routes dropped because fewer than two of their stops were usable.
+    pub dropped_routes: usize,
+    /// Consecutive stop pairs dropped because no road path connects them.
+    pub dropped_hops: usize,
+    /// Greatest snap distance between a GTFS stop and its road node, m.
+    pub max_snap_m: f64,
+}
+
+impl GtfsFeed {
+    /// Parses a feed from the four table readers.
+    ///
+    /// ```
+    /// use ct_data::GtfsFeed;
+    /// let feed = GtfsFeed::parse(
+    ///     "stop_id,stop_name,stop_lat,stop_lon\nA,\"Main, St\",41.88,-87.63\n".as_bytes(),
+    ///     "route_id,route_short_name\nr1,10\n".as_bytes(),
+    ///     "route_id,trip_id\nr1,t1\n".as_bytes(),
+    ///     "trip_id,stop_id,stop_sequence\nt1,A,1\n".as_bytes(),
+    /// )
+    /// .unwrap();
+    /// assert_eq!(feed.stops[0].name, "Main, St");
+    /// assert_eq!(feed.route_stop_sequences().unwrap()[0].1, vec!["A"]);
+    /// ```
+    pub fn parse<R1, R2, R3, R4>(
+        stops: R1,
+        routes: R2,
+        trips: R3,
+        stop_times: R4,
+    ) -> Result<Self, GtfsError>
+    where
+        R1: BufRead,
+        R2: BufRead,
+        R3: BufRead,
+        R4: BufRead,
+    {
+        Ok(GtfsFeed {
+            stops: parse_stops(stops)?,
+            routes: parse_routes(routes)?,
+            trips: parse_trips(trips)?,
+            stop_times: parse_stop_times(stop_times)?,
+        })
+    }
+
+    /// Loads `stops.txt`, `routes.txt`, `trips.txt`, `stop_times.txt` from
+    /// a directory (the unzipped feed layout).
+    pub fn load_dir(dir: impl AsRef<Path>) -> Result<Self, GtfsError> {
+        let dir = dir.as_ref();
+        let open = |name: &str| -> Result<std::io::BufReader<std::fs::File>, GtfsError> {
+            Ok(std::io::BufReader::new(std::fs::File::open(dir.join(name))?))
+        };
+        GtfsFeed::parse(
+            open("stops.txt")?,
+            open("routes.txt")?,
+            open("trips.txt")?,
+            open("stop_times.txt")?,
+        )
+    }
+
+    /// Orders each route's stops using its longest trip (the usual
+    /// representative-trip heuristic), returning
+    /// `(route_id, [stop ids in sequence])` in `routes.txt` order.
+    pub fn route_stop_sequences(&self) -> Result<Vec<(String, Vec<String>)>, GtfsError> {
+        // Group stop_times by trip.
+        let mut by_trip: HashMap<&str, Vec<&GtfsStopTime>> = HashMap::new();
+        for st in &self.stop_times {
+            by_trip.entry(st.trip_id.as_str()).or_default().push(st);
+        }
+        for times in by_trip.values_mut() {
+            times.sort_by_key(|st| st.sequence);
+        }
+        // Validate trip→route references and pick the longest trip per route.
+        let route_ids: HashMap<&str, usize> =
+            self.routes.iter().enumerate().map(|(i, r)| (r.id.as_str(), i)).collect();
+        let mut best: HashMap<&str, &Vec<&GtfsStopTime>> = HashMap::new();
+        for trip in &self.trips {
+            if !route_ids.contains_key(trip.route_id.as_str()) {
+                return Err(GtfsError::DanglingReference {
+                    kind: "route",
+                    id: trip.route_id.clone(),
+                });
+            }
+            let Some(times) = by_trip.get(trip.id.as_str()) else { continue };
+            let cur = best.entry(trip.route_id.as_str()).or_insert(times);
+            if times.len() > cur.len() {
+                *cur = times;
+            }
+        }
+        let stop_ids: std::collections::HashSet<&str> =
+            self.stops.iter().map(|s| s.id.as_str()).collect();
+        let mut out = Vec::new();
+        for route in &self.routes {
+            let Some(times) = best.get(route.id.as_str()) else { continue };
+            let mut seq = Vec::with_capacity(times.len());
+            for st in times.iter() {
+                if !stop_ids.contains(st.stop_id.as_str()) {
+                    return Err(GtfsError::DanglingReference {
+                        kind: "stop",
+                        id: st.stop_id.clone(),
+                    });
+                }
+                seq.push(st.stop_id.clone());
+            }
+            out.push((route.id.clone(), seq));
+        }
+        Ok(out)
+    }
+
+    /// Assembles a [`TransitNetwork`] over `road` by snapping stops to
+    /// their nearest road node (via `projection`) and realizing each
+    /// consecutive stop pair as the road shortest path.
+    ///
+    /// Robustness rules (each counted in the stats): stops snapping to the
+    /// same road node merge; consecutive stops with no connecting road path
+    /// split the route at that hop; routes left with fewer than two stops
+    /// are dropped. Returns [`GtfsError::EmptyFeed`] if nothing survives.
+    pub fn into_transit(
+        &self,
+        road: &RoadNetwork,
+        projection: &Projection,
+    ) -> Result<(TransitNetwork, GtfsImportStats), GtfsError> {
+        let sequences = self.route_stop_sequences()?;
+        let node_index = GridIndex::build(250.0, road.positions());
+        let mut stats = GtfsImportStats::default();
+
+        // Snap every referenced stop once.
+        let mut builder = TransitNetworkBuilder::new();
+        let mut stop_road: Vec<u32> = Vec::new(); // builder stop id → road node
+        let mut by_gtfs_id: HashMap<&str, u32> = HashMap::new();
+        let mut by_road_node: HashMap<u32, u32> = HashMap::new();
+        for stop in &self.stops {
+            let p = projection.project(&GeoPoint::new(stop.lat, stop.lon));
+            let Some(node) = node_index.nearest(&p) else { continue };
+            stats.max_snap_m = stats.max_snap_m.max(p.dist(&road.position(node)));
+            let sid = *by_road_node.entry(node).or_insert_with(|| {
+                stop_road.push(node);
+                builder.add_stop(node, road.position(node))
+            });
+            by_gtfs_id.insert(stop.id.as_str(), sid);
+        }
+        stats.stops = builder.num_stops();
+
+        for (_route_id, seq) in &sequences {
+            // Translate to transit stop ids, dropping consecutive repeats
+            // (distinct GTFS stops can share one snapped node).
+            let mut stops: Vec<u32> = Vec::with_capacity(seq.len());
+            for gid in seq {
+                let Some(&sid) = by_gtfs_id.get(gid.as_str()) else { continue };
+                if stops.last() != Some(&sid) {
+                    stops.push(sid);
+                }
+            }
+            // Split at unroutable hops, then add each piece with ≥ 2 stops.
+            let mut piece: Vec<u32> = Vec::new();
+            let mut pieces: Vec<Vec<u32>> = Vec::new();
+            let mut paths: HashMap<(u32, u32), (f64, Vec<u32>)> = HashMap::new();
+            for &sid in &stops {
+                if let Some(&prev) = piece.last() {
+                    let a = stop_road[prev as usize];
+                    let b = stop_road[sid as usize];
+                    let key = (a.min(b), a.max(b));
+                    let routable = if let Some(hit) = paths.get(&key) {
+                        hit.0.is_finite()
+                    } else {
+                        match shortest_path(road, a, b) {
+                            Some(p) => {
+                                paths.insert(key, (p.dist, p.edges));
+                                true
+                            }
+                            None => {
+                                paths.insert(key, (f64::INFINITY, Vec::new()));
+                                false
+                            }
+                        }
+                    };
+                    if !routable {
+                        stats.dropped_hops += 1;
+                        pieces.push(std::mem::take(&mut piece));
+                    }
+                }
+                piece.push(sid);
+            }
+            pieces.push(piece);
+            let mut added = false;
+            for piece in pieces {
+                if piece.len() < 2 {
+                    continue;
+                }
+                builder.add_route(&piece, |u, v| {
+                    let a = stop_road[u as usize];
+                    let b = stop_road[v as usize];
+                    let key = (a.min(b), a.max(b));
+                    paths.get(&key).expect("hop path cached").clone()
+                });
+                added = true;
+                stats.routes += 1;
+            }
+            if !added {
+                stats.dropped_routes += 1;
+            }
+        }
+        if stats.routes == 0 {
+            return Err(GtfsError::EmptyFeed);
+        }
+        Ok((builder.build(), stats))
+    }
+
+    /// Exports a transit network as a GTFS feed.
+    ///
+    /// Stop ids are `S<stop>`, route ids `R<route>`; each route gets one
+    /// synthetic trip `T<route>` ([`GtfsFeed::stop_times_txt`] synthesizes
+    /// a schedule for it).
+    pub fn from_transit(network: &TransitNetwork, projection: &Projection) -> GtfsFeed {
+        let stops = network
+            .stops()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let g = projection.unproject(&s.pos);
+                GtfsStop {
+                    id: format!("S{i}"),
+                    name: format!("Stop {i}"),
+                    lat: g.lat,
+                    lon: g.lon,
+                }
+            })
+            .collect();
+        let mut routes = Vec::with_capacity(network.num_routes());
+        let mut trips = Vec::with_capacity(network.num_routes());
+        let mut stop_times = Vec::new();
+        for (ri, route) in network.routes().iter().enumerate() {
+            routes.push(GtfsRoute { id: format!("R{ri}"), short_name: format!("{ri}") });
+            trips.push(GtfsTrip { id: format!("T{ri}"), route_id: format!("R{ri}") });
+            for (si, &stop) in route.stops.iter().enumerate() {
+                stop_times.push(GtfsStopTime {
+                    trip_id: format!("T{ri}"),
+                    stop_id: format!("S{stop}"),
+                    sequence: si as u32,
+                });
+            }
+        }
+        GtfsFeed { stops, routes, trips, stop_times }
+    }
+
+    /// Writes the four tables into `dir` (created if missing).
+    pub fn write_dir(&self, dir: impl AsRef<Path>) -> std::io::Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join("stops.txt"), self.stops_txt())?;
+        std::fs::write(dir.join("routes.txt"), self.routes_txt())?;
+        std::fs::write(dir.join("trips.txt"), self.trips_txt())?;
+        std::fs::write(dir.join("stop_times.txt"), self.stop_times_txt())?;
+        Ok(())
+    }
+
+    /// Renders `stops.txt`.
+    pub fn stops_txt(&self) -> String {
+        let mut out = String::from("stop_id,stop_name,stop_lat,stop_lon\n");
+        for s in &self.stops {
+            out.push_str(&format!("{},{},{:.6},{:.6}\n", s.id, quote(&s.name), s.lat, s.lon));
+        }
+        out
+    }
+
+    /// Renders `routes.txt` (`route_type` 3 = bus).
+    pub fn routes_txt(&self) -> String {
+        let mut out = String::from("route_id,route_short_name,route_type\n");
+        for r in &self.routes {
+            out.push_str(&format!("{},{},3\n", r.id, quote(&r.short_name)));
+        }
+        out
+    }
+
+    /// Renders `trips.txt`.
+    pub fn trips_txt(&self) -> String {
+        let mut out = String::from("route_id,service_id,trip_id\n");
+        for t in &self.trips {
+            out.push_str(&format!("{},always,{}\n", t.route_id, t.id));
+        }
+        out
+    }
+
+    /// Renders `stop_times.txt` with a synthetic constant-dwell schedule
+    /// (arrival = departure, one minute per hop — readers that care about
+    /// real times should regenerate them; CT-Bus itself never does).
+    pub fn stop_times_txt(&self) -> String {
+        let mut out = String::from("trip_id,arrival_time,departure_time,stop_id,stop_sequence\n");
+        for st in &self.stop_times {
+            let t = hms(8 * 3600 + st.sequence as u64 * 60);
+            out.push_str(&format!("{},{t},{t},{},{}\n", st.trip_id, st.stop_id, st.sequence));
+        }
+        out
+    }
+}
+
+fn quote(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn hms(total_secs: u64) -> String {
+    format!("{:02}:{:02}:{:02}", total_secs / 3600, (total_secs % 3600) / 60, total_secs % 60)
+}
+
+fn parse_stops<R: BufRead>(reader: R) -> Result<Vec<GtfsStop>, GtfsError> {
+    const FILE: &str = "stops.txt";
+    let mut lines = reader.lines();
+    let header = Header::parse(&lines.next().ok_or(GtfsError::MissingColumn {
+        file: FILE,
+        column: "stop_id",
+    })??);
+    for col in ["stop_id", "stop_lat", "stop_lon"] {
+        if header.index(col).is_none() {
+            return Err(GtfsError::MissingColumn { file: FILE, column: match col {
+                "stop_id" => "stop_id",
+                "stop_lat" => "stop_lat",
+                _ => "stop_lon",
+            }});
+        }
+    }
+    let mut out = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec = split_record(&line);
+        let id = header.get(&rec, "stop_id").unwrap_or("").to_string();
+        let lat: f64 = parse_field(&header, &rec, "stop_lat", FILE, i + 2)?;
+        let lon: f64 = parse_field(&header, &rec, "stop_lon", FILE, i + 2)?;
+        if id.is_empty() {
+            return Err(GtfsError::BadRecord {
+                file: FILE,
+                line: i + 2,
+                reason: "empty stop_id".into(),
+            });
+        }
+        if !(-90.0..=90.0).contains(&lat) || !(-180.0..=180.0).contains(&lon) {
+            return Err(GtfsError::BadRecord {
+                file: FILE,
+                line: i + 2,
+                reason: format!("coordinates out of range: ({lat}, {lon})"),
+            });
+        }
+        let name = header.get(&rec, "stop_name").unwrap_or("").to_string();
+        out.push(GtfsStop { id, name, lat, lon });
+    }
+    Ok(out)
+}
+
+fn parse_routes<R: BufRead>(reader: R) -> Result<Vec<GtfsRoute>, GtfsError> {
+    const FILE: &str = "routes.txt";
+    let mut lines = reader.lines();
+    let header = Header::parse(&lines.next().ok_or(GtfsError::MissingColumn {
+        file: FILE,
+        column: "route_id",
+    })??);
+    if header.index("route_id").is_none() {
+        return Err(GtfsError::MissingColumn { file: FILE, column: "route_id" });
+    }
+    let mut out = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec = split_record(&line);
+        let id = header.get(&rec, "route_id").unwrap_or("").to_string();
+        if id.is_empty() {
+            return Err(GtfsError::BadRecord {
+                file: FILE,
+                line: i + 2,
+                reason: "empty route_id".into(),
+            });
+        }
+        let short = header
+            .get(&rec, "route_short_name")
+            .filter(|s| !s.is_empty())
+            .or_else(|| header.get(&rec, "route_long_name"))
+            .unwrap_or("")
+            .to_string();
+        out.push(GtfsRoute { id, short_name: short });
+    }
+    Ok(out)
+}
+
+fn parse_trips<R: BufRead>(reader: R) -> Result<Vec<GtfsTrip>, GtfsError> {
+    const FILE: &str = "trips.txt";
+    let mut lines = reader.lines();
+    let header = Header::parse(&lines.next().ok_or(GtfsError::MissingColumn {
+        file: FILE,
+        column: "trip_id",
+    })??);
+    for col in ["trip_id", "route_id"] {
+        if header.index(col).is_none() {
+            return Err(GtfsError::MissingColumn {
+                file: FILE,
+                column: if col == "trip_id" { "trip_id" } else { "route_id" },
+            });
+        }
+    }
+    let mut out = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec = split_record(&line);
+        let id = header.get(&rec, "trip_id").unwrap_or("").to_string();
+        let route_id = header.get(&rec, "route_id").unwrap_or("").to_string();
+        if id.is_empty() || route_id.is_empty() {
+            return Err(GtfsError::BadRecord {
+                file: FILE,
+                line: i + 2,
+                reason: "empty trip_id or route_id".into(),
+            });
+        }
+        out.push(GtfsTrip { id, route_id });
+    }
+    Ok(out)
+}
+
+fn parse_stop_times<R: BufRead>(reader: R) -> Result<Vec<GtfsStopTime>, GtfsError> {
+    const FILE: &str = "stop_times.txt";
+    let mut lines = reader.lines();
+    let header = Header::parse(&lines.next().ok_or(GtfsError::MissingColumn {
+        file: FILE,
+        column: "trip_id",
+    })??);
+    for col in ["trip_id", "stop_id", "stop_sequence"] {
+        if header.index(col).is_none() {
+            return Err(GtfsError::MissingColumn {
+                file: FILE,
+                column: match col {
+                    "trip_id" => "trip_id",
+                    "stop_id" => "stop_id",
+                    _ => "stop_sequence",
+                },
+            });
+        }
+    }
+    let mut out = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec = split_record(&line);
+        let trip_id = header.get(&rec, "trip_id").unwrap_or("").to_string();
+        let stop_id = header.get(&rec, "stop_id").unwrap_or("").to_string();
+        let sequence: u32 = parse_field(&header, &rec, "stop_sequence", FILE, i + 2)?;
+        if trip_id.is_empty() || stop_id.is_empty() {
+            return Err(GtfsError::BadRecord {
+                file: FILE,
+                line: i + 2,
+                reason: "empty trip_id or stop_id".into(),
+            });
+        }
+        out.push(GtfsStopTime { trip_id, stop_id, sequence });
+    }
+    Ok(out)
+}
+
+fn parse_field<T: std::str::FromStr>(
+    header: &Header,
+    rec: &[String],
+    col: &str,
+    file: &'static str,
+    line: usize,
+) -> Result<T, GtfsError> {
+    header
+        .get(rec, col)
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| GtfsError::BadRecord {
+            file,
+            line,
+            reason: format!("missing or malformed `{col}`"),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_graph::RoadEdge;
+    use ct_spatial::Point;
+
+    /// A 4×4 road grid, 100 m spacing, anchored at a Chicago-like origin.
+    fn grid() -> (RoadNetwork, Projection) {
+        let mut positions = Vec::new();
+        for r in 0..4 {
+            for c in 0..4 {
+                positions.push(Point::new(c as f64 * 100.0, r as f64 * 100.0));
+            }
+        }
+        let mut edges = Vec::new();
+        for r in 0..4u32 {
+            for c in 0..4u32 {
+                let u = r * 4 + c;
+                if c + 1 < 4 {
+                    edges.push(RoadEdge { u, v: u + 1, length: 100.0 });
+                }
+                if r + 1 < 4 {
+                    edges.push(RoadEdge { u, v: u + 4, length: 100.0 });
+                }
+            }
+        }
+        (RoadNetwork::new(positions, edges), Projection::new(GeoPoint::new(41.85, -87.65)))
+    }
+
+    /// Positions three stops on grid nodes 0, 2, and 10 in lat/lon space.
+    fn feed_for_grid(proj: &Projection, road: &RoadNetwork) -> GtfsFeed {
+        let g = |node: u32| proj.unproject(&road.position(node));
+        let (a, b, c) = (g(0), g(2), g(10));
+        let stops = format!(
+            "stop_id,stop_name,stop_lat,stop_lon\n\
+             A,\"First, St\",{},{}\n\
+             B,Second,{},{}\n\
+             C,Third,{},{}\n",
+            a.lat, a.lon, b.lat, b.lon, c.lat, c.lon
+        );
+        let routes = "route_id,route_short_name,route_type\nr1,10,3\n";
+        let trips = "route_id,service_id,trip_id\nr1,wk,t1\n";
+        let stop_times = "trip_id,arrival_time,departure_time,stop_id,stop_sequence\n\
+             t1,08:00:00,08:00:00,A,1\n\
+             t1,08:05:00,08:05:00,B,2\n\
+             t1,08:09:00,08:09:00,C,3\n";
+        GtfsFeed::parse(
+            stops.as_bytes(),
+            routes.as_bytes(),
+            trips.as_bytes(),
+            stop_times.as_bytes(),
+        )
+        .expect("parse feed")
+    }
+
+    #[test]
+    fn parses_quoted_names_and_counts() {
+        let (road, proj) = grid();
+        let feed = feed_for_grid(&proj, &road);
+        assert_eq!(feed.stops.len(), 3);
+        assert_eq!(feed.stops[0].name, "First, St");
+        assert_eq!(feed.routes.len(), 1);
+        assert_eq!(feed.trips.len(), 1);
+        assert_eq!(feed.stop_times.len(), 3);
+    }
+
+    #[test]
+    fn import_builds_transit_over_road_paths() {
+        let (road, proj) = grid();
+        let feed = feed_for_grid(&proj, &road);
+        let (net, stats) = feed.into_transit(&road, &proj).expect("import");
+        assert_eq!(net.num_stops(), 3);
+        assert_eq!(net.num_routes(), 1);
+        assert_eq!(net.num_edges(), 2);
+        assert_eq!(stats.routes, 1);
+        assert_eq!(stats.dropped_routes, 0);
+        assert_eq!(stats.dropped_hops, 0);
+        assert!(stats.max_snap_m < 1.0, "snap {:.3}", stats.max_snap_m);
+        // Hop A→B spans grid nodes 0→2: two road edges, 200 m.
+        let e = net.edge(0);
+        assert!((e.length - 200.0).abs() < 1e-6);
+        assert_eq!(e.road_edges.len(), 2);
+        // Route stop sequence is in stop_sequence order.
+        assert_eq!(net.route(0).stops.len(), 3);
+    }
+
+    #[test]
+    fn stops_on_same_node_merge() {
+        let (road, proj) = grid();
+        let mut feed = feed_for_grid(&proj, &road);
+        // A duplicate stop a few meters from A snaps to the same node.
+        let near_a = proj.unproject(&Point::new(3.0, 4.0));
+        feed.stops.push(GtfsStop {
+            id: "A2".into(),
+            name: String::new(),
+            lat: near_a.lat,
+            lon: near_a.lon,
+        });
+        let (net, stats) = feed.into_transit(&road, &proj).expect("import");
+        assert_eq!(net.num_stops(), 3, "duplicate stop not merged");
+        assert!(stats.max_snap_m >= 5.0 - 1e-9);
+    }
+
+    #[test]
+    fn longest_trip_represents_the_route() {
+        let (road, proj) = grid();
+        let mut feed = feed_for_grid(&proj, &road);
+        // A second, shorter trip on the same route must not win.
+        feed.trips.push(GtfsTrip { id: "t2".into(), route_id: "r1".into() });
+        feed.stop_times.push(GtfsStopTime { trip_id: "t2".into(), stop_id: "A".into(), sequence: 1 });
+        feed.stop_times.push(GtfsStopTime { trip_id: "t2".into(), stop_id: "B".into(), sequence: 2 });
+        let seqs = feed.route_stop_sequences().expect("sequences");
+        assert_eq!(seqs.len(), 1);
+        assert_eq!(seqs[0].1, vec!["A", "B", "C"]);
+    }
+
+    #[test]
+    fn unroutable_hop_splits_the_route() {
+        // Two disconnected road components.
+        let positions = vec![
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 0.0),
+            Point::new(10_000.0, 0.0),
+            Point::new(10_100.0, 0.0),
+        ];
+        let edges = vec![
+            RoadEdge { u: 0, v: 1, length: 100.0 },
+            RoadEdge { u: 2, v: 3, length: 100.0 },
+        ];
+        let road = RoadNetwork::new(positions, edges);
+        let proj = Projection::new(GeoPoint::new(41.85, -87.65));
+        let g = |node: u32| proj.unproject(&road.position(node));
+        let pts: Vec<GeoPoint> = (0..4).map(g).collect();
+        let stops = format!(
+            "stop_id,stop_lat,stop_lon\nA,{},{}\nB,{},{}\nC,{},{}\nD,{},{}\n",
+            pts[0].lat, pts[0].lon, pts[1].lat, pts[1].lon,
+            pts[2].lat, pts[2].lon, pts[3].lat, pts[3].lon,
+        );
+        let routes = "route_id\nr1\n";
+        let trips = "route_id,trip_id\nr1,t1\n";
+        let stop_times = "trip_id,stop_id,stop_sequence\nt1,A,1\nt1,B,2\nt1,C,3\nt1,D,4\n";
+        let feed = GtfsFeed::parse(
+            stops.as_bytes(), routes.as_bytes(), trips.as_bytes(), stop_times.as_bytes(),
+        ).expect("parse");
+        let (net, stats) = feed.into_transit(&road, &proj).expect("import");
+        // The B→C hop is unroutable: the route splits into A-B and C-D.
+        assert_eq!(stats.dropped_hops, 1);
+        assert_eq!(net.num_routes(), 2);
+        assert_eq!(stats.routes, 2);
+    }
+
+    #[test]
+    fn route_with_no_usable_hops_is_dropped_and_empty_feed_errors() {
+        let (road, proj) = grid();
+        let g0 = proj.unproject(&road.position(0));
+        let stops = format!("stop_id,stop_lat,stop_lon\nA,{},{}\n", g0.lat, g0.lon);
+        let routes = "route_id\nr1\n";
+        let trips = "route_id,trip_id\nr1,t1\n";
+        // One-stop trip: nothing to connect.
+        let stop_times = "trip_id,stop_id,stop_sequence\nt1,A,1\n";
+        let feed = GtfsFeed::parse(
+            stops.as_bytes(), routes.as_bytes(), trips.as_bytes(), stop_times.as_bytes(),
+        ).expect("parse");
+        match feed.into_transit(&road, &proj) {
+            Err(GtfsError::EmptyFeed) => {}
+            other => panic!("expected EmptyFeed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_columns_are_reported_per_file() {
+        let bad_stops = "stop_id,stop_lat\nA,41.0\n"; // no stop_lon
+        let err = GtfsFeed::parse(
+            bad_stops.as_bytes(),
+            "route_id\n".as_bytes(),
+            "route_id,trip_id\n".as_bytes(),
+            "trip_id,stop_id,stop_sequence\n".as_bytes(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, GtfsError::MissingColumn { file: "stops.txt", column: "stop_lon" }));
+
+        let err = GtfsFeed::parse(
+            "stop_id,stop_lat,stop_lon\n".as_bytes(),
+            "wrong\n".as_bytes(),
+            "route_id,trip_id\n".as_bytes(),
+            "trip_id,stop_id,stop_sequence\n".as_bytes(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, GtfsError::MissingColumn { file: "routes.txt", column: "route_id" }));
+    }
+
+    #[test]
+    fn malformed_records_are_reported_with_line_numbers() {
+        let stops = "stop_id,stop_lat,stop_lon\nA,not_a_number,10.0\n";
+        let err = GtfsFeed::parse(
+            stops.as_bytes(),
+            "route_id\n".as_bytes(),
+            "route_id,trip_id\n".as_bytes(),
+            "trip_id,stop_id,stop_sequence\n".as_bytes(),
+        )
+        .unwrap_err();
+        match err {
+            GtfsError::BadRecord { file: "stops.txt", line: 2, reason } => {
+                assert!(reason.contains("stop_lat"), "{reason}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_coordinates_rejected() {
+        let stops = "stop_id,stop_lat,stop_lon\nA,95.0,10.0\n";
+        let err = GtfsFeed::parse(
+            stops.as_bytes(),
+            "route_id\n".as_bytes(),
+            "route_id,trip_id\n".as_bytes(),
+            "trip_id,stop_id,stop_sequence\n".as_bytes(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, GtfsError::BadRecord { file: "stops.txt", line: 2, .. }));
+    }
+
+    #[test]
+    fn dangling_references_are_detected() {
+        let (road, proj) = grid();
+        let mut feed = feed_for_grid(&proj, &road);
+        feed.stop_times.push(GtfsStopTime {
+            trip_id: "t1".into(),
+            stop_id: "GHOST".into(),
+            sequence: 9,
+        });
+        match feed.route_stop_sequences() {
+            Err(GtfsError::DanglingReference { kind: "stop", id }) => assert_eq!(id, "GHOST"),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let mut feed = feed_for_grid(&proj, &road);
+        feed.trips.push(GtfsTrip { id: "tX".into(), route_id: "NO_ROUTE".into() });
+        assert!(matches!(
+            feed.route_stop_sequences(),
+            Err(GtfsError::DanglingReference { kind: "route", .. })
+        ));
+    }
+
+    #[test]
+    fn export_then_reimport_preserves_topology() {
+        let (road, proj) = grid();
+        let feed = feed_for_grid(&proj, &road);
+        let (net, _) = feed.into_transit(&road, &proj).expect("import");
+
+        let exported = GtfsFeed::from_transit(&net, &proj);
+        let reparsed = GtfsFeed::parse(
+            exported.stops_txt().as_bytes(),
+            exported.routes_txt().as_bytes(),
+            exported.trips_txt().as_bytes(),
+            exported.stop_times_txt().as_bytes(),
+        )
+        .expect("reparse");
+        let (net2, _) = reparsed.into_transit(&road, &proj).expect("reimport");
+        assert_eq!(net2.num_stops(), net.num_stops());
+        assert_eq!(net2.num_edges(), net.num_edges());
+        assert_eq!(net2.num_routes(), net.num_routes());
+        for (r1, r2) in net.routes().iter().zip(net2.routes()) {
+            let n1: Vec<u32> = r1.stops.iter().map(|&s| net.stop(s).road_node).collect();
+            let n2: Vec<u32> = r2.stops.iter().map(|&s| net2.stop(s).road_node).collect();
+            assert_eq!(n1, n2, "route road-node sequence changed in round trip");
+        }
+    }
+
+    #[test]
+    fn generated_city_round_trips_through_gtfs() {
+        let city = crate::CityConfig::small().seed(9).generate();
+        let proj = Projection::new(GeoPoint::new(41.85, -87.65));
+        let exported = GtfsFeed::from_transit(&city.transit, &proj);
+        let (net, stats) = exported.into_transit(&city.road, &proj).expect("import");
+        assert_eq!(net.num_stops(), city.transit.num_stops());
+        assert_eq!(net.num_routes(), city.transit.num_routes());
+        assert!(stats.max_snap_m < 1.0);
+    }
+
+    #[test]
+    fn writer_formats_are_valid() {
+        let (road, proj) = grid();
+        let feed = feed_for_grid(&proj, &road);
+        let (net, _) = feed.into_transit(&road, &proj).expect("import");
+        let out = GtfsFeed::from_transit(&net, &proj);
+        assert!(out.stops_txt().starts_with("stop_id,stop_name,stop_lat,stop_lon\n"));
+        assert!(out.routes_txt().contains(",3\n"), "bus route_type missing");
+        assert!(out.trips_txt().contains("R0,always,T0"));
+        let st = out.stop_times_txt();
+        assert!(st.contains("08:00:00"));
+        assert!(st.contains("08:01:00"), "per-hop minute schedule: {st}");
+    }
+
+    #[test]
+    fn hms_formats() {
+        assert_eq!(hms(0), "00:00:00");
+        assert_eq!(hms(8 * 3600 + 61), "08:01:01");
+        assert_eq!(hms(25 * 3600), "25:00:00"); // GTFS allows >24h
+    }
+
+    #[test]
+    fn write_dir_and_load_dir_round_trip() {
+        let (road, proj) = grid();
+        let feed = feed_for_grid(&proj, &road);
+        let (net, _) = feed.into_transit(&road, &proj).expect("import");
+        let out = GtfsFeed::from_transit(&net, &proj);
+        let dir = std::env::temp_dir().join(format!("ctbus-gtfs-test-{}", std::process::id()));
+        out.write_dir(&dir).expect("write feed");
+        let loaded = GtfsFeed::load_dir(&dir).expect("load feed");
+        assert_eq!(loaded.stops.len(), out.stops.len());
+        assert_eq!(loaded.routes.len(), out.routes.len());
+        assert_eq!(loaded.stop_times.len(), out.stop_times.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_dir_missing_file_is_io_error() {
+        let dir = std::env::temp_dir().join("ctbus-gtfs-nonexistent");
+        assert!(matches!(GtfsFeed::load_dir(&dir), Err(GtfsError::Io(_))));
+    }
+}
+
+#[cfg(test)]
+mod robustness_tests {
+    use super::*;
+
+    #[test]
+    fn crlf_line_endings_parse_cleanly() {
+        // Windows-exported feeds carry \r\n; fields must come out trimmed.
+        let stops = "stop_id,stop_name,stop_lat,stop_lon\r\nA,Main,41.88,-87.63\r\n";
+        let routes = "route_id,route_short_name\r\nr1,10\r\n";
+        let trips = "route_id,trip_id\r\nr1,t1\r\n";
+        let stop_times = "trip_id,stop_id,stop_sequence\r\nt1,A,1\r\n";
+        let feed = GtfsFeed::parse(
+            stops.as_bytes(),
+            routes.as_bytes(),
+            trips.as_bytes(),
+            stop_times.as_bytes(),
+        )
+        .expect("CRLF feed parses");
+        assert_eq!(feed.stops[0].id, "A");
+        assert_eq!(feed.stops[0].name, "Main");
+        assert_eq!(feed.stops[0].lon, -87.63);
+        assert_eq!(feed.routes[0].short_name, "10");
+        assert_eq!(feed.stop_times[0].sequence, 1);
+    }
+
+    #[test]
+    fn bom_and_crlf_together() {
+        let stops = "\u{feff}stop_id,stop_lat,stop_lon\r\nA,41.0,-87.0\r\n";
+        let feed = GtfsFeed::parse(
+            stops.as_bytes(),
+            "route_id\nr1\n".as_bytes(),
+            "route_id,trip_id\nr1,t1\n".as_bytes(),
+            "trip_id,stop_id,stop_sequence\nt1,A,1\n".as_bytes(),
+        )
+        .expect("BOM+CRLF feed parses");
+        assert_eq!(feed.stops.len(), 1);
+    }
+
+    #[test]
+    fn quoted_field_with_trailing_cr() {
+        let stops = "stop_id,stop_name,stop_lat,stop_lon\r\nA,\"Main, St\",41.0,-87.0\r\n";
+        let feed = GtfsFeed::parse(
+            stops.as_bytes(),
+            "route_id\nr1\n".as_bytes(),
+            "route_id,trip_id\nr1,t1\n".as_bytes(),
+            "trip_id,stop_id,stop_sequence\nt1,A,1\n".as_bytes(),
+        )
+        .expect("quoted CRLF feed parses");
+        assert_eq!(feed.stops[0].name, "Main, St");
+    }
+
+    #[test]
+    fn extra_unknown_columns_are_ignored() {
+        let stops = "stop_id,zone_id,stop_lat,wheelchair,stop_lon\nA,z9,41.0,1,-87.0\n";
+        let feed = GtfsFeed::parse(
+            stops.as_bytes(),
+            "agency_id,route_id,color\nag,r1,FF0000\n".as_bytes(),
+            "service_id,route_id,trip_id,headsign\nwk,r1,t1,Downtown\n".as_bytes(),
+            "trip_id,arrival_time,stop_id,stop_sequence\nt1,08:00:00,A,1\n".as_bytes(),
+        )
+        .expect("extra columns ignored");
+        assert_eq!(feed.stops[0].lat, 41.0);
+        assert_eq!(feed.trips[0].route_id, "r1");
+    }
+}

@@ -1,0 +1,408 @@
+//! Binary-heap Dijkstra over road and transit networks.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::road::RoadNetwork;
+use crate::transit::TransitNetwork;
+
+/// A weighted undirected graph that Dijkstra can traverse.
+///
+/// Implemented by both network layers so one shortest-path engine serves
+/// trajectory expansion (road) and the ζ(μ) metric (transit).
+pub trait WeightedGraph {
+    /// Number of nodes.
+    fn node_count(&self) -> usize;
+    /// Visits `(neighbor, edge_id, weight)` for every edge incident to `u`.
+    fn for_each_neighbor(&self, u: u32, f: &mut dyn FnMut(u32, u32, f64));
+}
+
+impl WeightedGraph for RoadNetwork {
+    fn node_count(&self) -> usize {
+        self.num_nodes()
+    }
+
+    fn for_each_neighbor(&self, u: u32, f: &mut dyn FnMut(u32, u32, f64)) {
+        for &(v, e) in self.neighbors(u) {
+            f(v, e, self.edge(e).length);
+        }
+    }
+}
+
+impl WeightedGraph for TransitNetwork {
+    fn node_count(&self) -> usize {
+        self.num_stops()
+    }
+
+    fn for_each_neighbor(&self, u: u32, f: &mut dyn FnMut(u32, u32, f64)) {
+        for &(v, e) in self.neighbors(u) {
+            f(v, e, self.edge(e).length);
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance (distances are finite, never NaN).
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("distances are not NaN")
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A reconstructed shortest path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathResult {
+    /// Total weight.
+    pub dist: f64,
+    /// Visited nodes, source first.
+    pub nodes: Vec<u32>,
+    /// Edge ids along the path (one fewer than nodes).
+    pub edges: Vec<u32>,
+}
+
+/// Single-source shortest path distances to every node.
+///
+/// Unreachable nodes have distance `f64::INFINITY`.
+pub fn dijkstra_all<G: WeightedGraph + ?Sized>(g: &G, source: u32) -> Vec<f64> {
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut heap = BinaryHeap::new();
+    dist[source as usize] = 0.0;
+    heap.push(HeapEntry { dist: 0.0, node: source });
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        g.for_each_neighbor(u, &mut |v, _e, w| {
+            let nd = d + w;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(HeapEntry { dist: nd, node: v });
+            }
+        });
+    }
+    dist
+}
+
+/// Full shortest-path tree from `source`: per-node distance and the
+/// `(parent node, edge id)` used to reach it.
+///
+/// One tree amortizes path reconstruction over many destinations — this is
+/// how trajectory corpora with shared origins are expanded cheaply.
+pub fn dijkstra_tree<G: WeightedGraph + ?Sized>(
+    g: &G,
+    source: u32,
+) -> (Vec<f64>, Vec<Option<(u32, u32)>>) {
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<(u32, u32)>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[source as usize] = 0.0;
+    heap.push(HeapEntry { dist: 0.0, node: source });
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        g.for_each_neighbor(u, &mut |v, e, w| {
+            let nd = d + w;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                parent[v as usize] = Some((u, e));
+                heap.push(HeapEntry { dist: nd, node: v });
+            }
+        });
+    }
+    (dist, parent)
+}
+
+/// Reconstructs the path `source → target` from a [`dijkstra_tree`] parent
+/// array; `None` if `target` was unreachable.
+pub fn reconstruct_path(
+    source: u32,
+    target: u32,
+    parent: &[Option<(u32, u32)>],
+) -> Option<(Vec<u32>, Vec<u32>)> {
+    if source == target {
+        return Some((vec![source], vec![]));
+    }
+    parent[target as usize]?;
+    let mut nodes = vec![target];
+    let mut edges = Vec::new();
+    let mut cur = target;
+    while cur != source {
+        let (p, e) = parent[cur as usize]?;
+        edges.push(e);
+        nodes.push(p);
+        cur = p;
+    }
+    nodes.reverse();
+    edges.reverse();
+    Some((nodes, edges))
+}
+
+/// Single-source Dijkstra truncated at `cutoff`: every node whose shortest
+/// distance from `source` is ≤ `cutoff`, as `(node, distance)` pairs in
+/// ascending distance order.
+///
+/// Uses a sparse distance map, so the cost depends on the number of settled
+/// nodes rather than the graph size — this is the workhorse for HMM
+/// map-matching transitions, where thousands of small neighborhoods are
+/// explored per trace.
+///
+/// ```
+/// use ct_graph::{dijkstra_bounded, RoadEdge, RoadNetwork};
+/// use ct_spatial::Point;
+/// let road = RoadNetwork::new(
+///     (0..4).map(|i| Point::new(i as f64 * 100.0, 0.0)).collect(),
+///     (0..3).map(|i| RoadEdge { u: i, v: i + 1, length: 100.0 }).collect(),
+/// );
+/// let near = dijkstra_bounded(&road, 0, 150.0);
+/// assert_eq!(near, vec![(0, 0.0), (1, 100.0)]); // node 2 is 200 m away
+/// ```
+pub fn dijkstra_bounded<G: WeightedGraph + ?Sized>(
+    g: &G,
+    source: u32,
+    cutoff: f64,
+) -> Vec<(u32, f64)> {
+    let mut dist: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+    let mut settled = Vec::new();
+    let mut heap = BinaryHeap::new();
+    dist.insert(source, 0.0);
+    heap.push(HeapEntry { dist: 0.0, node: source });
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if d > *dist.get(&u).unwrap_or(&f64::INFINITY) {
+            continue;
+        }
+        settled.push((u, d));
+        g.for_each_neighbor(u, &mut |v, _e, w| {
+            let nd = d + w;
+            if nd <= cutoff && nd < *dist.get(&v).unwrap_or(&f64::INFINITY) {
+                dist.insert(v, nd);
+                heap.push(HeapEntry { dist: nd, node: v });
+            }
+        });
+    }
+    settled
+}
+
+/// Shortest path from `source` to `target` with early exit; `None` if
+/// unreachable.
+pub fn shortest_path<G: WeightedGraph + ?Sized>(
+    g: &G,
+    source: u32,
+    target: u32,
+) -> Option<PathResult> {
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    // parent[v] = (previous node, edge id used to reach v)
+    let mut parent: Vec<Option<(u32, u32)>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[source as usize] = 0.0;
+    heap.push(HeapEntry { dist: 0.0, node: source });
+
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if u == target {
+            break;
+        }
+        if d > dist[u as usize] {
+            continue;
+        }
+        g.for_each_neighbor(u, &mut |v, e, w| {
+            let nd = d + w;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                parent[v as usize] = Some((u, e));
+                heap.push(HeapEntry { dist: nd, node: v });
+            }
+        });
+    }
+
+    if source != target && parent[target as usize].is_none() {
+        return None;
+    }
+    let mut nodes = vec![target];
+    let mut edges = Vec::new();
+    let mut cur = target;
+    while cur != source {
+        let (p, e) = parent[cur as usize].expect("parent chain is complete");
+        edges.push(e);
+        nodes.push(p);
+        cur = p;
+    }
+    nodes.reverse();
+    edges.reverse();
+    Some(PathResult { dist: dist[target as usize], nodes, edges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::road::RoadEdge;
+    use ct_spatial::Point;
+
+    fn diamond() -> RoadNetwork {
+        // 0 → 1 → 3 costs 1 + 1; 0 → 2 → 3 costs 5 + 5; direct 0 → 3 costs 2.5.
+        let positions = (0..4).map(|i| Point::new(i as f64, 0.0)).collect();
+        let edges = vec![
+            RoadEdge { u: 0, v: 1, length: 1.0 },
+            RoadEdge { u: 1, v: 3, length: 1.0 },
+            RoadEdge { u: 0, v: 2, length: 5.0 },
+            RoadEdge { u: 2, v: 3, length: 5.0 },
+            RoadEdge { u: 0, v: 3, length: 2.5 },
+        ];
+        RoadNetwork::new(positions, edges)
+    }
+
+    #[test]
+    fn picks_cheapest_path() {
+        let g = diamond();
+        let p = shortest_path(&g, 0, 3).unwrap();
+        assert_eq!(p.dist, 2.0);
+        assert_eq!(p.nodes, vec![0, 1, 3]);
+        assert_eq!(p.edges.len(), 2);
+    }
+
+    #[test]
+    fn source_equals_target() {
+        let g = diamond();
+        let p = shortest_path(&g, 2, 2).unwrap();
+        assert_eq!(p.dist, 0.0);
+        assert_eq!(p.nodes, vec![2]);
+        assert!(p.edges.is_empty());
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let positions = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(2.0, 0.0)];
+        let g = RoadNetwork::new(positions, vec![RoadEdge { u: 0, v: 1, length: 1.0 }]);
+        assert!(shortest_path(&g, 0, 2).is_none());
+        let d = dijkstra_all(&g, 0);
+        assert_eq!(d[2], f64::INFINITY);
+    }
+
+    #[test]
+    fn all_distances_match_point_queries() {
+        let g = diamond();
+        let d = dijkstra_all(&g, 0);
+        for t in 1..4u32 {
+            let p = shortest_path(&g, 0, t).unwrap();
+            assert!((p.dist - d[t as usize]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matches_bellman_ford_on_random_graph() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let n = 40usize;
+        let mut edges = Vec::new();
+        // Spanning chain keeps it connected.
+        for i in 0..n as u32 - 1 {
+            edges.push(RoadEdge { u: i, v: i + 1, length: rng.gen_range(1.0..10.0) });
+        }
+        for _ in 0..60 {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            if u != v {
+                edges.push(RoadEdge { u, v, length: rng.gen_range(1.0..10.0) });
+            }
+        }
+        let positions = (0..n).map(|i| Point::new(i as f64, 0.0)).collect();
+        let g = RoadNetwork::new(positions, edges.clone());
+
+        // Bellman–Ford reference.
+        let mut bf = vec![f64::INFINITY; n];
+        bf[0] = 0.0;
+        for _ in 0..n {
+            for e in &edges {
+                if bf[e.u as usize] + e.length < bf[e.v as usize] {
+                    bf[e.v as usize] = bf[e.u as usize] + e.length;
+                }
+                if bf[e.v as usize] + e.length < bf[e.u as usize] {
+                    bf[e.u as usize] = bf[e.v as usize] + e.length;
+                }
+            }
+        }
+        let d = dijkstra_all(&g, 0);
+        for i in 0..n {
+            assert!((d[i] - bf[i]).abs() < 1e-9, "node {i}: {} vs {}", d[i], bf[i]);
+        }
+    }
+
+    #[test]
+    fn bounded_settles_exactly_the_nodes_within_cutoff() {
+        let g = diamond();
+        let all = dijkstra_all(&g, 0);
+        for cutoff in [0.0, 1.0, 2.0, 2.5, 100.0] {
+            let settled = dijkstra_bounded(&g, 0, cutoff);
+            let expect: Vec<u32> = (0..4u32).filter(|&v| all[v as usize] <= cutoff).collect();
+            let mut got: Vec<u32> = settled.iter().map(|&(v, _)| v).collect();
+            got.sort_unstable();
+            assert_eq!(got, expect, "cutoff {cutoff}");
+            for &(v, d) in &settled {
+                assert!((d - all[v as usize]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_is_sorted_by_distance() {
+        let g = diamond();
+        let settled = dijkstra_bounded(&g, 0, 10.0);
+        for w in settled.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn tree_reconstruction_matches_point_queries() {
+        let g = diamond();
+        let (dist, parent) = dijkstra_tree(&g, 0);
+        for t in 0..4u32 {
+            let p = shortest_path(&g, 0, t).unwrap();
+            assert!((p.dist - dist[t as usize]).abs() < 1e-12);
+            let (nodes, edges) = reconstruct_path(0, t, &parent).unwrap();
+            assert_eq!(nodes, p.nodes);
+            assert_eq!(edges, p.edges);
+        }
+    }
+
+    #[test]
+    fn tree_unreachable_reconstruction_is_none() {
+        let positions = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        let g = RoadNetwork::new(positions, vec![]);
+        let (_, parent) = dijkstra_tree(&g, 0);
+        assert!(reconstruct_path(0, 1, &parent).is_none());
+    }
+
+    #[test]
+    fn path_edges_connect_nodes() {
+        let g = diamond();
+        let p = shortest_path(&g, 2, 1).unwrap();
+        for (i, &e) in p.edges.iter().enumerate() {
+            let edge = g.edge(e);
+            let (a, b) = (p.nodes[i], p.nodes[i + 1]);
+            assert!(
+                (edge.u == a && edge.v == b) || (edge.u == b && edge.v == a),
+                "edge {e} does not connect {a}-{b}"
+            );
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Minimum-transfer search over the stop–route incidence structure.
+//!
+//! The paper's Table 6 reports how many transfers the new route saves for
+//! commuters along it. A trip needs `b − 1` transfers if it boards `b`
+//! routes; we find the minimum by BFS over *routes*, where two routes are
+//! adjacent when they share a stop.
+
+use std::collections::VecDeque;
+
+use crate::transit::TransitNetwork;
+
+/// Precomputed incidence structure for repeated transfer queries.
+#[derive(Debug, Clone)]
+pub struct TransferIndex {
+    /// stop id → route ids through it.
+    routes_at_stop: Vec<Vec<u32>>,
+    /// route id → route ids sharing at least one stop.
+    route_adj: Vec<Vec<u32>>,
+    num_routes: usize,
+}
+
+impl TransferIndex {
+    /// Builds the index from a transit network.
+    pub fn new(net: &TransitNetwork) -> Self {
+        let routes_at_stop = net.routes_per_stop();
+        let r = net.num_routes();
+        let mut route_adj: Vec<Vec<u32>> = vec![Vec::new(); r];
+        for routes in &routes_at_stop {
+            for (i, &a) in routes.iter().enumerate() {
+                for &b in &routes[i + 1..] {
+                    route_adj[a as usize].push(b);
+                    route_adj[b as usize].push(a);
+                }
+            }
+        }
+        for v in &mut route_adj {
+            v.sort_unstable();
+            v.dedup();
+        }
+        TransferIndex { routes_at_stop, route_adj, num_routes: r }
+    }
+
+    /// Route ids through `stop`.
+    pub fn routes_at(&self, stop: u32) -> &[u32] {
+        &self.routes_at_stop[stop as usize]
+    }
+
+    /// Minimum number of transfers for a trip from `from` to `to`, or
+    /// `None` if no route sequence connects them.
+    ///
+    /// Zero means one direct route serves both stops.
+    pub fn min_transfers(&self, from: u32, to: u32) -> Option<u32> {
+        if from == to {
+            return Some(0);
+        }
+        let start = self.routes_at(from);
+        if start.is_empty() || self.routes_at(to).is_empty() {
+            return None;
+        }
+        let mut target = vec![false; self.num_routes];
+        for &r in self.routes_at(to) {
+            target[r as usize] = true;
+        }
+        let mut seen = vec![false; self.num_routes];
+        let mut q = VecDeque::new();
+        for &r in start {
+            if target[r as usize] {
+                return Some(0);
+            }
+            seen[r as usize] = true;
+            q.push_back((r, 0u32));
+        }
+        while let Some((r, t)) = q.pop_front() {
+            for &nr in &self.route_adj[r as usize] {
+                if seen[nr as usize] {
+                    continue;
+                }
+                if target[nr as usize] {
+                    return Some(t + 1);
+                }
+                seen[nr as usize] = true;
+                q.push_back((nr, t + 1));
+            }
+        }
+        None
+    }
+}
+
+/// One-shot convenience wrapper around [`TransferIndex::min_transfers`].
+pub fn min_transfers(net: &TransitNetwork, from: u32, to: u32) -> Option<u32> {
+    TransferIndex::new(net).min_transfers(from, to)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transit::TransitNetworkBuilder;
+    use ct_spatial::Point;
+
+    /// Three routes in a chain: A: 0-1-2, B: 2-3-4, C: 4-5-6; plus an
+    /// isolated route D: 7-8.
+    fn chain() -> TransitNetwork {
+        let mut b = TransitNetworkBuilder::new();
+        for i in 0..9 {
+            b.add_stop(i, Point::new(i as f64 * 100.0, 0.0));
+        }
+        let geom = |_: u32, _: u32| (100.0, vec![]);
+        b.add_route(&[0, 1, 2], geom);
+        b.add_route(&[2, 3, 4], geom);
+        b.add_route(&[4, 5, 6], geom);
+        b.add_route(&[7, 8], geom);
+        b.build()
+    }
+
+    #[test]
+    fn direct_trip_needs_zero_transfers() {
+        let net = chain();
+        assert_eq!(min_transfers(&net, 0, 2), Some(0));
+        assert_eq!(min_transfers(&net, 1, 1), Some(0));
+    }
+
+    #[test]
+    fn one_and_two_transfers() {
+        let net = chain();
+        assert_eq!(min_transfers(&net, 0, 3), Some(1));
+        assert_eq!(min_transfers(&net, 0, 6), Some(2));
+        // Boarding at the shared stop 2 still reaches route B directly.
+        assert_eq!(min_transfers(&net, 2, 3), Some(0));
+    }
+
+    #[test]
+    fn disconnected_is_none() {
+        let net = chain();
+        assert_eq!(min_transfers(&net, 0, 7), None);
+    }
+
+    #[test]
+    fn index_reuse_matches_oneshot() {
+        let net = chain();
+        let idx = TransferIndex::new(&net);
+        for from in 0..7u32 {
+            for to in 0..7u32 {
+                assert_eq!(idx.min_transfers(from, to), min_transfers(&net, from, to));
+            }
+        }
+    }
+
+    #[test]
+    fn routes_at_shared_stop() {
+        let net = chain();
+        let idx = TransferIndex::new(&net);
+        assert_eq!(idx.routes_at(2), &[0, 1]);
+        assert_eq!(idx.routes_at(7), &[3]);
+    }
+}

@@ -1,0 +1,279 @@
+//! Chebyshev polynomial approximation of `e^A v`.
+//!
+//! The Lanczos method (§5.1, [`crate::lanczos`]) is the paper's engine for
+//! `e^A v`; Chebyshev expansion is the classic alternative in the
+//! trace-estimation literature (e.g. Ubaru–Saad, the paper's refs
+//! [54, 55]): expand `e^x` on `[−ρ, ρ]` (with `ρ ≥ ‖A‖₂`) in Chebyshev
+//! polynomials,
+//!
+//! ```text
+//! e^x ≈ I₀(ρ)·T₀(x/ρ) + 2·Σ_{k≥1} I_k(ρ)·T_k(x/ρ)
+//! ```
+//!
+//! where `I_k` is the modified Bessel function of the first kind, then
+//! evaluate with the three-term recurrence — one matvec per degree, no
+//! inner products and no reorthogonalization. The trade-off this module
+//! exists to measure (see the `expm` bench): Chebyshev's degree must grow
+//! with `ρ` while Lanczos adapts to the spectrum, but each Chebyshev step
+//! is cheaper and embarrassingly stable.
+
+use crate::error::LinalgError;
+use crate::sparse::CsrMatrix;
+
+/// Modified Bessel functions of the first kind `I_0(x) … I_order(x)` via
+/// Miller's downward recurrence (stable for all the orders used here).
+///
+/// # Panics
+/// Panics if `x` is negative or not finite.
+pub fn bessel_i(order: usize, x: f64) -> Vec<f64> {
+    assert!(x.is_finite() && x >= 0.0, "bessel_i requires finite x ≥ 0, got {x}");
+    if x == 0.0 {
+        let mut out = vec![0.0; order + 1];
+        out[0] = 1.0;
+        return out;
+    }
+    // Start the downward recurrence well above the requested order; terms
+    // beyond it are negligible after normalization.
+    let start = order + 2 + (x.ceil() as usize) + 16;
+    let mut high = 0.0_f64; // I_{k+2}, unnormalized
+    let mut cur = 1e-280_f64; // I_{k+1} seed; normalized away below
+    let mut norm = 0.0_f64; // accumulates I₀ + 2 Σ_{k≥1} I_k, same scale
+    let mut out = vec![0.0; order + 1];
+    for k in (0..start).rev() {
+        let low = high + 2.0 * (k as f64 + 1.0) / x * cur; // I_k
+        high = cur;
+        cur = low;
+        norm += if k == 0 { low } else { 2.0 * low };
+        if k <= order {
+            out[k] = low;
+        }
+        // Rescale everything in lockstep to dodge overflow.
+        if cur > 1e250 {
+            let s = 1e-250;
+            cur *= s;
+            high *= s;
+            norm *= s;
+            for v in &mut out {
+                *v *= s;
+            }
+        }
+    }
+    // e^x = I₀(x) + 2 Σ_{k≥1} I_k(x) fixes the overall scale.
+    let factor = x.exp() / norm;
+    for v in &mut out {
+        *v *= factor;
+    }
+    out
+}
+
+/// Approximates `e^A v` with a degree-`degree` Chebyshev expansion.
+///
+/// `spectral_bound` must satisfy `spectral_bound ≥ ‖A‖₂` (estimate it with
+/// [`crate::spectral_norm`]); a loose bound costs accuracy at fixed degree
+/// but never diverges. Convergence is superexponential once
+/// `degree ≳ spectral_bound`.
+///
+/// ```
+/// use ct_linalg::{chebyshev_expv, CsrMatrix};
+/// // Single edge: e^A e₀ = (cosh 1, sinh 1) on the edge's two nodes.
+/// let a = CsrMatrix::from_undirected_edges(2, &[(0, 1)]);
+/// let col = chebyshev_expv(&a, &[1.0, 0.0], 20, 1.0).unwrap();
+/// assert!((col[0] - 1.0f64.cosh()).abs() < 1e-12);
+/// assert!((col[1] - 1.0f64.sinh()).abs() < 1e-12);
+/// ```
+pub fn chebyshev_expv(
+    a: &CsrMatrix,
+    v: &[f64],
+    degree: usize,
+    spectral_bound: f64,
+) -> Result<Vec<f64>, LinalgError> {
+    let n = a.n();
+    if n == 0 || v.is_empty() {
+        return Err(LinalgError::EmptyInput("matrix or vector"));
+    }
+    if v.len() != n {
+        return Err(LinalgError::DimensionMismatch { expected: n, actual: v.len() });
+    }
+    if !(spectral_bound.is_finite() && spectral_bound > 0.0) {
+        return Err(LinalgError::EmptyInput("spectral bound must be positive and finite"));
+    }
+    let rho = spectral_bound;
+    let coef = bessel_i(degree, rho);
+
+    // Three-term recurrence on à = A/ρ:  w_{k+1} = 2·Ã·w_k − w_{k−1}.
+    let mut w_prev: Vec<f64> = v.to_vec(); // T₀(Ã)v = v
+    let mut out: Vec<f64> = v.iter().map(|&x| coef[0] * x).collect();
+    if degree == 0 {
+        return Ok(out);
+    }
+    let mut w_cur = a.matvec_alloc(v); // T₁(Ã)v = Ã v
+    for x in &mut w_cur {
+        *x /= rho;
+    }
+    for (o, &w) in out.iter_mut().zip(&w_cur) {
+        *o += 2.0 * coef[1] * w;
+    }
+    let mut scratch = vec![0.0; n];
+    for k in 2..=degree {
+        // w_next = 2 Ã w_cur − w_prev, built in `scratch`.
+        a.matvec(&w_cur, &mut scratch);
+        for i in 0..n {
+            scratch[i] = 2.0 * scratch[i] / rho - w_prev[i];
+        }
+        std::mem::swap(&mut w_prev, &mut w_cur);
+        std::mem::swap(&mut w_cur, &mut scratch);
+        let c = 2.0 * coef[k];
+        for (o, &w) in out.iter_mut().zip(&w_cur) {
+            *o += c * w;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eig::full_symmetric_eigenvalues;
+    use crate::lanczos::lanczos_expv;
+
+    /// Path graph P_n as CSR adjacency.
+    fn path_graph(n: usize) -> CsrMatrix {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        CsrMatrix::from_undirected_edges(n, &edges)
+    }
+
+    #[test]
+    fn bessel_matches_reference_values() {
+        // Abramowitz & Stegun 9.8 reference values.
+        let i1 = bessel_i(2, 1.0);
+        assert!((i1[0] - 1.266_065_877_8).abs() < 1e-9, "I0(1) = {}", i1[0]);
+        assert!((i1[1] - 0.565_159_103_99).abs() < 1e-9, "I1(1) = {}", i1[1]);
+        assert!((i1[2] - 0.135_747_669_8).abs() < 1e-9, "I2(1) = {}", i1[2]);
+        let i2 = bessel_i(1, 2.0);
+        assert!((i2[0] - 2.279_585_302_3).abs() < 1e-8, "I0(2) = {}", i2[0]);
+        assert!((i2[1] - 1.590_636_854_6).abs() < 1e-8, "I1(2) = {}", i2[1]);
+    }
+
+    #[test]
+    fn bessel_sum_identity() {
+        // e^x = I₀ + 2 Σ I_k; with enough orders the tail is negligible.
+        for &x in &[0.5, 2.0, 5.0] {
+            let i = bessel_i(30, x);
+            let sum = i[0] + 2.0 * i[1..].iter().sum::<f64>();
+            assert!((sum - x.exp()).abs() < 1e-9 * x.exp(), "x = {x}: {sum}");
+        }
+    }
+
+    #[test]
+    fn bessel_at_zero() {
+        let i = bessel_i(3, 0.0);
+        assert_eq!(i, vec![1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn expv_matches_exact_on_a_path() {
+        // P_3 with A = [[0,1,0],[1,0,1],[0,1,0]]: e^A computable from its
+        // eigenvalues ±√2, 0 — check against chebyshev on basis vectors.
+        let a = path_graph(3);
+        let eigs = full_symmetric_eigenvalues(a.to_dense()).unwrap();
+        let tr_exact: f64 = eigs.iter().map(|l| l.exp()).sum();
+        let mut tr_cheb = 0.0;
+        for s in 0..3 {
+            let mut e = vec![0.0; 3];
+            e[s] = 1.0;
+            let col = chebyshev_expv(&a, &e, 24, 1.5).unwrap();
+            tr_cheb += col[s];
+        }
+        assert!((tr_cheb - tr_exact).abs() < 1e-10, "{tr_cheb} vs {tr_exact}");
+    }
+
+    #[test]
+    fn expv_agrees_with_lanczos_on_random_graph() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let n = 40;
+        let mut edges = Vec::new();
+        for i in 0..n as u32 - 1 {
+            edges.push((i, i + 1));
+        }
+        for _ in 0..50 {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            if u != v {
+                edges.push((u.min(v), u.max(v)));
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        let a = CsrMatrix::from_undirected_edges(n, &edges);
+        let v: Vec<f64> = (0..n).map(|i| ((i * 37) % 11) as f64 / 11.0 - 0.5).collect();
+        let rho = {
+            let eigs = full_symmetric_eigenvalues(a.to_dense()).unwrap();
+            eigs.iter().fold(0.0f64, |m, &l| m.max(l.abs()))
+        };
+        let cheb = chebyshev_expv(&a, &v, (3.0 * rho) as usize + 20, rho * 1.01).unwrap();
+        let lan = lanczos_expv(&a, &v, 30).unwrap();
+        let diff: f64 = cheb.iter().zip(&lan).map(|(c, l)| (c - l) * (c - l)).sum::<f64>().sqrt();
+        let norm: f64 = lan.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!(diff < 1e-8 * norm, "chebyshev vs lanczos: rel {}", diff / norm);
+    }
+
+    #[test]
+    fn accuracy_improves_with_degree() {
+        let a = path_graph(20);
+        let v = vec![1.0; 20];
+        let reference = lanczos_expv(&a, &v, 20).unwrap();
+        let err = |deg: usize| -> f64 {
+            let c = chebyshev_expv(&a, &v, deg, 2.0).unwrap();
+            c.iter().zip(&reference).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+        };
+        let (e4, e8, e16) = (err(4), err(8), err(16));
+        assert!(e8 < e4, "degree 8 ({e8}) not better than 4 ({e4})");
+        assert!(e16 < e8, "degree 16 ({e16}) not better than 8 ({e8})");
+        assert!(e16 < 1e-10);
+    }
+
+    #[test]
+    fn loose_spectral_bound_still_converges() {
+        let a = path_graph(10);
+        let v = vec![1.0; 10];
+        let reference = lanczos_expv(&a, &v, 10).unwrap();
+        // ‖A‖₂ < 2 but we hand it 8: more degree needed, same answer.
+        let c = chebyshev_expv(&a, &v, 60, 8.0).unwrap();
+        let err = c.iter().zip(&reference).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-9, "err {err}");
+    }
+
+    #[test]
+    fn degree_zero_scales_by_i0() {
+        let a = path_graph(4);
+        let v = vec![1.0, 2.0, 3.0, 4.0];
+        let c = chebyshev_expv(&a, &v, 0, 2.0).unwrap();
+        let i0 = bessel_i(0, 2.0)[0];
+        for (ci, vi) in c.iter().zip(&v) {
+            assert!((ci - i0 * vi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_is_an_error() {
+        let a = path_graph(4);
+        assert!(matches!(
+            chebyshev_expv(&a, &[1.0; 3], 8, 2.0),
+            Err(LinalgError::DimensionMismatch { expected: 4, actual: 3 })
+        ));
+    }
+
+    #[test]
+    fn bad_spectral_bound_is_an_error() {
+        let a = path_graph(4);
+        assert!(chebyshev_expv(&a, &[1.0; 4], 8, 0.0).is_err());
+        assert!(chebyshev_expv(&a, &[1.0; 4], 8, f64::NAN).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "bessel_i requires finite x")]
+    fn negative_bessel_argument_panics() {
+        bessel_i(3, -1.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Full symmetric eigensolvers.
+//!
+//! [`full_symmetric_eigenvalues`] (Householder + QL) is the exact baseline
+//! the paper calls "Eigen" in Table 2; [`jacobi_eigenvalues`] is an
+//! independent O(n³) solver used to cross-check it in tests.
+
+use crate::dense::DenseMatrix;
+use crate::error::LinalgError;
+use crate::householder::householder_tridiagonalize;
+use crate::sparse::CsrMatrix;
+use crate::tridiag::tridiag_eigenvalues;
+
+/// All eigenvalues of a dense symmetric matrix, sorted ascending.
+///
+/// The input is consumed (the reduction works in place on a copy would cost
+/// `O(n²)` extra memory for no benefit at the call sites we have).
+pub fn full_symmetric_eigenvalues(mut a: DenseMatrix) -> Result<Vec<f64>, LinalgError> {
+    if a.n() == 0 {
+        return Err(LinalgError::EmptyInput("matrix"));
+    }
+    let (d, e) = householder_tridiagonalize(&mut a);
+    tridiag_eigenvalues(&d, &e)
+}
+
+/// All eigenvalues of a sparse symmetric matrix via densification.
+///
+/// Only sensible for moderate `n`; this is the *slow exact path* that §5 of
+/// the paper replaces with stochastic Lanczos quadrature.
+pub fn sparse_symmetric_eigenvalues(a: &CsrMatrix) -> Result<Vec<f64>, LinalgError> {
+    full_symmetric_eigenvalues(a.to_dense())
+}
+
+/// Cyclic Jacobi eigenvalue iteration; independent cross-check for
+/// [`full_symmetric_eigenvalues`] on small matrices.
+pub fn jacobi_eigenvalues(mut a: DenseMatrix, max_sweeps: usize) -> Result<Vec<f64>, LinalgError> {
+    let n = a.n();
+    if n == 0 {
+        return Err(LinalgError::EmptyInput("matrix"));
+    }
+    if n == 1 {
+        return Ok(vec![a.get(0, 0)]);
+    }
+    let off = |m: &DenseMatrix| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                s += m.get(i, j) * m.get(i, j);
+            }
+        }
+        s
+    };
+    let frob0: f64 = {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                s += a.get(i, j) * a.get(i, j);
+            }
+        }
+        s.sqrt().max(1.0)
+    };
+    let tol = (f64::EPSILON * frob0).powi(2);
+
+    for _ in 0..max_sweeps {
+        // Converged when the off-diagonal mass is negligible *or* a full
+        // sweep performs no rotations (every entry is below the skip
+        // threshold — the off-based test alone can stall just above it).
+        if off(&a) <= tol {
+            let mut d: Vec<f64> = (0..n).map(|i| a.get(i, i)).collect();
+            d.sort_by(|x, y| x.partial_cmp(y).expect("finite eigenvalues"));
+            return Ok(d);
+        }
+        let mut rotated = false;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a.get(p, q);
+                if apq.abs() <= f64::EPSILON * frob0 {
+                    continue;
+                }
+                rotated = true;
+                let theta = (a.get(q, q) - a.get(p, p)) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply the rotation J(p, q, θ)ᵀ A J(p, q, θ).
+                for k in 0..n {
+                    let akp = a.get(k, p);
+                    let akq = a.get(k, q);
+                    a.set(k, p, c * akp - s * akq);
+                    a.set(k, q, s * akp + c * akq);
+                }
+                for k in 0..n {
+                    let apk = a.get(p, k);
+                    let aqk = a.get(q, k);
+                    a.set(p, k, c * apk - s * aqk);
+                    a.set(q, k, s * apk + c * aqk);
+                }
+            }
+        }
+        if !rotated {
+            let mut d: Vec<f64> = (0..n).map(|i| a.get(i, i)).collect();
+            d.sort_by(|x, y| x.partial_cmp(y).expect("finite eigenvalues"));
+            return Ok(d);
+        }
+    }
+    Err(LinalgError::NonConvergence { routine: "jacobi", max_iters: max_sweeps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_symmetric(n: usize, seed: u64) -> DenseMatrix {
+        // Tiny xorshift so this test has no RNG dependency.
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        let mut a = DenseMatrix::zeros(n);
+        for i in 0..n {
+            for j in i..n {
+                let v = next();
+                a.set(i, j, v);
+                a.set(j, i, v);
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn householder_ql_matches_jacobi() {
+        for seed in [1u64, 17, 99] {
+            let a = random_symmetric(8, seed);
+            let e1 = full_symmetric_eigenvalues(a.clone()).unwrap();
+            let e2 = jacobi_eigenvalues(a, 100).unwrap();
+            for (x, y) in e1.iter().zip(&e2) {
+                assert!((x - y).abs() < 1e-9, "seed {seed}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_graph_eigenvalues() {
+        // C_n adjacency eigenvalues are 2 cos(2πk/n).
+        let n = 7;
+        let edges: Vec<(u32, u32)> =
+            (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        let a = CsrMatrix::from_undirected_edges(n, &edges);
+        let got = sparse_symmetric_eigenvalues(&a).unwrap();
+        let mut want: Vec<f64> = (0..n)
+            .map(|k| 2.0 * (2.0 * std::f64::consts::PI * k as f64 / n as f64).cos())
+            .collect();
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-10, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn complete_graph_eigenvalues() {
+        // K_n has eigenvalues n−1 (once) and −1 (n−1 times).
+        let n = 6usize;
+        let mut edges = Vec::new();
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                edges.push((i, j));
+            }
+        }
+        let a = CsrMatrix::from_undirected_edges(n, &edges);
+        let got = sparse_symmetric_eigenvalues(&a).unwrap();
+        assert!((got[n - 1] - (n as f64 - 1.0)).abs() < 1e-10);
+        for v in &got[..n - 1] {
+            assert!((v + 1.0).abs() < 1e-10, "expected -1, got {v}");
+        }
+    }
+
+    #[test]
+    fn star_graph_eigenvalues() {
+        // Star K_{1,m} has eigenvalues ±√m and 0 (m−1 times).
+        let m = 5usize;
+        let edges: Vec<(u32, u32)> = (1..=m as u32).map(|i| (0, i)).collect();
+        let a = CsrMatrix::from_undirected_edges(m + 1, &edges);
+        let got = sparse_symmetric_eigenvalues(&a).unwrap();
+        let root = (m as f64).sqrt();
+        assert!((got[0] + root).abs() < 1e-10);
+        assert!((got[m] - root).abs() < 1e-10);
+        for v in &got[1..m] {
+            assert!(v.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn empty_matrix_is_error() {
+        assert!(full_symmetric_eigenvalues(DenseMatrix::zeros(0)).is_err());
+        assert!(jacobi_eigenvalues(DenseMatrix::zeros(0), 10).is_err());
+    }
+
+    #[test]
+    fn eigenvalue_sum_equals_trace_larger() {
+        let a = random_symmetric(20, 5);
+        let tr = a.trace();
+        let eigs = full_symmetric_eigenvalues(a).unwrap();
+        let sum: f64 = eigs.iter().sum();
+        assert!((tr - sum).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,147 @@
+//! Householder reduction of a dense symmetric matrix to tridiagonal form.
+//!
+//! The eigenvalues-only variant (no transformation accumulation), which is
+//! all the exact natural-connectivity baseline needs: reduce `A` to
+//! tridiagonal `T` in `O(n³)`, then QL on `T` in `O(n²)`.
+
+use crate::dense::DenseMatrix;
+
+/// Reduces symmetric `a` (destroyed in place) to tridiagonal form.
+///
+/// Returns `(d, e)` where `d` is the diagonal and `e[i]` couples rows `i`
+/// and `i + 1` (length `n`, last entry zero) — the convention expected by
+/// [`crate::tridiag::tridiag_eigenvalues`].
+pub fn householder_tridiagonalize(a: &mut DenseMatrix) -> (Vec<f64>, Vec<f64>) {
+    let n = a.n();
+    let mut d = vec![0.0; n];
+    // NR convention during the reduction: e_nr[i] couples rows i-1 and i.
+    let mut e_nr = vec![0.0; n];
+
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0;
+        if l > 0 {
+            let mut scale = 0.0;
+            for k in 0..=l {
+                scale += a.get(i, k).abs();
+            }
+            if scale == 0.0 {
+                e_nr[i] = a.get(i, l);
+            } else {
+                for k in 0..=l {
+                    let v = a.get(i, k) / scale;
+                    a.set(i, k, v);
+                    h += v * v;
+                }
+                let mut f = a.get(i, l);
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e_nr[i] = scale * g;
+                h -= f * g;
+                a.set(i, l, f - g);
+                f = 0.0;
+                for j in 0..=l {
+                    let mut g = 0.0;
+                    for k in 0..=j {
+                        g += a.get(j, k) * a.get(i, k);
+                    }
+                    for k in (j + 1)..=l {
+                        g += a.get(k, j) * a.get(i, k);
+                    }
+                    e_nr[j] = g / h;
+                    f += e_nr[j] * a.get(i, j);
+                }
+                let hh = f / (h + h);
+                for j in 0..=l {
+                    let f = a.get(i, j);
+                    let g = e_nr[j] - hh * f;
+                    e_nr[j] = g;
+                    for k in 0..=j {
+                        let v = a.get(j, k) - (f * e_nr[k] + g * a.get(i, k));
+                        a.set(j, k, v);
+                    }
+                }
+            }
+        } else {
+            e_nr[i] = a.get(i, l);
+        }
+        d[i] = h;
+    }
+    e_nr[0] = 0.0;
+    for i in 0..n {
+        d[i] = a.get(i, i);
+    }
+
+    // Convert to the "e[i] couples i and i+1" convention.
+    let mut e = vec![0.0; n];
+    for i in 0..n.saturating_sub(1) {
+        e[i] = e_nr[i + 1];
+    }
+    (d, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tridiag::tridiag_eigenvalues;
+
+    #[test]
+    fn already_tridiagonal_is_fixed_point_up_to_sign() {
+        // Eigenvalues must be preserved even if signs of e flip.
+        let mut a = DenseMatrix::zeros(4);
+        for i in 0..4 {
+            a.set(i, i, i as f64);
+        }
+        for i in 0..3 {
+            a.set(i, i + 1, 1.0);
+            a.set(i + 1, i, 1.0);
+        }
+        let reference = {
+            let d = vec![0.0, 1.0, 2.0, 3.0];
+            let e = vec![1.0, 1.0, 1.0];
+            tridiag_eigenvalues(&d, &e).unwrap()
+        };
+        let (d, e) = householder_tridiagonalize(&mut a);
+        let got = tridiag_eigenvalues(&d, &e).unwrap();
+        for (g, r) in got.iter().zip(&reference) {
+            assert!((g - r).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn preserves_trace() {
+        let mut a = DenseMatrix::zeros(5);
+        let vals = [
+            [2.0, 1.0, 0.5, 0.0, -1.0],
+            [1.0, 3.0, 0.2, 0.7, 0.0],
+            [0.5, 0.2, -1.0, 0.9, 0.3],
+            [0.0, 0.7, 0.9, 4.0, 1.1],
+            [-1.0, 0.0, 0.3, 1.1, 0.5],
+        ];
+        for i in 0..5 {
+            for j in 0..5 {
+                a.set(i, j, vals[i][j]);
+            }
+        }
+        let trace_before = a.trace();
+        let (d, _) = householder_tridiagonalize(&mut a);
+        let trace_after: f64 = d.iter().sum();
+        assert!((trace_before - trace_after).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_by_two_matches_closed_form() {
+        // [[a, b], [b, c]] has eigenvalues (a+c)/2 ± √(((a−c)/2)² + b²).
+        let (aa, bb, cc) = (1.0, 2.0, -3.0);
+        let mut m = DenseMatrix::zeros(2);
+        m.set(0, 0, aa);
+        m.set(0, 1, bb);
+        m.set(1, 0, bb);
+        m.set(1, 1, cc);
+        let (d, e) = householder_tridiagonalize(&mut m);
+        let eigs = tridiag_eigenvalues(&d, &e).unwrap();
+        let mid = (aa + cc) / 2.0;
+        let rad = (((aa - cc) / 2.0f64).powi(2) + bb * bb).sqrt();
+        assert!((eigs[0] - (mid - rad)).abs() < 1e-12);
+        assert!((eigs[1] - (mid + rad)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,277 @@
+//! The Lanczos method for matrix-exponential actions and quadratic forms.
+//!
+//! Given a symmetric sparse `A` and a start vector `v`, `t` Lanczos steps
+//! build an orthonormal basis `V_t` of the Krylov space and a tridiagonal
+//! `T_t = V_tᵀ A V_t`. Then (paper §5.1, refs \[45, 54\]):
+//!
+//! * `e^A v ≈ ‖v‖ · V_t · e^{T_t} e₁` — [`lanczos_expv`];
+//! * `vᵀ e^A v ≈ ‖v‖² · (e^{T_t})₁₁ = ‖v‖² Σ_j z₀ⱼ² e^{θⱼ}` — stochastic
+//!   Lanczos quadrature, [`slq_quadratic_form`], which never materializes the
+//!   basis and is the kernel under Hutchinson's trace estimator.
+//!
+//! Per Lemma 2 (a corollary of Musco et al. \[45\]), `t = O(‖A‖₂ + log 1/ε)`
+//! iterations suffice; transit networks have tiny spectral norms (≈ 5), so
+//! the paper's default `t = 10` is already in the high-accuracy regime.
+
+use crate::error::LinalgError;
+use crate::sparse::CsrMatrix;
+use crate::tridiag::{tridiag_eigen_first_row, tridiag_eigen_full};
+use crate::vector::{axpy, dot, norm, normalize, orthogonalize_against};
+
+/// Tolerance, relative to `‖A‖·‖v‖`, below which a Lanczos β signals an
+/// invariant subspace (happy breakdown).
+const BREAKDOWN_TOL: f64 = 1e-13;
+
+/// Output of the Lanczos tridiagonalization.
+#[derive(Debug, Clone)]
+pub struct LanczosDecomposition {
+    /// Diagonal of `T` (one entry per completed step).
+    pub alphas: Vec<f64>,
+    /// Subdiagonal of `T` (`alphas.len() - 1` entries).
+    pub betas: Vec<f64>,
+    /// Orthonormal basis vectors, if requested.
+    pub basis: Option<Vec<Vec<f64>>>,
+    /// Norm of the start vector.
+    pub initial_norm: f64,
+}
+
+impl LanczosDecomposition {
+    /// Number of completed Lanczos steps (dimension of `T`).
+    pub fn steps(&self) -> usize {
+        self.alphas.len()
+    }
+}
+
+/// Runs `steps` Lanczos iterations from `v0`.
+///
+/// `keep_basis` stores the orthonormal vectors (needed by [`lanczos_expv`]
+/// but not by quadrature); `full_reorth` re-orthogonalizes every new vector
+/// against the whole basis, which costs `O(t²n)` but keeps Ritz values clean
+/// for eigenvalue work (it forces `keep_basis` internally).
+pub fn lanczos_tridiagonalize(
+    a: &CsrMatrix,
+    v0: &[f64],
+    steps: usize,
+    keep_basis: bool,
+    full_reorth: bool,
+) -> Result<LanczosDecomposition, LinalgError> {
+    let n = a.n();
+    if n == 0 {
+        return Err(LinalgError::EmptyInput("matrix"));
+    }
+    if v0.len() != n {
+        return Err(LinalgError::DimensionMismatch { expected: n, actual: v0.len() });
+    }
+    let mut v = v0.to_vec();
+    let initial_norm = normalize(&mut v);
+    if initial_norm == 0.0 {
+        return Err(LinalgError::EmptyInput("start vector is zero"));
+    }
+
+    let store = keep_basis || full_reorth;
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(if store { steps } else { 0 });
+    let mut alphas = Vec::with_capacity(steps);
+    let mut betas = Vec::with_capacity(steps.saturating_sub(1));
+
+    let mut v_prev: Vec<f64> = vec![0.0; n];
+    let mut beta_prev = 0.0;
+    let mut w = vec![0.0; n];
+
+    for step in 0..steps.min(n) {
+        if store {
+            basis.push(v.clone());
+        }
+        a.matvec(&v, &mut w);
+        if beta_prev != 0.0 {
+            axpy(-beta_prev, &v_prev, &mut w);
+        }
+        let alpha = dot(&w, &v);
+        axpy(-alpha, &v, &mut w);
+        if full_reorth {
+            // Two passes of classical Gram–Schmidt ("twice is enough").
+            orthogonalize_against(&mut w, &basis);
+            orthogonalize_against(&mut w, &basis);
+        }
+        alphas.push(alpha);
+
+        let beta = norm(&w);
+        if step + 1 == steps.min(n) {
+            break;
+        }
+        if beta <= BREAKDOWN_TOL * (1.0 + alpha.abs()) {
+            break; // invariant subspace: T is exact for this Krylov space
+        }
+        betas.push(beta);
+        std::mem::swap(&mut v_prev, &mut v);
+        v.copy_from_slice(&w);
+        normalize(&mut v);
+        beta_prev = beta;
+    }
+
+    Ok(LanczosDecomposition {
+        alphas,
+        betas,
+        basis: store.then_some(basis),
+        initial_norm,
+    })
+}
+
+/// Approximates `e^A v` with `steps` Lanczos iterations.
+pub fn lanczos_expv(a: &CsrMatrix, v: &[f64], steps: usize) -> Result<Vec<f64>, LinalgError> {
+    let dec = lanczos_tridiagonalize(a, v, steps, true, false)?;
+    let t = dec.steps();
+    let basis = dec.basis.as_ref().expect("basis was requested");
+
+    // e^T e₁ = Z e^Θ Zᵀ e₁.
+    let (theta, z) = tridiag_eigen_full(&dec.alphas, &dec.betas)?;
+    // (Zᵀ e₁)_j = z₀ⱼ.
+    let mut coeff = vec![0.0; t];
+    for j in 0..t {
+        let zt_e1_j = z[j]; // row 0, column j
+        let scale = theta[j].exp() * zt_e1_j;
+        for i in 0..t {
+            coeff[i] += z[i * t + j] * scale;
+        }
+    }
+
+    let n = a.n();
+    let mut out = vec![0.0; n];
+    for (i, q) in basis.iter().enumerate() {
+        axpy(dec.initial_norm * coeff[i], q, &mut out);
+    }
+    Ok(out)
+}
+
+/// Approximates the quadratic form `vᵀ e^A v` by stochastic Lanczos
+/// quadrature with `steps` iterations (no basis stored).
+pub fn slq_quadratic_form(a: &CsrMatrix, v: &[f64], steps: usize) -> Result<f64, LinalgError> {
+    let dec = lanczos_tridiagonalize(a, v, steps, false, false)?;
+    let pairs = tridiag_eigen_first_row(&dec.alphas, &dec.betas)?;
+    let quad: f64 = pairs.iter().map(|&(t, w)| w * w * t.exp()).sum();
+    Ok(dec.initial_norm * dec.initial_norm * quad)
+}
+
+/// Column `j` of `e^A`, i.e. `e^A e_j`, via Lanczos from the unit vector.
+///
+/// For a graph adjacency this is the vector of *communicabilities* between
+/// `j` and every other vertex; entry `u` feeds the first-order trace
+/// perturbation `tr(e^{A+E}) − tr(e^A) ≈ 2(e^A)_{uv}` for a new edge
+/// `(u, v)` (the paper's §8 future-work direction).
+pub fn expm_column(a: &CsrMatrix, j: usize, steps: usize) -> Result<Vec<f64>, LinalgError> {
+    let n = a.n();
+    if j >= n {
+        return Err(LinalgError::DimensionMismatch { expected: n, actual: j });
+    }
+    let mut e_j = vec![0.0; n];
+    e_j[j] = 1.0;
+    lanczos_expv(a, &e_j, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::gaussian_vector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn petersen() -> CsrMatrix {
+        // The Petersen graph: 10 nodes, 15 edges, 3-regular.
+        let outer: Vec<(u32, u32)> = (0..5).map(|i| (i, (i + 1) % 5)).collect();
+        let inner: Vec<(u32, u32)> = (0..5).map(|i| (5 + i, 5 + (i + 2) % 5)).collect();
+        let spokes: Vec<(u32, u32)> = (0..5).map(|i| (i, i + 5)).collect();
+        let edges: Vec<(u32, u32)> = outer.into_iter().chain(inner).chain(spokes).collect();
+        CsrMatrix::from_undirected_edges(10, &edges)
+    }
+
+    #[test]
+    fn expv_matches_dense_expm() {
+        let a = petersen();
+        let exact = a.to_dense().expm();
+        let mut rng = StdRng::seed_from_u64(11);
+        let v = gaussian_vector(&mut rng, 10);
+        let want = exact.matvec_alloc(&v);
+        // Full-dimension Krylov space is exact.
+        let got = lanczos_expv(&a, &v, 10).unwrap();
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-8, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn expv_converges_quickly() {
+        let a = petersen();
+        let exact = a.to_dense().expm();
+        let mut rng = StdRng::seed_from_u64(5);
+        let v = gaussian_vector(&mut rng, 10);
+        let want = exact.matvec_alloc(&v);
+        let got = lanczos_expv(&a, &v, 8).unwrap();
+        let err: f64 = got
+            .iter()
+            .zip(&want)
+            .map(|(g, w)| (g - w) * (g - w))
+            .sum::<f64>()
+            .sqrt();
+        let scale: f64 = want.iter().map(|w| w * w).sum::<f64>().sqrt();
+        assert!(err / scale < 1e-4, "relative error {}", err / scale);
+    }
+
+    #[test]
+    fn slq_matches_exact_quadratic_form() {
+        let a = petersen();
+        let exact = a.to_dense().expm();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5 {
+            let v = gaussian_vector(&mut rng, 10);
+            let ev = exact.matvec_alloc(&v);
+            let want: f64 = v.iter().zip(&ev).map(|(a, b)| a * b).sum();
+            let got = slq_quadratic_form(&a, &v, 10).unwrap();
+            assert!((got - want).abs() / want.abs() < 1e-8, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn breakdown_on_eigenvector_start() {
+        // K_2: eigenvector (1, 1)/√2 with eigenvalue 1; e^A v = e¹ v.
+        let a = CsrMatrix::from_undirected_edges(2, &[(0, 1)]);
+        let v = vec![1.0, 1.0];
+        let got = lanczos_expv(&a, &v, 10).unwrap();
+        for (g, x) in got.iter().zip(&v) {
+            assert!((g - 1f64.exp() * x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_start_vector_is_error() {
+        let a = petersen();
+        assert!(lanczos_expv(&a, &[0.0; 10], 5).is_err());
+    }
+
+    #[test]
+    fn dimension_mismatch_is_error() {
+        let a = petersen();
+        assert!(slq_quadratic_form(&a, &[1.0, 2.0], 5).is_err());
+    }
+
+    #[test]
+    fn steps_capped_at_dimension() {
+        let a = CsrMatrix::from_undirected_edges(3, &[(0, 1), (1, 2)]);
+        let dec = lanczos_tridiagonalize(&a, &[1.0, 0.5, -0.2], 50, false, false).unwrap();
+        assert!(dec.steps() <= 3);
+    }
+
+    #[test]
+    fn reorthogonalized_basis_is_orthonormal() {
+        let a = petersen();
+        let mut rng = StdRng::seed_from_u64(19);
+        let v = gaussian_vector(&mut rng, 10);
+        let dec = lanczos_tridiagonalize(&a, &v, 10, true, true).unwrap();
+        let basis = dec.basis.unwrap();
+        for i in 0..basis.len() {
+            for j in 0..basis.len() {
+                let d = dot(&basis[i], &basis[j]);
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((d - expect).abs() < 1e-10, "basis ({i},{j}) dot {d}");
+            }
+        }
+    }
+}

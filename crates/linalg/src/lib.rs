@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+//! Numerical substrate for CT-Bus.
+//!
+//! The paper's efficiency story (§5) rests on estimating the *natural
+//! connectivity* `λ(G) = ln(tr(e^A)/n)` of a transit network's adjacency
+//! matrix `A` without ever forming `e^A`. This crate implements, from
+//! scratch, everything that pipeline needs:
+//!
+//! * sparse symmetric matrices in CSR form ([`sparse::CsrMatrix`]) and small
+//!   dense symmetric matrices ([`dense::DenseMatrix`]);
+//! * exact full eigendecomposition — Householder tridiagonalization
+//!   ([`householder`]) followed by an implicit-shift QL iteration
+//!   ([`tridiag`]) — plus a cyclic Jacobi solver used as a cross-check;
+//! * the Lanczos method for `e^A v` and stochastic Lanczos quadrature (SLQ)
+//!   for `v^T e^A v` ([`lanczos`]);
+//! * Hutchinson's stochastic trace estimator with Gaussian or Rademacher
+//!   probes, a paired-probe variant for noise-cancelling *increment*
+//!   estimation, and Hutch++ ([`trace`]);
+//! * top-k eigenvalues via a randomized block Krylov method ([`topk`],
+//!   paper ref \[44\]) feeding the Lemma 3/4 connectivity bounds;
+//! * natural connectivity itself, exact and estimated ([`connectivity`]).
+
+pub mod chebyshev;
+pub mod connectivity;
+pub mod dense;
+pub mod eig;
+pub mod error;
+pub mod householder;
+pub mod lanczos;
+pub mod laplacian;
+pub mod rng;
+pub mod sparse;
+pub mod topk;
+pub mod trace;
+pub mod tridiag;
+pub mod util;
+pub mod vector;
+
+pub use chebyshev::{bessel_i, chebyshev_expv};
+pub use connectivity::{natural_connectivity_exact, natural_connectivity_from_eigs, ConnectivityEstimator};
+pub use dense::DenseMatrix;
+pub use eig::{full_symmetric_eigenvalues, jacobi_eigenvalues, sparse_symmetric_eigenvalues};
+pub use error::LinalgError;
+pub use lanczos::{lanczos_expv, lanczos_tridiagonalize, slq_quadratic_form, LanczosDecomposition};
+pub use laplacian::{algebraic_connectivity, algebraic_connectivity_exact, laplacian_dense};
+pub use rng::{gaussian_vector, rademacher_vector, ProbeKind};
+pub use sparse::CsrMatrix;
+pub use topk::{block_krylov_topk, lanczos_topk, spectral_norm};
+pub use trace::{hutchinson_trace_exp, hutchpp_trace_exp, PairedTraceEstimator, TraceParams};
+pub use util::logsumexp;

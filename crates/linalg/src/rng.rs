@@ -1,0 +1,86 @@
+//! Random probe vectors for stochastic trace estimation.
+
+use rand::Rng;
+
+/// Distribution of the random probe vectors used by Hutchinson's estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProbeKind {
+    /// Standard normal entries (the paper's choice, §5.1).
+    #[default]
+    Gaussian,
+    /// ±1 entries with equal probability; lower variance for many matrices.
+    Rademacher,
+}
+
+/// Samples one standard normal value via the Box–Muller transform.
+///
+/// `rand` 0.8 without `rand_distr` has no normal distribution, so we roll the
+/// classic polar-free form here; two uniforms give one normal (the second is
+/// discarded for simplicity — probe generation is far from the hot path).
+pub fn sample_gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A length-`n` vector of i.i.d. standard normal entries.
+pub fn gaussian_vector<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<f64> {
+    (0..n).map(|_| sample_gaussian(rng)).collect()
+}
+
+/// A length-`n` vector of i.i.d. ±1 entries.
+pub fn rademacher_vector<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<f64> {
+    (0..n).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect()
+}
+
+/// Samples a probe vector of the requested kind.
+pub fn probe_vector<R: Rng + ?Sized>(rng: &mut R, kind: ProbeKind, n: usize) -> Vec<f64> {
+    match kind {
+        ProbeKind::Gaussian => gaussian_vector(rng, n),
+        ProbeKind::Rademacher => rademacher_vector(rng, n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let v = gaussian_vector(&mut rng, n);
+        let mean = v.iter().sum::<f64>() / n as f64;
+        let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn rademacher_entries_are_unit_magnitude() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = rademacher_vector(&mut rng, 1000);
+        assert!(v.iter().all(|&x| x == 1.0 || x == -1.0));
+        // Roughly balanced.
+        let sum: f64 = v.iter().sum();
+        assert!(sum.abs() < 100.0);
+    }
+
+    #[test]
+    fn probe_vector_dispatches() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(probe_vector(&mut rng, ProbeKind::Gaussian, 5).len(), 5);
+        let r = probe_vector(&mut rng, ProbeKind::Rademacher, 5);
+        assert!(r.iter().all(|&x| x.abs() == 1.0));
+    }
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let a = gaussian_vector(&mut StdRng::seed_from_u64(42), 16);
+        let b = gaussian_vector(&mut StdRng::seed_from_u64(42), 16);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,85 @@
+//! Numerically careful scalar helpers.
+
+/// `ln(Σ exp(x_i))` computed without overflow.
+///
+/// Returns `-inf` for an empty slice (the log of an empty sum).
+pub fn logsumexp(xs: &[f64]) -> f64 {
+    let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !m.is_finite() {
+        // Either empty (all -inf) or containing +inf; both are handled by
+        // returning the max itself.
+        return m;
+    }
+    let s: f64 = xs.iter().map(|&x| (x - m).exp()).sum();
+    m + s.ln()
+}
+
+/// `ln(exp(a) + exp(b))` without overflow.
+pub fn logaddexp(a: f64, b: f64) -> f64 {
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    if !hi.is_finite() {
+        return hi;
+    }
+    hi + (lo - hi).exp().ln_1p()
+}
+
+/// `ln(exp(a) - exp(b))` for `a > b`, without overflow.
+///
+/// Returns `-inf` when `a == b` and `NaN` when `a < b` (the difference is
+/// negative and has no real logarithm).
+pub fn logsubexp(a: f64, b: f64) -> f64 {
+    if a < b {
+        return f64::NAN;
+    }
+    if a == b {
+        return f64::NEG_INFINITY;
+    }
+    // ln(e^a - e^b) = a + ln(1 - e^(b-a)); -expm1 is accurate near 0.
+    a + (-((b - a).exp_m1())).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logsumexp_matches_naive_small() {
+        let xs = [0.0f64, 1.0, 2.0];
+        let naive: f64 = xs.iter().map(|x: &f64| x.exp()).sum::<f64>().ln();
+        assert!((logsumexp(&xs) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logsumexp_no_overflow_for_huge_inputs() {
+        let xs = [1000.0, 1000.0];
+        let v = logsumexp(&xs);
+        assert!((v - (1000.0 + 2f64.ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn logsumexp_empty_is_neg_inf() {
+        assert_eq!(logsumexp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn logaddexp_matches_logsumexp() {
+        assert!((logaddexp(3.0, 5.0) - logsumexp(&[3.0, 5.0])).abs() < 1e-12);
+        assert_eq!(logaddexp(f64::NEG_INFINITY, 2.0), 2.0);
+    }
+
+    #[test]
+    fn logsubexp_basic() {
+        // ln(e^2 - e^1)
+        let expect = (2f64.exp() - 1f64.exp()).ln();
+        assert!((logsubexp(2.0, 1.0) - expect).abs() < 1e-12);
+        assert_eq!(logsubexp(1.0, 1.0), f64::NEG_INFINITY);
+        assert!(logsubexp(1.0, 2.0).is_nan());
+    }
+
+    #[test]
+    fn logsubexp_huge_inputs() {
+        // ln(e^800 - e^700) ≈ 800 for doubles.
+        let v = logsubexp(800.0, 700.0);
+        assert!((v - 800.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,100 @@
+//! Dense vector kernels used by the iterative methods.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// `y += alpha * x`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x *= alpha`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Normalizes `x` in place and returns its original norm.
+///
+/// A zero vector is left untouched and 0.0 is returned.
+pub fn normalize(x: &mut [f64]) -> f64 {
+    let n = norm(x);
+    if n > 0.0 {
+        scale(1.0 / n, x);
+    }
+    n
+}
+
+/// Removes from `v` its components along each (assumed orthonormal) basis
+/// vector in `basis`. One pass of classical Gram–Schmidt.
+pub fn orthogonalize_against(v: &mut [f64], basis: &[Vec<f64>]) {
+    for q in basis {
+        let c = dot(v, q);
+        axpy(-c, q, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn normalize_unit_and_zero() {
+        let mut v = vec![0.0, 3.0, 4.0];
+        let n = normalize(&mut v);
+        assert_eq!(n, 5.0);
+        assert!((norm(&v) - 1.0).abs() < 1e-15);
+
+        let mut z = vec![0.0, 0.0];
+        assert_eq!(normalize(&mut z), 0.0);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn orthogonalize_removes_components() {
+        let q1 = vec![1.0, 0.0, 0.0];
+        let q2 = vec![0.0, 1.0, 0.0];
+        let mut v = vec![3.0, 4.0, 5.0];
+        orthogonalize_against(&mut v, &[q1, q2]);
+        assert!((v[0]).abs() < 1e-15);
+        assert!((v[1]).abs() < 1e-15);
+        assert_eq!(v[2], 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,278 @@
+//! Raw GPS traces and their simulation from ground-truth trajectories.
+//!
+//! The paper's pipeline starts from taxi GPS feeds; none are bundled here,
+//! so the simulator walks a known road [`Trajectory`] at constant speed,
+//! emits a position every `sample_interval_s` seconds, perturbs it with
+//! isotropic Gaussian noise of standard deviation `noise_sigma_m`, and
+//! optionally drops samples. Matching the simulated trace back and
+//! comparing with the ground truth gives a fully-controlled accuracy
+//! benchmark for the matcher.
+
+use ct_data::Trajectory;
+use ct_graph::RoadNetwork;
+use ct_spatial::Point;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One GPS fix: a (noisy) position and a timestamp in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpsSample {
+    /// Observed position in projected meters.
+    pub pos: Point,
+    /// Seconds since the start of the trace.
+    pub t: f64,
+}
+
+/// A sequence of GPS fixes in time order.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct GpsTrace {
+    /// Samples in non-decreasing time order.
+    pub samples: Vec<GpsSample>,
+}
+
+impl GpsTrace {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// Parameters of the GPS simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpsSimConfig {
+    /// Vehicle speed in meters/second (default 10 m/s ≈ 36 km/h).
+    pub speed_mps: f64,
+    /// Seconds between fixes (default 15 s, a typical taxi AVL rate).
+    pub sample_interval_s: f64,
+    /// Standard deviation of the isotropic Gaussian position noise, in
+    /// meters (default 15 m — mid-range urban GPS error).
+    pub noise_sigma_m: f64,
+    /// Probability that any individual fix is lost (default 0).
+    pub dropout: f64,
+}
+
+impl Default for GpsSimConfig {
+    fn default() -> Self {
+        GpsSimConfig {
+            speed_mps: 10.0,
+            sample_interval_s: 15.0,
+            noise_sigma_m: 15.0,
+            dropout: 0.0,
+        }
+    }
+}
+
+/// Samples one standard normal value via the Box–Muller transform
+/// (`rand` 0.8 without `rand_distr` has no normal distribution).
+fn sample_gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Simulates a GPS trace along `truth`.
+///
+/// The vehicle traverses the trajectory's polyline at `cfg.speed_mps`; a
+/// fix is emitted every `cfg.sample_interval_s` seconds (origin and final
+/// position always included unless dropped). Returns an empty trace for an
+/// empty trajectory.
+///
+/// # Panics
+/// Panics if the config has a non-positive speed or interval, or a dropout
+/// outside `[0, 1)`.
+pub fn simulate_trace<R: Rng + ?Sized>(
+    road: &RoadNetwork,
+    truth: &Trajectory,
+    cfg: &GpsSimConfig,
+    rng: &mut R,
+) -> GpsTrace {
+    assert!(cfg.speed_mps > 0.0, "speed must be positive, got {}", cfg.speed_mps);
+    assert!(
+        cfg.sample_interval_s > 0.0,
+        "sample interval must be positive, got {}",
+        cfg.sample_interval_s
+    );
+    assert!(
+        (0.0..1.0).contains(&cfg.dropout),
+        "dropout must be in [0, 1), got {}",
+        cfg.dropout
+    );
+    if truth.nodes.is_empty() {
+        return GpsTrace::default();
+    }
+
+    // Cumulative arc length along the trajectory's node polyline.
+    let pts: Vec<Point> = truth.nodes.iter().map(|&v| road.position(v)).collect();
+    let mut cum = Vec::with_capacity(pts.len());
+    cum.push(0.0);
+    for w in pts.windows(2) {
+        cum.push(cum.last().unwrap() + w[0].dist(&w[1]));
+    }
+    let total = *cum.last().unwrap();
+
+    let mut samples = Vec::new();
+    let mut t = 0.0;
+    loop {
+        let s = (t * cfg.speed_mps).min(total);
+        let pos = point_at_arc_length(&pts, &cum, s);
+        if rng.gen::<f64>() >= cfg.dropout {
+            let noisy = Point::new(
+                pos.x + cfg.noise_sigma_m * sample_gaussian(rng),
+                pos.y + cfg.noise_sigma_m * sample_gaussian(rng),
+            );
+            samples.push(GpsSample { pos: noisy, t });
+        }
+        if s >= total {
+            break;
+        }
+        t += cfg.sample_interval_s;
+    }
+    GpsTrace { samples }
+}
+
+/// Interpolates the point at arc length `s` along a polyline with
+/// precomputed cumulative lengths.
+fn point_at_arc_length(pts: &[Point], cum: &[f64], s: f64) -> Point {
+    debug_assert_eq!(pts.len(), cum.len());
+    if pts.len() == 1 || s <= 0.0 {
+        return pts[0];
+    }
+    let total = *cum.last().unwrap();
+    if s >= total {
+        return *pts.last().unwrap();
+    }
+    // First segment whose far end is past s.
+    let i = match cum.binary_search_by(|c| c.partial_cmp(&s).unwrap()) {
+        Ok(i) => return pts[i],
+        Err(i) => i, // cum[i-1] < s < cum[i]
+    };
+    let seg_len = cum[i] - cum[i - 1];
+    let t = if seg_len > 0.0 { (s - cum[i - 1]) / seg_len } else { 0.0 };
+    pts[i - 1].lerp(&pts[i], t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_graph::RoadEdge;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn line_road() -> RoadNetwork {
+        let positions = (0..5).map(|i| Point::new(i as f64 * 100.0, 0.0)).collect();
+        let edges = (0..4)
+            .map(|i| RoadEdge { u: i, v: i + 1, length: 100.0 })
+            .collect();
+        RoadNetwork::new(positions, edges)
+    }
+
+    fn line_trajectory() -> Trajectory {
+        Trajectory::new(vec![0, 1, 2, 3, 4], vec![0, 1, 2, 3])
+    }
+
+    #[test]
+    fn zero_noise_samples_lie_on_the_path() {
+        let road = line_road();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = GpsSimConfig { noise_sigma_m: 0.0, ..Default::default() };
+        let trace = simulate_trace(&road, &line_trajectory(), &cfg, &mut rng);
+        assert!(trace.len() >= 2);
+        for s in &trace.samples {
+            assert!(s.pos.y.abs() < 1e-9, "sample off the line: {:?}", s.pos);
+            assert!((-1e-9..=400.0 + 1e-9).contains(&s.pos.x));
+        }
+        // Endpoints covered.
+        assert!((trace.samples.first().unwrap().pos.x - 0.0).abs() < 1e-9);
+        assert!((trace.samples.last().unwrap().pos.x - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_interval_and_speed_set_the_spacing() {
+        let road = line_road();
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = GpsSimConfig {
+            speed_mps: 10.0,
+            sample_interval_s: 5.0, // 50 m spacing over 400 m → 9 samples
+            noise_sigma_m: 0.0,
+            dropout: 0.0,
+        };
+        let trace = simulate_trace(&road, &line_trajectory(), &cfg, &mut rng);
+        assert_eq!(trace.len(), 9);
+        for (i, s) in trace.samples.iter().enumerate() {
+            assert!((s.pos.x - 50.0 * i as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn noise_perturbs_but_stays_bounded_in_distribution() {
+        let road = line_road();
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = GpsSimConfig {
+            sample_interval_s: 1.0,
+            noise_sigma_m: 20.0,
+            ..Default::default()
+        };
+        let trace = simulate_trace(&road, &line_trajectory(), &cfg, &mut rng);
+        let mean_abs_y: f64 =
+            trace.samples.iter().map(|s| s.pos.y.abs()).sum::<f64>() / trace.len() as f64;
+        // E|N(0, 20²)| = 20·√(2/π) ≈ 16; allow wide slack.
+        assert!(mean_abs_y > 5.0 && mean_abs_y < 40.0, "mean |y| = {mean_abs_y}");
+    }
+
+    #[test]
+    fn dropout_removes_samples() {
+        let road = line_road();
+        let cfg_full = GpsSimConfig { sample_interval_s: 1.0, ..Default::default() };
+        let cfg_drop = GpsSimConfig { dropout: 0.5, ..cfg_full };
+        let full = simulate_trace(&road, &line_trajectory(), &cfg_full, &mut StdRng::seed_from_u64(4));
+        let dropped =
+            simulate_trace(&road, &line_trajectory(), &cfg_drop, &mut StdRng::seed_from_u64(4));
+        assert!(dropped.len() < full.len());
+    }
+
+    #[test]
+    fn empty_trajectory_gives_empty_trace() {
+        let road = line_road();
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = Trajectory::new(vec![], vec![]);
+        assert!(simulate_trace(&road, &t, &GpsSimConfig::default(), &mut rng).is_empty());
+    }
+
+    #[test]
+    fn single_node_trajectory_emits_one_fix() {
+        let road = line_road();
+        let mut rng = StdRng::seed_from_u64(6);
+        let t = Trajectory::new(vec![2], vec![]);
+        let cfg = GpsSimConfig { noise_sigma_m: 0.0, ..Default::default() };
+        let trace = simulate_trace(&road, &t, &cfg, &mut rng);
+        assert_eq!(trace.len(), 1);
+        assert!((trace.samples[0].pos.x - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed must be positive")]
+    fn non_positive_speed_panics() {
+        let road = line_road();
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = GpsSimConfig { speed_mps: 0.0, ..Default::default() };
+        simulate_trace(&road, &line_trajectory(), &cfg, &mut rng);
+    }
+
+    #[test]
+    fn arc_length_interpolation_hits_vertices_and_midpoints() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0), Point::new(100.0, 50.0)];
+        let cum = vec![0.0, 100.0, 150.0];
+        assert_eq!(point_at_arc_length(&pts, &cum, 0.0), pts[0]);
+        assert_eq!(point_at_arc_length(&pts, &cum, 100.0), pts[1]);
+        assert_eq!(point_at_arc_length(&pts, &cum, 150.0), pts[2]);
+        let mid = point_at_arc_length(&pts, &cum, 125.0);
+        assert!((mid.x - 100.0).abs() < 1e-9 && (mid.y - 25.0).abs() < 1e-9);
+        // Past the end clamps.
+        assert_eq!(point_at_arc_length(&pts, &cum, 1e9), pts[2]);
+    }
+}

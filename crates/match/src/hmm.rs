@@ -1,0 +1,381 @@
+//! HMM scoring and the map-matcher driver.
+//!
+//! Hidden states are candidate edge projections; observations are GPS
+//! samples. Emission follows Newson–Krumm: a zero-mean Gaussian on the
+//! projection distance. Transition penalizes the gap between the
+//! road-network travel distance of consecutive candidates and the
+//! straight-line distance of their samples, exponentially with scale `β` —
+//! a detour-free vehicle has gap ≈ 0, while candidates that require
+//! improbable detours (or teleporting across the river) score poorly.
+
+use ct_graph::{dijkstra_bounded, RoadNetwork};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::gps::GpsTrace;
+use crate::project::{CandidateIndex, EdgeProjection};
+use crate::viterbi::{viterbi, LatticeStep, MatchResult};
+
+/// Tuning parameters of the HMM matcher.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HmmParams {
+    /// GPS noise standard deviation σ for the Gaussian emission, meters.
+    pub sigma_m: f64,
+    /// Transition scale β: how many meters of route-vs-straight gap cost
+    /// one nat of log-probability.
+    pub beta_m: f64,
+    /// Candidate search radius around each sample, meters.
+    pub candidate_radius_m: f64,
+    /// Maximum candidates kept per sample (nearest first).
+    pub max_candidates: usize,
+    /// Route distances are explored up to
+    /// `route_slack_m + route_factor × straight-line distance`; candidate
+    /// pairs farther apart on the network get a −∞ transition.
+    pub route_factor: f64,
+    /// Constant slack added to the route-distance cutoff, meters.
+    pub route_slack_m: f64,
+    /// Cell size of the candidate grid index, meters.
+    pub cell_size_m: f64,
+}
+
+impl Default for HmmParams {
+    fn default() -> Self {
+        HmmParams {
+            sigma_m: 15.0,
+            beta_m: 50.0,
+            candidate_radius_m: 75.0,
+            max_candidates: 8,
+            route_factor: 3.0,
+            route_slack_m: 300.0,
+            cell_size_m: 250.0,
+        }
+    }
+}
+
+impl HmmParams {
+    /// Gaussian emission log-density for a projection `dist` meters away.
+    pub fn emission_logp(&self, dist: f64) -> f64 {
+        let z = dist / self.sigma_m;
+        -0.5 * z * z - (self.sigma_m * (2.0 * std::f64::consts::PI).sqrt()).ln()
+    }
+
+    /// Exponential transition log-density for a route/straight gap.
+    pub fn transition_logp(&self, route_dist: f64, straight_dist: f64) -> f64 {
+        -(route_dist - straight_dist).abs() / self.beta_m - self.beta_m.ln()
+    }
+}
+
+/// An HMM map-matcher bound to one road network.
+#[derive(Debug)]
+pub struct MapMatcher<'a> {
+    road: &'a RoadNetwork,
+    params: HmmParams,
+    index: CandidateIndex,
+}
+
+impl<'a> MapMatcher<'a> {
+    /// Builds the matcher (and its spatial index) for `road`.
+    pub fn new(road: &'a RoadNetwork, params: HmmParams) -> Self {
+        let index = CandidateIndex::new(road, params.cell_size_m);
+        MapMatcher { road, params, index }
+    }
+
+    /// The parameters this matcher runs with.
+    pub fn params(&self) -> &HmmParams {
+        &self.params
+    }
+
+    /// Matches one GPS trace, returning the maximum-likelihood candidate
+    /// sequence (possibly split into segments where the lattice breaks)
+    /// plus the sample indices that had no candidate at all.
+    pub fn match_trace(&self, trace: &GpsTrace) -> MatchResult {
+        let p = &self.params;
+        let mut steps: Vec<LatticeStep> = Vec::new();
+        let mut unmatched = Vec::new();
+        for (i, s) in trace.samples.iter().enumerate() {
+            let candidates =
+                self.index
+                    .candidates(self.road, &s.pos, p.candidate_radius_m, p.max_candidates);
+            if candidates.is_empty() {
+                unmatched.push(i);
+                continue;
+            }
+            let emission = candidates.iter().map(|c| p.emission_logp(c.dist)).collect();
+            steps.push(LatticeStep { sample_idx: i, pos: s.pos, candidates, emission });
+        }
+
+        // One transition matrix per consecutive step pair.
+        let mut transitions = Vec::with_capacity(steps.len().saturating_sub(1));
+        for w in steps.windows(2) {
+            transitions.push(self.transition_matrix(&w[0], &w[1]));
+        }
+
+        let mut result = viterbi(&steps, &transitions);
+        result.unmatched = unmatched;
+        result
+    }
+
+    /// Transition log-probabilities from every candidate of `from` to every
+    /// candidate of `to`.
+    fn transition_matrix(&self, from: &LatticeStep, to: &LatticeStep) -> Vec<Vec<f64>> {
+        let p = &self.params;
+        let straight = from.pos.dist(&to.pos);
+        let cutoff = p.route_slack_m + p.route_factor * straight;
+
+        // Network distances from the endpoints of `from`'s candidate edges.
+        let mut sources: Vec<u32> = Vec::new();
+        for c in &from.candidates {
+            let e = self.road.edge(c.edge);
+            for node in [e.u, e.v] {
+                if !sources.contains(&node) {
+                    sources.push(node);
+                }
+            }
+        }
+        let mut net: HashMap<u32, HashMap<u32, f64>> = HashMap::with_capacity(sources.len());
+        for &s in &sources {
+            net.insert(s, dijkstra_bounded(self.road, s, cutoff).into_iter().collect());
+        }
+
+        from.candidates
+            .iter()
+            .map(|cf| {
+                to.candidates
+                    .iter()
+                    .map(|ct| {
+                        let route = self.route_distance(cf, ct, &net);
+                        match route {
+                            Some(d) => p.transition_logp(d, straight),
+                            None => f64::NEG_INFINITY,
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Road-network travel distance between two edge projections, if their
+    /// edges are connected through the explored (cutoff-bounded)
+    /// neighborhoods; `None` means "no plausible route".
+    fn route_distance(
+        &self,
+        from: &EdgeProjection,
+        to: &EdgeProjection,
+        net: &HashMap<u32, HashMap<u32, f64>>,
+    ) -> Option<f64> {
+        let ef = self.road.edge(from.edge);
+        let et = self.road.edge(to.edge);
+        if from.edge == to.edge {
+            return Some((to.t - from.t).abs() * ef.length);
+        }
+        // Distances along the candidate edges to each of their endpoints.
+        let from_ends = [(ef.u, from.t * ef.length), (ef.v, (1.0 - from.t) * ef.length)];
+        let to_ends = [(et.u, to.t * et.length), (et.v, (1.0 - to.t) * et.length)];
+        let mut best: Option<f64> = None;
+        for &(fu, fd) in &from_ends {
+            let Some(reach) = net.get(&fu) else { continue };
+            for &(tu, td) in &to_ends {
+                if let Some(&mid) = reach.get(&tu) {
+                    let total = fd + mid + td;
+                    if best.is_none_or(|b| total < b) {
+                        best = Some(total);
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gps::{simulate_trace, GpsSimConfig};
+    use ct_data::Trajectory;
+    use ct_graph::RoadEdge;
+    use ct_spatial::Point;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn grid_road(n: u32, spacing: f64) -> RoadNetwork {
+        let mut positions = Vec::new();
+        for r in 0..n {
+            for c in 0..n {
+                positions.push(Point::new(c as f64 * spacing, r as f64 * spacing));
+            }
+        }
+        let mut edges = Vec::new();
+        for r in 0..n {
+            for c in 0..n {
+                let u = r * n + c;
+                if c + 1 < n {
+                    edges.push(RoadEdge { u, v: u + 1, length: spacing });
+                }
+                if r + 1 < n {
+                    edges.push(RoadEdge { u, v: u + n, length: spacing });
+                }
+            }
+        }
+        RoadNetwork::new(positions, edges)
+    }
+
+    /// L-shaped path along the bottom then up the right side of a 4×4 grid.
+    fn l_trajectory(road: &RoadNetwork) -> Trajectory {
+        // Nodes 0,1,2,3 along the bottom, then 7, 11, 15 up the right.
+        let nodes = vec![0u32, 1, 2, 3, 7, 11, 15];
+        let mut edges = Vec::new();
+        for w in nodes.windows(2) {
+            let mut found = None;
+            for &(v, e) in road.neighbors(w[0]) {
+                if v == w[1] {
+                    found = Some(e);
+                }
+            }
+            edges.push(found.expect("adjacent grid nodes"));
+        }
+        Trajectory::new(nodes, edges)
+    }
+
+    #[test]
+    fn emission_prefers_closer_candidates() {
+        let p = HmmParams::default();
+        assert!(p.emission_logp(5.0) > p.emission_logp(30.0));
+    }
+
+    #[test]
+    fn transition_prefers_direct_routes() {
+        let p = HmmParams::default();
+        assert!(p.transition_logp(100.0, 100.0) > p.transition_logp(300.0, 100.0));
+        // Symmetric in the gap.
+        assert_eq!(p.transition_logp(50.0, 100.0), p.transition_logp(150.0, 100.0));
+    }
+
+    #[test]
+    fn zero_noise_trace_matches_exactly() {
+        let road = grid_road(4, 100.0);
+        let truth = l_trajectory(&road);
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = GpsSimConfig {
+            noise_sigma_m: 0.0,
+            sample_interval_s: 5.0, // 50 m spacing
+            ..Default::default()
+        };
+        let trace = simulate_trace(&road, &truth, &cfg, &mut rng);
+        let matcher = MapMatcher::new(&road, HmmParams::default());
+        let result = matcher.match_trace(&trace);
+        assert!(result.breaks.is_empty(), "unexpected breaks: {:?}", result.breaks);
+        assert!(result.unmatched.is_empty());
+        assert_eq!(result.matched.len(), trace.len());
+        // The stitched route reproduces the ground truth exactly. (Samples
+        // that land exactly on grid nodes tie between incident edges, so
+        // individual candidates may name a perpendicular edge whose
+        // projection is the same node — stitching collapses those ties.)
+        let stitched = crate::stitch_route(&road, &result);
+        let acc = crate::evaluate_match(&road, &truth, &stitched);
+        assert_eq!(acc.edge_recall, 1.0, "missed true edges");
+        assert_eq!(acc.edge_precision, 1.0, "spurious edges");
+    }
+
+    #[test]
+    fn moderate_noise_recovers_most_edges() {
+        let road = grid_road(6, 100.0);
+        let truth = {
+            let nodes: Vec<u32> = (0..6u32).collect(); // straight along the bottom
+            let mut edges = Vec::new();
+            for w in nodes.windows(2) {
+                let e = road
+                    .neighbors(w[0])
+                    .iter()
+                    .find(|&&(v, _)| v == w[1])
+                    .map(|&(_, e)| e)
+                    .unwrap();
+                edges.push(e);
+            }
+            Trajectory::new(nodes, edges)
+        };
+        let mut rng = StdRng::seed_from_u64(12);
+        let cfg = GpsSimConfig {
+            noise_sigma_m: 15.0,
+            sample_interval_s: 5.0,
+            ..Default::default()
+        };
+        let trace = simulate_trace(&road, &truth, &cfg, &mut rng);
+        let matcher = MapMatcher::new(&road, HmmParams::default());
+        let result = matcher.match_trace(&trace);
+        let stitched = crate::stitch_route(&road, &result);
+        let acc = crate::evaluate_match(&road, &truth, &stitched);
+        assert!(acc.f1() >= 0.8, "F1 too low under 15 m noise: {:?}", acc);
+    }
+
+    #[test]
+    fn disconnected_jump_causes_a_break() {
+        // Two disconnected 2-node roads far apart.
+        let road = RoadNetwork::new(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(100.0, 0.0),
+                Point::new(10_000.0, 0.0),
+                Point::new(10_100.0, 0.0),
+            ],
+            vec![
+                RoadEdge { u: 0, v: 1, length: 100.0 },
+                RoadEdge { u: 2, v: 3, length: 100.0 },
+            ],
+        );
+        let trace = GpsTrace {
+            samples: vec![
+                crate::GpsSample { pos: Point::new(50.0, 5.0), t: 0.0 },
+                crate::GpsSample { pos: Point::new(10_050.0, 5.0), t: 15.0 },
+            ],
+        };
+        let matcher = MapMatcher::new(&road, HmmParams::default());
+        let result = matcher.match_trace(&trace);
+        assert_eq!(result.matched.len(), 2);
+        assert_eq!(result.breaks, vec![1], "expected a lattice break at the jump");
+    }
+
+    #[test]
+    fn off_network_samples_are_unmatched() {
+        let road = grid_road(3, 100.0);
+        let trace = GpsTrace {
+            samples: vec![
+                crate::GpsSample { pos: Point::new(50.0, 5.0), t: 0.0 },
+                crate::GpsSample { pos: Point::new(9_999.0, 9_999.0), t: 15.0 },
+                crate::GpsSample { pos: Point::new(150.0, 5.0), t: 30.0 },
+            ],
+        };
+        let matcher = MapMatcher::new(&road, HmmParams::default());
+        let result = matcher.match_trace(&trace);
+        assert_eq!(result.unmatched, vec![1]);
+        assert_eq!(result.matched.len(), 2);
+        // The two on-network samples still connect across the gap.
+        assert!(result.breaks.is_empty());
+    }
+
+    #[test]
+    fn empty_trace_matches_to_nothing() {
+        let road = grid_road(3, 100.0);
+        let matcher = MapMatcher::new(&road, HmmParams::default());
+        let result = matcher.match_trace(&GpsTrace::default());
+        assert!(result.matched.is_empty());
+        assert!(result.breaks.is_empty());
+        assert!(result.unmatched.is_empty());
+    }
+
+    #[test]
+    fn same_edge_route_distance_uses_offsets() {
+        let road = grid_road(2, 100.0);
+        let matcher = MapMatcher::new(&road, HmmParams::default());
+        let trace = GpsTrace {
+            samples: vec![
+                crate::GpsSample { pos: Point::new(20.0, 2.0), t: 0.0 },
+                crate::GpsSample { pos: Point::new(80.0, 2.0), t: 6.0 },
+            ],
+        };
+        let result = matcher.match_trace(&trace);
+        assert_eq!(result.matched.len(), 2);
+        assert_eq!(result.matched[0].candidate.edge, result.matched[1].candidate.edge);
+        let lik = result.log_likelihood;
+        assert!(lik.is_finite());
+    }
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+//! Map-matching substrate for CT-Bus.
+//!
+//! The paper's trajectories (Definition 3) come from raw GPS traces
+//! "projected to the road network effectively via map-matching \[41\] with
+//! high analytic precision". This crate implements that substrate from
+//! scratch: the classic HMM map-matcher in the style of Newson–Krumm /
+//! ST-Matching (the paper's ref \[41\]):
+//!
+//! 1. [`gps`] models raw traces and simulates them from ground-truth road
+//!    trajectories (speed, sampling interval, Gaussian noise, dropout) —
+//!    the synthetic stand-in for the taxi GPS feeds the paper consumes;
+//! 2. [`project`] finds *candidate* road-edge projections of each sample
+//!    with a grid index and point-to-segment projection;
+//! 3. [`hmm`] scores candidates — Gaussian emission on projection distance,
+//!    exponential transition on the gap between the road-network distance
+//!    and the straight-line distance of consecutive samples;
+//! 4. [`viterbi`] finds the maximum-likelihood candidate sequence with
+//!    dynamic programming, splitting the trace when the lattice breaks;
+//! 5. [`stitch`] turns matched candidates back into connected
+//!    [`ct_data::Trajectory`] paths that the demand model can consume;
+//! 6. [`metrics`] scores a match against ground truth (edge precision /
+//!    recall and Newson–Krumm length mismatch).
+//!
+//! ```
+//! use ct_match::{simulate_trace, GpsSimConfig, HmmParams, MapMatcher};
+//! use rand::SeedableRng;
+//!
+//! let city = ct_data::CityConfig::small().trajectories(20).generate();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let truth = &city.trajectories[0];
+//! let trace = simulate_trace(&city.road, truth, &GpsSimConfig::default(), &mut rng);
+//! let matcher = MapMatcher::new(&city.road, HmmParams::default());
+//! let result = matcher.match_trace(&trace);
+//! assert!(!result.matched.is_empty());
+//! ```
+
+pub mod gps;
+pub mod hmm;
+pub mod metrics;
+pub mod project;
+pub mod stitch;
+pub mod viterbi;
+
+pub use gps::{simulate_trace, GpsSample, GpsSimConfig, GpsTrace};
+pub use hmm::{HmmParams, MapMatcher};
+pub use metrics::{evaluate_match, MatchAccuracy};
+pub use project::{project_to_segment, CandidateIndex, EdgeProjection};
+pub use stitch::stitch_route;
+pub use viterbi::{MatchResult, MatchedPoint};

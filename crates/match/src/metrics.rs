@@ -1,0 +1,182 @@
+//! Accuracy metrics for map-matching against ground truth.
+//!
+//! The standard figure of merit is Newson–Krumm's length-weighted route
+//! mismatch: `(d₊ + d₋) / d₀`, where `d₊` is the length of spuriously
+//! matched road, `d₋` the length of missed true road, and `d₀` the true
+//! route length. We also expose edge-level precision/recall (length
+//! weighted) and the fraction of samples that got matched at all.
+
+use std::collections::HashSet;
+
+use ct_data::Trajectory;
+use ct_graph::RoadNetwork;
+use serde::{Deserialize, Serialize};
+
+/// Accuracy of one matched trace against its ground-truth trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MatchAccuracy {
+    /// Length-weighted fraction of matched road that is truly on the route.
+    pub edge_precision: f64,
+    /// Length-weighted fraction of the true route that was matched.
+    pub edge_recall: f64,
+    /// Newson–Krumm route mismatch `(d₊ + d₋)/d₀` (0 = perfect; can
+    /// exceed 1 for wildly wrong matches).
+    pub length_mismatch: f64,
+    /// Total length of the ground-truth route, meters.
+    pub truth_length_m: f64,
+}
+
+impl MatchAccuracy {
+    /// F1 score of the length-weighted precision/recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.edge_precision, self.edge_recall);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Scores the union of `matched` trajectories against `truth`.
+///
+/// Edges are compared as sets (traversal order and multiplicity do not
+/// matter — demand aggregation is per-edge). An empty truth yields
+/// precision 0 (nothing can be correct) unless the match is also empty, in
+/// which case everything is vacuously perfect.
+pub fn evaluate_match(
+    road: &RoadNetwork,
+    truth: &Trajectory,
+    matched: &[Trajectory],
+) -> MatchAccuracy {
+    let truth_set: HashSet<u32> = truth.edges.iter().copied().collect();
+    let matched_set: HashSet<u32> = matched.iter().flat_map(|t| t.edges.iter().copied()).collect();
+
+    let len = |s: &HashSet<u32>| -> f64 { s.iter().map(|&e| road.edge(e).length).sum() };
+    let truth_len = len(&truth_set);
+    let matched_len = len(&matched_set);
+    let inter: HashSet<u32> = truth_set.intersection(&matched_set).copied().collect();
+    let inter_len = len(&inter);
+
+    // Clamp at zero: the sums run over hash sets in different orders, so
+    // equal sets can differ by an ulp.
+    let d_plus = (matched_len - inter_len).max(0.0); // spurious
+    let d_minus = (truth_len - inter_len).max(0.0); // missed
+
+    let edge_precision = if matched_len > 0.0 {
+        inter_len / matched_len
+    } else if truth_len == 0.0 {
+        1.0
+    } else {
+        0.0
+    };
+    let edge_recall = if truth_len > 0.0 {
+        inter_len / truth_len
+    } else if matched_len == 0.0 {
+        1.0
+    } else {
+        0.0
+    };
+    let length_mismatch = if truth_len > 0.0 {
+        (d_plus + d_minus) / truth_len
+    } else if matched_len == 0.0 {
+        0.0
+    } else {
+        f64::INFINITY
+    };
+
+    MatchAccuracy { edge_precision, edge_recall, length_mismatch, truth_length_m: truth_len }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_graph::RoadEdge;
+    use ct_spatial::Point;
+
+    fn line_road(n: u32) -> RoadNetwork {
+        let positions = (0..n).map(|i| Point::new(i as f64 * 100.0, 0.0)).collect();
+        let edges = (0..n - 1)
+            .map(|i| RoadEdge { u: i, v: i + 1, length: 100.0 })
+            .collect();
+        RoadNetwork::new(positions, edges)
+    }
+
+    #[test]
+    fn perfect_match_scores_one() {
+        let road = line_road(4);
+        let truth = Trajectory::new(vec![0, 1, 2, 3], vec![0, 1, 2]);
+        let acc = evaluate_match(&road, &truth, &[truth.clone()]);
+        assert_eq!(acc.edge_precision, 1.0);
+        assert_eq!(acc.edge_recall, 1.0);
+        assert_eq!(acc.length_mismatch, 0.0);
+        assert_eq!(acc.f1(), 1.0);
+        assert_eq!(acc.truth_length_m, 300.0);
+    }
+
+    #[test]
+    fn half_covered_truth() {
+        let road = line_road(5);
+        let truth = Trajectory::new(vec![0, 1, 2, 3, 4], vec![0, 1, 2, 3]);
+        let matched = Trajectory::new(vec![0, 1, 2], vec![0, 1]);
+        let acc = evaluate_match(&road, &truth, &[matched]);
+        assert_eq!(acc.edge_precision, 1.0);
+        assert_eq!(acc.edge_recall, 0.5);
+        assert_eq!(acc.length_mismatch, 0.5); // 200 m missed / 400 m truth
+    }
+
+    #[test]
+    fn spurious_edges_hit_precision_and_mismatch() {
+        let road = line_road(5);
+        let truth = Trajectory::new(vec![0, 1], vec![0]);
+        let matched = Trajectory::new(vec![0, 1, 2], vec![0, 1]);
+        let acc = evaluate_match(&road, &truth, &[matched]);
+        assert_eq!(acc.edge_precision, 0.5);
+        assert_eq!(acc.edge_recall, 1.0);
+        assert_eq!(acc.length_mismatch, 1.0); // 100 m spurious / 100 m truth
+    }
+
+    #[test]
+    fn union_over_multiple_segments() {
+        let road = line_road(5);
+        let truth = Trajectory::new(vec![0, 1, 2, 3, 4], vec![0, 1, 2, 3]);
+        let segs = vec![
+            Trajectory::new(vec![0, 1], vec![0]),
+            Trajectory::new(vec![2, 3, 4], vec![2, 3]),
+        ];
+        let acc = evaluate_match(&road, &truth, &segs);
+        assert_eq!(acc.edge_precision, 1.0);
+        assert_eq!(acc.edge_recall, 0.75);
+    }
+
+    #[test]
+    fn empty_truth_and_empty_match_are_vacuously_perfect() {
+        let road = line_road(3);
+        let truth = Trajectory::new(vec![], vec![]);
+        let acc = evaluate_match(&road, &truth, &[]);
+        assert_eq!(acc.edge_precision, 1.0);
+        assert_eq!(acc.edge_recall, 1.0);
+        assert_eq!(acc.length_mismatch, 0.0);
+    }
+
+    #[test]
+    fn empty_truth_with_spurious_match_is_worst_case() {
+        let road = line_road(3);
+        let truth = Trajectory::new(vec![], vec![]);
+        let acc = evaluate_match(&road, &truth, &[Trajectory::new(vec![0, 1], vec![0])]);
+        assert_eq!(acc.edge_precision, 0.0);
+        assert!(acc.length_mismatch.is_infinite());
+        assert_eq!(acc.f1(), 0.0);
+    }
+
+    #[test]
+    fn duplicate_edges_count_once() {
+        let road = line_road(3);
+        let truth = Trajectory::new(vec![0, 1], vec![0]);
+        // Matched path bounces back and forth over edge 0.
+        let matched = Trajectory::new(vec![0, 1, 0, 1], vec![0, 0, 0]);
+        let acc = evaluate_match(&road, &truth, &[matched]);
+        assert_eq!(acc.edge_precision, 1.0);
+        assert_eq!(acc.edge_recall, 1.0);
+    }
+}

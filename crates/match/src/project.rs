@@ -1,0 +1,220 @@
+//! Candidate projection: snapping GPS samples to nearby road segments.
+
+use ct_graph::RoadNetwork;
+use ct_spatial::{GridIndex, Point};
+use serde::{Deserialize, Serialize};
+
+/// The projection of a GPS sample onto one road edge.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EdgeProjection {
+    /// Road edge id.
+    pub edge: u32,
+    /// Projected (snapped) point on the segment.
+    pub point: Point,
+    /// Position along the segment from endpoint `u`, in `[0, 1]`.
+    pub t: f64,
+    /// Euclidean distance from the sample to the projected point, meters.
+    pub dist: f64,
+}
+
+/// Projects `p` onto the segment `a`–`b`, clamped to the segment.
+///
+/// Returns the projected point and the clamped parameter `t ∈ [0, 1]`
+/// (`t = 0` at `a`). A degenerate segment (`a == b`) projects to `a`.
+pub fn project_to_segment(p: &Point, a: &Point, b: &Point) -> (Point, f64) {
+    let (abx, aby) = a.delta(b);
+    let len_sq = abx * abx + aby * aby;
+    if len_sq <= 0.0 {
+        return (*a, 0.0);
+    }
+    let (apx, apy) = a.delta(p);
+    let t = ((apx * abx + apy * aby) / len_sq).clamp(0.0, 1.0);
+    (a.lerp(b, t), t)
+}
+
+/// A spatial index over a road network's edges for candidate queries.
+///
+/// Internally indexes road *nodes* on a uniform grid; a query inflates its
+/// radius by half the longest edge so that any segment passing within the
+/// query radius has at least one endpoint inside the inflated search disk.
+#[derive(Debug, Clone)]
+pub struct CandidateIndex {
+    grid: GridIndex,
+    /// Longest road edge (Euclidean endpoint gap), used to inflate queries.
+    max_edge_gap: f64,
+}
+
+impl CandidateIndex {
+    /// Builds the index. `cell_size` trades memory for query locality; the
+    /// default used by [`crate::MapMatcher`] is 250 m.
+    pub fn new(road: &RoadNetwork, cell_size: f64) -> Self {
+        let grid = GridIndex::build(cell_size, road.positions());
+        let max_edge_gap = road
+            .edges()
+            .iter()
+            .map(|e| road.position(e.u).dist(&road.position(e.v)))
+            .fold(0.0, f64::max);
+        CandidateIndex { grid, max_edge_gap }
+    }
+
+    /// All edge projections within `radius` meters of `p`, nearest first,
+    /// truncated to `max_candidates`.
+    ///
+    /// Each edge appears at most once even when both endpoints fall in the
+    /// search disk.
+    pub fn candidates(
+        &self,
+        road: &RoadNetwork,
+        p: &Point,
+        radius: f64,
+        max_candidates: usize,
+    ) -> Vec<EdgeProjection> {
+        let mut seen: Vec<u32> = Vec::new();
+        let mut out: Vec<EdgeProjection> = Vec::new();
+        let search = radius + self.max_edge_gap / 2.0;
+        self.grid.for_each_within(p, search, |node| {
+            for &(_, eid) in road.neighbors(node) {
+                if seen.contains(&eid) {
+                    continue;
+                }
+                seen.push(eid);
+                let e = road.edge(eid);
+                let (a, b) = (road.position(e.u), road.position(e.v));
+                let (point, t) = project_to_segment(p, &a, &b);
+                let dist = p.dist(&point);
+                if dist <= radius {
+                    out.push(EdgeProjection { edge: eid, point, t, dist });
+                }
+            }
+        });
+        out.sort_by(|x, y| {
+            x.dist
+                .partial_cmp(&y.dist)
+                .expect("distances are not NaN")
+                .then(x.edge.cmp(&y.edge))
+        });
+        out.truncate(max_candidates);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_graph::RoadEdge;
+
+    fn grid_road() -> RoadNetwork {
+        // 3×3 grid, spacing 100 m.
+        let mut positions = Vec::new();
+        for r in 0..3 {
+            for c in 0..3 {
+                positions.push(Point::new(c as f64 * 100.0, r as f64 * 100.0));
+            }
+        }
+        let mut edges = Vec::new();
+        for r in 0..3u32 {
+            for c in 0..3u32 {
+                let u = r * 3 + c;
+                if c + 1 < 3 {
+                    edges.push(RoadEdge { u, v: u + 1, length: 100.0 });
+                }
+                if r + 1 < 3 {
+                    edges.push(RoadEdge { u, v: u + 3, length: 100.0 });
+                }
+            }
+        }
+        RoadNetwork::new(positions, edges)
+    }
+
+    #[test]
+    fn segment_projection_interior() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(100.0, 0.0);
+        let (q, t) = project_to_segment(&Point::new(30.0, 40.0), &a, &b);
+        assert!((q.x - 30.0).abs() < 1e-12 && q.y.abs() < 1e-12);
+        assert!((t - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_projection_clamps_to_endpoints() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(100.0, 0.0);
+        let (q, t) = project_to_segment(&Point::new(-50.0, 10.0), &a, &b);
+        assert_eq!((q, t), (a, 0.0));
+        let (q, t) = project_to_segment(&Point::new(180.0, -10.0), &a, &b);
+        assert_eq!((q, t), (b, 1.0));
+    }
+
+    #[test]
+    fn degenerate_segment_projects_to_the_point() {
+        let a = Point::new(5.0, 5.0);
+        let (q, t) = project_to_segment(&Point::new(9.0, 9.0), &a, &a);
+        assert_eq!((q, t), (a, 0.0));
+    }
+
+    #[test]
+    fn candidates_are_sorted_and_within_radius() {
+        let road = grid_road();
+        let idx = CandidateIndex::new(&road, 100.0);
+        // Slightly off the middle of edge (0,0)-(100,0).
+        let cands = idx.candidates(&road, &Point::new(50.0, 10.0), 60.0, 8);
+        assert!(!cands.is_empty());
+        for c in &cands {
+            assert!(c.dist <= 60.0);
+            assert!((0.0..=1.0).contains(&c.t));
+        }
+        for w in cands.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+        // Best candidate is the bottom edge, 10 m away.
+        assert!((cands[0].dist - 10.0).abs() < 1e-9);
+        let best = road.edge(cands[0].edge);
+        assert!(best.u == 0 && best.v == 1 || best.u == 1 && best.v == 0);
+    }
+
+    #[test]
+    fn candidates_deduplicate_edges() {
+        let road = grid_road();
+        let idx = CandidateIndex::new(&road, 50.0);
+        // Query near a vertex: both endpoints of several edges in range.
+        let cands = idx.candidates(&road, &Point::new(100.0, 100.0), 120.0, 64);
+        let mut ids: Vec<u32> = cands.iter().map(|c| c.edge).collect();
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "duplicate edge candidates");
+    }
+
+    #[test]
+    fn max_candidates_truncates() {
+        let road = grid_road();
+        let idx = CandidateIndex::new(&road, 100.0);
+        let all = idx.candidates(&road, &Point::new(100.0, 100.0), 150.0, 64);
+        let two = idx.candidates(&road, &Point::new(100.0, 100.0), 150.0, 2);
+        assert!(all.len() > 2);
+        assert_eq!(two.len(), 2);
+        assert_eq!(two[..], all[..2]);
+    }
+
+    #[test]
+    fn far_query_finds_nothing() {
+        let road = grid_road();
+        let idx = CandidateIndex::new(&road, 100.0);
+        assert!(idx.candidates(&road, &Point::new(5000.0, 5000.0), 60.0, 8).is_empty());
+    }
+
+    #[test]
+    fn long_edge_found_from_its_middle() {
+        // One 1 km edge; query sits near its midpoint, far from both
+        // endpoints — the inflated search radius must still find it.
+        let road = RoadNetwork::new(
+            vec![Point::new(0.0, 0.0), Point::new(1000.0, 0.0)],
+            vec![RoadEdge { u: 0, v: 1, length: 1000.0 }],
+        );
+        let idx = CandidateIndex::new(&road, 100.0);
+        let cands = idx.candidates(&road, &Point::new(500.0, 20.0), 50.0, 4);
+        assert_eq!(cands.len(), 1);
+        assert!((cands[0].dist - 20.0).abs() < 1e-9);
+        assert!((cands[0].t - 0.5).abs() < 1e-9);
+    }
+}

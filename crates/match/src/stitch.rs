@@ -1,0 +1,212 @@
+//! Stitching matched candidates into connected road trajectories.
+//!
+//! Each matched point pins the vehicle to a position on one road edge; the
+//! stitcher anchors every point at its nearer edge endpoint and joins
+//! consecutive anchors with road shortest paths. The result is one
+//! [`Trajectory`] per connected match segment, directly consumable by
+//! [`ct_data::DemandModel`] — closing the paper's raw-GPS → demand loop.
+
+use ct_data::Trajectory;
+use ct_graph::{shortest_path, RoadNetwork};
+
+use crate::viterbi::{MatchResult, MatchedPoint};
+
+/// Converts a match into road trajectories, one per connected segment.
+///
+/// Segments that collapse to a single point still produce a one-edge
+/// trajectory (the vehicle was observed on that edge). Consecutive anchors
+/// in different road components split the segment further instead of
+/// failing.
+pub fn stitch_route(road: &RoadNetwork, result: &MatchResult) -> Vec<Trajectory> {
+    let mut out = Vec::new();
+    for segment in result.segments() {
+        stitch_segment(road, segment, &mut out);
+    }
+    out
+}
+
+/// The endpoint of the matched edge nearer to the projection.
+fn anchor(road: &RoadNetwork, m: &MatchedPoint) -> u32 {
+    let e = road.edge(m.candidate.edge);
+    if m.candidate.t < 0.5 {
+        e.u
+    } else {
+        e.v
+    }
+}
+
+fn stitch_segment(road: &RoadNetwork, segment: &[MatchedPoint], out: &mut Vec<Trajectory>) {
+    if segment.is_empty() {
+        return;
+    }
+    let mut nodes: Vec<u32> = vec![anchor(road, &segment[0])];
+    let mut edges: Vec<u32> = Vec::new();
+    for m in &segment[1..] {
+        let next = anchor(road, m);
+        let last = *nodes.last().unwrap();
+        if next == last {
+            continue;
+        }
+        match shortest_path(road, last, next) {
+            Some(path) => {
+                nodes.extend_from_slice(&path.nodes[1..]);
+                edges.extend_from_slice(&path.edges);
+            }
+            None => {
+                // Different road component: flush what we have, restart.
+                flush(road, &nodes, &edges, segment, out);
+                nodes = vec![next];
+                edges = Vec::new();
+            }
+        }
+    }
+    flush(road, &nodes, &edges, segment, out);
+}
+
+/// Emits the accumulated path, falling back to the first matched edge when
+/// the anchors never moved.
+fn flush(
+    road: &RoadNetwork,
+    nodes: &[u32],
+    edges: &[u32],
+    segment: &[MatchedPoint],
+    out: &mut Vec<Trajectory>,
+) {
+    if !edges.is_empty() {
+        out.push(Trajectory::new(nodes.to_vec(), edges.to_vec()));
+        return;
+    }
+    // All anchors identical: the whole segment sat on (or near) one spot.
+    // Represent it by the first matched edge so demand still sees it.
+    let m = &segment[0];
+    let e = road.edge(m.candidate.edge);
+    out.push(Trajectory::new(vec![e.u, e.v], vec![m.candidate.edge]));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::project::EdgeProjection;
+    use ct_graph::RoadEdge;
+    use ct_spatial::Point;
+
+    fn grid_road(n: u32, spacing: f64) -> RoadNetwork {
+        let mut positions = Vec::new();
+        for r in 0..n {
+            for c in 0..n {
+                positions.push(Point::new(c as f64 * spacing, r as f64 * spacing));
+            }
+        }
+        let mut edges = Vec::new();
+        for r in 0..n {
+            for c in 0..n {
+                let u = r * n + c;
+                if c + 1 < n {
+                    edges.push(RoadEdge { u, v: u + 1, length: spacing });
+                }
+                if r + 1 < n {
+                    edges.push(RoadEdge { u, v: u + n, length: spacing });
+                }
+            }
+        }
+        RoadNetwork::new(positions, edges)
+    }
+
+    fn matched(road: &RoadNetwork, edge: u32, t: f64, sample_idx: usize) -> MatchedPoint {
+        let e = road.edge(edge);
+        let (a, b) = (road.position(e.u), road.position(e.v));
+        MatchedPoint {
+            sample_idx,
+            candidate: EdgeProjection { edge, point: a.lerp(&b, t), t, dist: 0.0 },
+        }
+    }
+
+    #[test]
+    fn straight_run_stitches_to_one_consistent_trajectory() {
+        let road = grid_road(3, 100.0);
+        // Bottom row edges 0→1→2: find their ids.
+        let e01 = road.neighbors(0).iter().find(|&&(v, _)| v == 1).unwrap().1;
+        let e12 = road.neighbors(1).iter().find(|&&(v, _)| v == 2).unwrap().1;
+        let result = MatchResult {
+            matched: vec![
+                matched(&road, e01, 0.1, 0),
+                matched(&road, e01, 0.9, 1),
+                matched(&road, e12, 0.9, 2),
+            ],
+            ..Default::default()
+        };
+        let trajs = stitch_route(&road, &result);
+        assert_eq!(trajs.len(), 1);
+        assert!(trajs[0].is_consistent(&road));
+        assert_eq!(trajs[0].edges, vec![e01, e12]);
+    }
+
+    #[test]
+    fn breaks_produce_separate_trajectories() {
+        let road = grid_road(3, 100.0);
+        let e01 = road.neighbors(0).iter().find(|&&(v, _)| v == 1).unwrap().1;
+        let e12 = road.neighbors(1).iter().find(|&&(v, _)| v == 2).unwrap().1;
+        let result = MatchResult {
+            matched: vec![
+                matched(&road, e01, 0.1, 0),
+                matched(&road, e01, 0.9, 1),
+                matched(&road, e12, 0.1, 2),
+                matched(&road, e12, 0.9, 3),
+            ],
+            breaks: vec![2],
+            ..Default::default()
+        };
+        let trajs = stitch_route(&road, &result);
+        assert_eq!(trajs.len(), 2);
+        for t in &trajs {
+            assert!(t.is_consistent(&road));
+        }
+    }
+
+    #[test]
+    fn stationary_segment_emits_single_edge() {
+        let road = grid_road(3, 100.0);
+        let e01 = road.neighbors(0).iter().find(|&&(v, _)| v == 1).unwrap().1;
+        let result = MatchResult {
+            matched: vec![matched(&road, e01, 0.2, 0), matched(&road, e01, 0.3, 1)],
+            ..Default::default()
+        };
+        let trajs = stitch_route(&road, &result);
+        assert_eq!(trajs.len(), 1);
+        assert_eq!(trajs[0].edges, vec![e01]);
+        assert!(trajs[0].is_consistent(&road));
+    }
+
+    #[test]
+    fn disconnected_anchors_split_instead_of_failing() {
+        let road = RoadNetwork::new(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(100.0, 0.0),
+                Point::new(10_000.0, 0.0),
+                Point::new(10_100.0, 0.0),
+            ],
+            vec![
+                RoadEdge { u: 0, v: 1, length: 100.0 },
+                RoadEdge { u: 2, v: 3, length: 100.0 },
+            ],
+        );
+        // One segment (no declared break) whose anchors hop components —
+        // stitcher must still split.
+        let result = MatchResult {
+            matched: vec![matched(&road, 0, 0.1, 0), matched(&road, 1, 0.9, 1)],
+            ..Default::default()
+        };
+        let trajs = stitch_route(&road, &result);
+        assert_eq!(trajs.len(), 2);
+        for t in &trajs {
+            assert!(t.is_consistent(&road));
+        }
+    }
+
+    #[test]
+    fn empty_result_gives_no_trajectories() {
+        let road = grid_road(2, 100.0);
+        assert!(stitch_route(&road, &MatchResult::default()).is_empty());
+    }
+}

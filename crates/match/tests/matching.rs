@@ -1,0 +1,203 @@
+//! End-to-end and property tests for the map-matching pipeline:
+//! ground truth → simulated GPS → HMM match → stitched trajectories.
+
+use ct_data::CityConfig;
+use ct_match::{
+    evaluate_match, project_to_segment, simulate_trace, stitch_route,viterbi::LatticeStep,
+    viterbi::viterbi, CandidateIndex, GpsSimConfig, HmmParams, MapMatcher,
+};
+use ct_spatial::Point;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn city_scale_matching_recovers_demand_paths() {
+    let city = CityConfig::small().trajectories(60).seed(42).generate();
+    let matcher = MapMatcher::new(&city.road, HmmParams::default());
+    let cfg = GpsSimConfig { noise_sigma_m: 10.0, sample_interval_s: 8.0, ..Default::default() };
+    let mut rng = StdRng::seed_from_u64(1234);
+
+    let mut f1_sum = 0.0;
+    let mut n = 0usize;
+    for truth in city.trajectories.iter().filter(|t| t.len() >= 3).take(25) {
+        let trace = simulate_trace(&city.road, truth, &cfg, &mut rng);
+        let result = matcher.match_trace(&trace);
+        let stitched = stitch_route(&city.road, &result);
+        for t in &stitched {
+            assert!(t.is_consistent(&city.road), "stitched path inconsistent");
+        }
+        let acc = evaluate_match(&city.road, truth, &stitched);
+        f1_sum += acc.f1();
+        n += 1;
+    }
+    assert!(n >= 10, "not enough usable trajectories in the small city");
+    let mean_f1 = f1_sum / n as f64;
+    assert!(mean_f1 >= 0.7, "mean F1 {mean_f1:.3} too low on city-scale matching");
+}
+
+#[test]
+fn matched_demand_approximates_true_demand() {
+    // The whole point of the substrate: demand aggregated from matched
+    // trajectories should track demand from ground truth.
+    let city = CityConfig::small().trajectories(40).seed(7).generate();
+    let matcher = MapMatcher::new(&city.road, HmmParams::default());
+    let cfg = GpsSimConfig { noise_sigma_m: 8.0, sample_interval_s: 6.0, ..Default::default() };
+    let mut rng = StdRng::seed_from_u64(99);
+
+    let truths: Vec<_> = city.trajectories.iter().filter(|t| t.len() >= 3).take(20).cloned().collect();
+    let mut matched_all = Vec::new();
+    for truth in &truths {
+        let trace = simulate_trace(&city.road, truth, &cfg, &mut rng);
+        matched_all.extend(stitch_route(&city.road, &matcher.match_trace(&trace)));
+    }
+    let true_demand = ct_data::DemandModel::new(&city.road, &truths);
+    let est_demand = ct_data::DemandModel::new(&city.road, &matched_all);
+
+    // Compare total demand mass: within 35% (noise adds/drops edges).
+    let (t, e) = (true_demand.total_weight(), est_demand.total_weight());
+    assert!(t > 0.0);
+    let rel = (t - e).abs() / t;
+    assert!(rel < 0.35, "matched demand mass off by {:.0}%", rel * 100.0);
+}
+
+#[test]
+fn dropout_still_yields_connected_segments() {
+    let city = CityConfig::small().trajectories(30).seed(5).generate();
+    let matcher = MapMatcher::new(&city.road, HmmParams::default());
+    let cfg = GpsSimConfig {
+        noise_sigma_m: 10.0,
+        sample_interval_s: 5.0,
+        dropout: 0.4,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(31);
+    let truth = city
+        .trajectories
+        .iter()
+        .filter(|t| t.len() >= 5)
+        .max_by_key(|t| t.len())
+        .expect("a long trajectory");
+    let trace = simulate_trace(&city.road, truth, &cfg, &mut rng);
+    let result = matcher.match_trace(&trace);
+    let stitched = stitch_route(&city.road, &result);
+    assert!(!stitched.is_empty());
+    for t in &stitched {
+        assert!(t.is_consistent(&city.road));
+    }
+}
+
+proptest! {
+    #[test]
+    fn segment_projection_invariants(
+        px in -500.0..500.0f64, py in -500.0..500.0f64,
+        ax in -500.0..500.0f64, ay in -500.0..500.0f64,
+        bx in -500.0..500.0f64, by in -500.0..500.0f64,
+    ) {
+        let p = Point::new(px, py);
+        let a = Point::new(ax, ay);
+        let b = Point::new(bx, by);
+        let (q, t) = project_to_segment(&p, &a, &b);
+        prop_assert!((0.0..=1.0).contains(&t));
+        // The projection is never farther than either endpoint.
+        let d = p.dist(&q);
+        prop_assert!(d <= p.dist(&a) + 1e-9);
+        prop_assert!(d <= p.dist(&b) + 1e-9);
+        // The projection lies on the segment: |aq| + |qb| == |ab|.
+        prop_assert!((a.dist(&q) + q.dist(&b) - a.dist(&b)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn candidate_query_respects_radius_and_order(
+        qx in 0.0..400.0f64, qy in 0.0..400.0f64, radius in 10.0..200.0f64,
+    ) {
+        let mut positions = Vec::new();
+        for r in 0..5 {
+            for c in 0..5 {
+                positions.push(Point::new(c as f64 * 100.0, r as f64 * 100.0));
+            }
+        }
+        let mut edges = Vec::new();
+        for r in 0..5u32 {
+            for c in 0..5u32 {
+                let u = r * 5 + c;
+                if c + 1 < 5 { edges.push(ct_graph::RoadEdge { u, v: u + 1, length: 100.0 }); }
+                if r + 1 < 5 { edges.push(ct_graph::RoadEdge { u, v: u + 5, length: 100.0 }); }
+            }
+        }
+        let road = ct_graph::RoadNetwork::new(positions, edges);
+        let idx = CandidateIndex::new(&road, 120.0);
+        let cands = idx.candidates(&road, &Point::new(qx, qy), radius, 16);
+        for c in &cands {
+            prop_assert!(c.dist <= radius + 1e-9);
+            prop_assert!((0.0..=1.0).contains(&c.t));
+        }
+        for w in cands.windows(2) {
+            prop_assert!(w[0].dist <= w[1].dist);
+        }
+        // Inside the grid interior every query within 50 m of an edge must
+        // return something: the nearest edge is at most 50 m away.
+        if radius >= 51.0 {
+            prop_assert!(!cands.is_empty());
+        }
+    }
+
+    #[test]
+    fn viterbi_on_random_lattices_is_total_and_finite(
+        seed in 0u64..5000,
+        n_steps in 1usize..6,
+        n_cand in 1usize..4,
+    ) {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let steps: Vec<LatticeStep> = (0..n_steps).map(|i| LatticeStep {
+            sample_idx: i,
+            pos: Point::new(0.0, 0.0),
+            candidates: (0..n_cand).map(|c| ct_match::EdgeProjection {
+                edge: c as u32,
+                point: Point::new(0.0, 0.0),
+                t: 0.5,
+                dist: 1.0,
+            }).collect(),
+            emission: (0..n_cand).map(|_| -rng.gen_range(0.0..10.0)).collect(),
+        }).collect();
+        let transitions: Vec<Vec<Vec<f64>>> = (1..n_steps).map(|_| {
+            (0..n_cand).map(|_| (0..n_cand).map(|_| {
+                if rng.gen_bool(0.2) { f64::NEG_INFINITY } else { -rng.gen_range(0.0..5.0) }
+            }).collect()).collect()
+        }).collect();
+        let r = viterbi(&steps, &transitions);
+        // Every step is matched exactly once, in order.
+        prop_assert_eq!(r.matched.len(), n_steps);
+        for (i, m) in r.matched.iter().enumerate() {
+            prop_assert_eq!(m.sample_idx, i);
+        }
+        prop_assert!(r.log_likelihood.is_finite());
+        // Breaks are strictly increasing interior indices.
+        for w in r.breaks.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        for &b in &r.breaks {
+            prop_assert!(b > 0 && b < n_steps);
+        }
+        // Segments partition the match.
+        let total: usize = r.segments().iter().map(|s| s.len()).sum();
+        prop_assert_eq!(total, n_steps);
+    }
+
+    #[test]
+    fn simulator_times_are_monotone(seed in 0u64..1000, sigma in 0.0..30.0f64) {
+        let city = CityConfig::small().trajectories(5).seed(seed).generate();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = GpsSimConfig { noise_sigma_m: sigma, ..Default::default() };
+        for truth in &city.trajectories {
+            let trace = simulate_trace(&city.road, truth, &cfg, &mut rng);
+            for w in trace.samples.windows(2) {
+                prop_assert!(w[0].t < w[1].t);
+            }
+            if !truth.nodes.is_empty() && cfg.dropout == 0.0 {
+                prop_assert!(!trace.is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Uniform grid index for fixed-radius neighbor queries.
+//!
+//! CT-Bus generates *candidate edges* by pairing every stop with all other
+//! stops within the spacing threshold `τ` (0.5 km by default). A uniform grid
+//! with cell size ≈ τ answers those queries in near-constant time on
+//! city-scale stop sets, without the complexity of an R-tree.
+
+use std::collections::HashMap;
+
+use crate::point::Point;
+
+/// A uniform grid over projected points keyed by integer cell coordinates.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    cell: f64,
+    cells: HashMap<(i32, i32), Vec<u32>>,
+    points: Vec<Point>,
+}
+
+impl GridIndex {
+    /// Creates an empty index with the given cell size (meters).
+    ///
+    /// # Panics
+    /// Panics if `cell_size` is not strictly positive and finite.
+    pub fn new(cell_size: f64) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "grid cell size must be positive, got {cell_size}"
+        );
+        GridIndex {
+            cell: cell_size,
+            cells: HashMap::new(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Builds an index over `points`, where the id of each point is its index.
+    pub fn build(cell_size: f64, points: &[Point]) -> Self {
+        let mut g = GridIndex::new(cell_size);
+        g.points.reserve(points.len());
+        for p in points {
+            g.insert(*p);
+        }
+        g
+    }
+
+    fn key(&self, p: &Point) -> (i32, i32) {
+        (
+            (p.x / self.cell).floor() as i32,
+            (p.y / self.cell).floor() as i32,
+        )
+    }
+
+    /// Inserts a point and returns its id (sequential).
+    pub fn insert(&mut self, p: Point) -> u32 {
+        let id = self.points.len() as u32;
+        let key = self.key(&p);
+        self.cells.entry(key).or_default().push(id);
+        self.points.push(p);
+        id
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The stored location of point `id`.
+    pub fn point(&self, id: u32) -> Point {
+        self.points[id as usize]
+    }
+
+    /// Ids of all points within `radius` meters of `center` (inclusive),
+    /// in ascending id order.
+    pub fn within(&self, center: &Point, radius: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.for_each_within(center, radius, |id| out.push(id));
+        out.sort_unstable();
+        out
+    }
+
+    /// Visits every point id within `radius` meters of `center` (inclusive).
+    pub fn for_each_within<F: FnMut(u32)>(&self, center: &Point, radius: f64, mut f: F) {
+        let r2 = radius * radius;
+        let span = (radius / self.cell).ceil() as i32;
+        let (cx, cy) = self.key(center);
+        for gx in (cx - span)..=(cx + span) {
+            for gy in (cy - span)..=(cy + span) {
+                if let Some(ids) = self.cells.get(&(gx, gy)) {
+                    for &id in ids {
+                        if self.points[id as usize].dist_sq(center) <= r2 {
+                            f(id);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The nearest indexed point to `center`, or `None` if the index is empty.
+    ///
+    /// Expands the search ring outward so it remains fast even when the
+    /// nearest point is several cells away.
+    pub fn nearest(&self, center: &Point) -> Option<u32> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let (cx, cy) = self.key(center);
+        let mut best: Option<(f64, u32)> = None;
+        let mut ring = 0i32;
+        loop {
+            // Scan the square ring at Chebyshev distance `ring`.
+            for gx in (cx - ring)..=(cx + ring) {
+                for gy in (cy - ring)..=(cy + ring) {
+                    if (gx - cx).abs().max((gy - cy).abs()) != ring {
+                        continue;
+                    }
+                    if let Some(ids) = self.cells.get(&(gx, gy)) {
+                        for &id in ids {
+                            let d2 = self.points[id as usize].dist_sq(center);
+                            if best.is_none_or(|(bd, bid)| {
+                                d2 < bd || (d2 == bd && id < bid)
+                            }) {
+                                best = Some((d2, id));
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some((bd, _)) = best {
+                // Points in farther rings are at least (ring) * cell away from
+                // the center cell's boundary; once that exceeds the best
+                // distance we can stop.
+                let safe = (ring as f64) * self.cell;
+                if bd.sqrt() <= safe {
+                    break;
+                }
+            }
+            ring += 1;
+            let max_ring = 2 + (self
+                .cells
+                .keys()
+                .map(|&(x, y)| (x - cx).abs().max((y - cy).abs()))
+                .max()
+                .unwrap_or(0));
+            if ring > max_ring {
+                break;
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cross() -> Vec<Point> {
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 0.0),
+            Point::new(0.0, 100.0),
+            Point::new(-100.0, 0.0),
+            Point::new(0.0, -100.0),
+            Point::new(500.0, 500.0),
+        ]
+    }
+
+    #[test]
+    fn within_finds_exactly_the_close_points() {
+        let g = GridIndex::build(50.0, &cross());
+        let found = g.within(&Point::new(0.0, 0.0), 150.0);
+        assert_eq!(found, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn within_radius_is_inclusive() {
+        let g = GridIndex::build(50.0, &cross());
+        let found = g.within(&Point::new(0.0, 0.0), 100.0);
+        assert_eq!(found, vec![0, 1, 2, 3, 4]);
+        let found = g.within(&Point::new(0.0, 0.0), 99.999);
+        assert_eq!(found, vec![0]);
+    }
+
+    #[test]
+    fn within_empty_when_nothing_close() {
+        let g = GridIndex::build(50.0, &cross());
+        assert!(g.within(&Point::new(10_000.0, 10_000.0), 100.0).is_empty());
+    }
+
+    #[test]
+    fn nearest_picks_closest() {
+        let g = GridIndex::build(50.0, &cross());
+        assert_eq!(g.nearest(&Point::new(90.0, 5.0)), Some(1));
+        assert_eq!(g.nearest(&Point::new(480.0, 510.0)), Some(5));
+    }
+
+    #[test]
+    fn nearest_on_empty_index() {
+        let g = GridIndex::new(10.0);
+        assert_eq!(g.nearest(&Point::new(0.0, 0.0)), None);
+    }
+
+    #[test]
+    fn nearest_far_query_still_resolves() {
+        let g = GridIndex::build(25.0, &cross());
+        // Query point is dozens of cells away from all data.
+        assert_eq!(g.nearest(&Point::new(5000.0, 4000.0)), Some(5));
+    }
+
+    #[test]
+    fn brute_force_equivalence_on_lattice() {
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                pts.push(Point::new(i as f64 * 37.0, j as f64 * 23.0));
+            }
+        }
+        let g = GridIndex::build(60.0, &pts);
+        let q = Point::new(300.0, 200.0);
+        let r = 130.0;
+        let mut brute: Vec<u32> = (0..pts.len() as u32)
+            .filter(|&i| pts[i as usize].dist(&q) <= r)
+            .collect();
+        brute.sort_unstable();
+        assert_eq!(g.within(&q, r), brute);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid cell size must be positive")]
+    fn zero_cell_size_panics() {
+        GridIndex::new(0.0);
+    }
+}

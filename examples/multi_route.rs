@@ -1,0 +1,41 @@
+//! Multi-route planning (paper §6.3): plan several routes back to back,
+//! folding each into the network and zeroing the demand it serves, so each
+//! new route chases *unserved* commuters.
+//!
+//! ```sh
+//! cargo run --release --example multi_route
+//! ```
+
+use ct_bus::core::{plan_multiple, CtBusParams, PlannerMode};
+use ct_bus::data::{CityConfig, DemandModel};
+
+fn main() {
+    let city = CityConfig::small().seed(99).generate();
+    let demand = DemandModel::from_city(&city);
+    println!("{}: {:?}", city.name, city.stats());
+
+    let params = CtBusParams { k: 8, it_max: 6_000, ..CtBusParams::small_defaults() };
+    let plans = plan_multiple(&city, &demand, params, 4, PlannerMode::EtaPre);
+
+    println!("\nplanned {} routes:", plans.len());
+    println!(
+        "{:>3} {:>6} {:>5} {:>10} {:>13} {:>9}",
+        "#", "edges", "new", "demand", "conn Oλ(μ)", "km"
+    );
+    for (i, p) in plans.iter().enumerate() {
+        println!(
+            "{:>3} {:>6} {:>5} {:>10.0} {:>13.5} {:>9.2}",
+            i + 1,
+            p.num_edges(),
+            p.num_new_edges(),
+            p.demand,
+            p.conn_increment,
+            p.length_m / 1000.0
+        );
+    }
+    println!(
+        "\nDemand per route shrinks as earlier routes absorb the hottest \
+         corridors; connectivity increments stay positive because each route \
+         keeps adding new links."
+    );
+}

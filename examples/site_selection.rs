@@ -1,0 +1,49 @@
+//! Stop site selection for an under-served city (paper §8 future work).
+//!
+//! A small city with sparse transit: trajectories reveal where people
+//! actually travel, and most of that demand is far from any existing stop.
+//! Site selection places new stops to cover the unmet demand while staying
+//! linkable into the existing network.
+//!
+//! ```sh
+//! cargo run --release --example site_selection
+//! ```
+
+use ct_bus::core::{select_sites, SiteParams};
+use ct_bus::data::{CityConfig, DemandModel};
+
+fn main() {
+    // Sparse transit: only 3 routes for a whole town.
+    let city = CityConfig::small().routes(3).trajectories(400).seed(61).generate();
+    let demand = DemandModel::from_city(&city);
+    let stats = city.stats();
+    println!(
+        "city: {} road nodes, {} stops on {} routes, |D| = {}",
+        stats.road_nodes, stats.stops, stats.routes, stats.trajectories
+    );
+    println!("total demand weight: {:.0}\n", demand.total_weight());
+
+    for (label, w) in [("demand-first (w=1.0)", 1.0), ("balanced (w=0.7)", 0.7)] {
+        let params = SiteParams { num_sites: 6, w, ..Default::default() };
+        let sel = select_sites(&city, &demand, &params);
+        println!("{label}: {} candidate nodes considered", sel.candidates);
+        for (i, s) in sel.sites.iter().enumerate() {
+            let p = city.road.position(s.road_node);
+            println!(
+                "  site {}: road node {:>4} at ({:>6.0}, {:>6.0}) — marginal demand {:>7.0}, \
+                 connectivity potential {:.2}",
+                i + 1,
+                s.road_node,
+                p.x,
+                p.y,
+                s.marginal_demand,
+                s.conn_potential
+            );
+        }
+        println!(
+            "  → covers {:.0} demand ({:.1}% of the corpus)\n",
+            sel.covered_demand,
+            sel.coverage_fraction * 100.0
+        );
+    }
+}

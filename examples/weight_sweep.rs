@@ -1,0 +1,47 @@
+//! Weight sweep: how the trade-off parameter `w` shifts a planned route
+//! between serving demand (`w = 1`) and stitching the network together
+//! (`w = 0`) — the paper's Figs. 7–8 contrast and the grey rows of Table 6.
+//!
+//! ```sh
+//! cargo run --release --example weight_sweep
+//! ```
+
+use ct_bus::core::{evaluate_plan, CtBusParams, Planner, PlannerMode};
+use ct_bus::data::{CityConfig, DemandModel};
+
+fn main() {
+    let city = CityConfig::medium().generate();
+    let demand = DemandModel::from_city(&city);
+    println!("{}: {:?}", city.name, city.stats());
+
+    println!(
+        "\n{:>4} {:>7} {:>9} {:>12} {:>11} {:>9} {:>9}",
+        "w", "edges", "demand", "conn Oλ(μ)", "#transfers", "ζ(μ)", "#crossed"
+    );
+    for w in [0.0, 0.3, 0.5, 0.7, 1.0] {
+        let params = CtBusParams {
+            k: 14,
+            w,
+            sn: 1200,
+            it_max: 15_000,
+            ..CtBusParams::small_defaults()
+        };
+        let planner = Planner::new(&city, &demand, params);
+        let res = planner.run(PlannerMode::EtaPre);
+        let m = evaluate_plan(&city, &res.best, &planner.precomputed().candidates);
+        println!(
+            "{:>4.1} {:>7} {:>9.0} {:>12.5} {:>11.2} {:>9.2} {:>9}",
+            w,
+            res.best.num_edges(),
+            res.best.demand,
+            res.best.conn_increment,
+            m.transfers_avoided,
+            m.distance_ratio,
+            m.crossed_routes
+        );
+    }
+    println!(
+        "\nExpected shape (paper Insight 1.4/2): smaller w ⇒ higher connectivity \
+         increment and more crossed routes; larger w ⇒ more demand met."
+    );
+}

@@ -1,0 +1,23 @@
+//! `ctbus` — plan connectivity- and demand-aware bus routes from the shell.
+
+use ct_bus::cli::{Cli, USAGE};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "help" {
+        eprint!("{USAGE}");
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    let cli = match Cli::parse(args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let mut stdout = std::io::stdout().lock();
+    if let Err(e) = cli.execute(&mut stdout) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,589 @@
+//! Command-line interface for the `ctbus` binary.
+//!
+//! Subcommands:
+//!
+//! * `generate --preset <name> [--seed N] [--out city.json]` — synthesize a
+//!   city and snapshot it;
+//! * `stats --city city.json` — Table 5-style statistics;
+//! * `plan --city city.json [--k N] [--w F] [--tau M] [--tn N] [--mode M]
+//!   [--geojson out.geojson]` — plan one route and report it;
+//! * `multi --city city.json --routes N [...]` — sequential multi-route
+//!   planning (paper §6.3);
+//! * `sites --city city.json [--n N] [--w F]` — new-stop site selection
+//!   (paper §8 future work);
+//! * `augment --city city.json [--k N] [--no-bound true]` — k-edge
+//!   connectivity augmentation with Golden–Thompson pruning (paper §8);
+//! * `gtfs-export --city city.json --out dir` / `gtfs-import --gtfs dir
+//!   --city city.json --out city2.json` — GTFS round trip.
+//!
+//! Argument parsing is hand-rolled (no CLI dependency) and unit-tested.
+
+use std::collections::HashMap;
+
+use crate::core::{
+    augment_connectivity, evaluate_plan, plan_multiple, select_sites, AugmentParams, CtBusParams,
+    Planner, PlannerMode, SiteParams,
+};
+use crate::data::{
+    load_city_json, save_city_json, City, CityConfig, DemandModel, GeoJsonExporter, GtfsFeed,
+};
+use crate::spatial::{GeoPoint, Projection};
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The subcommand name.
+    pub command: String,
+    /// `--key value` options.
+    pub options: HashMap<String, String>,
+}
+
+/// Errors surfaced to the user with exit code 2.
+#[derive(Debug, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+ctbus — connectivity- and demand-aware bus route planning (SIGMOD'21 CT-Bus)
+
+USAGE:
+  ctbus generate --preset <small|medium|chicago|nyc|manhattan|queens|brooklyn|staten-island|bronx>
+                 [--seed N] [--trajectories N] [--out city.json]
+  ctbus stats    --city city.json
+  ctbus plan     --city city.json [--k N] [--w F] [--tau M] [--tn N]
+                 [--mode eta|eta-pre|vk-tsp] [--geojson out.geojson]
+  ctbus multi    --city city.json --routes N [--k N] [--w F]
+  ctbus sites    --city city.json [--n N] [--w F] [--walk M] [--gap M]
+  ctbus augment  --city city.json [--k N] [--pool N] [--no-bound true]
+  ctbus gtfs-export --city city.json --out <dir>
+  ctbus gtfs-import --gtfs <dir> --city city.json [--out city2.json]
+";
+
+impl Cli {
+    /// Parses `args` (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, UsageError> {
+        let mut it = args.into_iter();
+        let command = it
+            .next()
+            .ok_or_else(|| UsageError("missing subcommand".into()))?;
+        if !matches!(
+            command.as_str(),
+            "generate" | "stats" | "plan" | "multi" | "sites" | "augment" | "gtfs-export"
+                | "gtfs-import"
+        ) {
+            return Err(UsageError(format!("unknown subcommand `{command}`")));
+        }
+        let mut options = HashMap::new();
+        while let Some(flag) = it.next() {
+            let key = flag
+                .strip_prefix("--")
+                .ok_or_else(|| UsageError(format!("expected --flag, got `{flag}`")))?;
+            let value = it
+                .next()
+                .ok_or_else(|| UsageError(format!("--{key} needs a value")))?;
+            options.insert(key.to_string(), value);
+        }
+        Ok(Cli { command, options })
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, UsageError> {
+        match self.options.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| UsageError(format!("--{key}: cannot parse `{v}`"))),
+        }
+    }
+
+    fn required(&self, key: &str) -> Result<&str, UsageError> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| UsageError(format!("--{key} is required")))
+    }
+
+    /// Resolves a preset name to a generator configuration.
+    pub fn preset(name: &str) -> Result<CityConfig, UsageError> {
+        Ok(match name {
+            "small" => CityConfig::small(),
+            "medium" => CityConfig::medium(),
+            "chicago" => CityConfig::chicago_like(),
+            "nyc" => CityConfig::nyc_like(),
+            "manhattan" => CityConfig::manhattan_like(),
+            "queens" => CityConfig::queens_like(),
+            "brooklyn" => CityConfig::brooklyn_like(),
+            "staten-island" => CityConfig::staten_island_like(),
+            "bronx" => CityConfig::bronx_like(),
+            other => return Err(UsageError(format!("unknown preset `{other}`"))),
+        })
+    }
+
+    /// Resolves the planner mode option.
+    pub fn mode(&self) -> Result<PlannerMode, UsageError> {
+        Ok(match self.options.get("mode").map(String::as_str) {
+            None | Some("eta-pre") => PlannerMode::EtaPre,
+            Some("eta") => PlannerMode::Eta,
+            Some("vk-tsp") => PlannerMode::VkTsp,
+            Some(other) => return Err(UsageError(format!("unknown mode `{other}`"))),
+        })
+    }
+
+    /// Builds planner parameters from the options over sensible defaults.
+    pub fn params(&self) -> Result<CtBusParams, UsageError> {
+        let mut p = CtBusParams::paper_defaults();
+        if let Some(k) = self.get::<usize>("k")? {
+            p.k = k;
+        }
+        if let Some(w) = self.get::<f64>("w")? {
+            p.w = w;
+        }
+        if let Some(tau) = self.get::<f64>("tau")? {
+            p.tau_m = tau;
+        }
+        if let Some(tn) = self.get::<u32>("tn")? {
+            p.tn_max = tn;
+        }
+        if let Some(sn) = self.get::<usize>("sn")? {
+            p.sn = sn;
+        }
+        if let Some(it) = self.get::<u64>("it-max")? {
+            p.it_max = it;
+        }
+        let problems = p.validate();
+        if !problems.is_empty() {
+            return Err(UsageError(problems.join("; ")));
+        }
+        Ok(p)
+    }
+
+    fn load_city(&self) -> Result<City, UsageError> {
+        let path = self.required("city")?;
+        let file = std::fs::File::open(path)
+            .map_err(|e| UsageError(format!("cannot open {path}: {e}")))?;
+        load_city_json(std::io::BufReader::new(file))
+            .map_err(|e| UsageError(format!("cannot parse {path}: {e}")))
+    }
+
+    /// Executes the parsed command, writing human output to `out`.
+    pub fn execute<W: std::io::Write>(&self, out: &mut W) -> Result<(), UsageError> {
+        let w = |e: std::io::Error| UsageError(format!("write failed: {e}"));
+        match self.command.as_str() {
+            "generate" => {
+                let mut cfg = Self::preset(self.required("preset")?)?;
+                if let Some(seed) = self.get::<u64>("seed")? {
+                    cfg.seed = seed;
+                }
+                if let Some(n) = self.get::<usize>("trajectories")? {
+                    cfg.n_trajectories = n;
+                }
+                let city = cfg.generate();
+                writeln!(out, "generated {}: {:?}", city.name, city.stats()).map_err(w)?;
+                if let Some(path) = self.options.get("out") {
+                    let file = std::fs::File::create(path)
+                        .map_err(|e| UsageError(format!("cannot create {path}: {e}")))?;
+                    save_city_json(&city, std::io::BufWriter::new(file))
+                        .map_err(|e| UsageError(format!("cannot write {path}: {e}")))?;
+                    writeln!(out, "saved to {path}").map_err(w)?;
+                }
+                Ok(())
+            }
+            "stats" => {
+                let city = self.load_city()?;
+                let s = city.stats();
+                writeln!(out, "{}", city.name).map_err(w)?;
+                writeln!(out, "  routes |R|        {}", s.routes).map_err(w)?;
+                writeln!(out, "  avg stops len(R)  {:.1}", s.avg_route_len).map_err(w)?;
+                writeln!(out, "  road nodes |V|    {}", s.road_nodes).map_err(w)?;
+                writeln!(out, "  stops |Vr|        {}", s.stops).map_err(w)?;
+                writeln!(out, "  road edges |E|    {}", s.road_edges).map_err(w)?;
+                writeln!(out, "  transit edges |Er| {}", s.transit_edges).map_err(w)?;
+                writeln!(out, "  trajectories |D|  {}", s.trajectories).map_err(w)?;
+                Ok(())
+            }
+            "plan" => {
+                let city = self.load_city()?;
+                let params = self.params()?;
+                let mode = self.mode()?;
+                let demand = DemandModel::from_city(&city);
+                let planner = Planner::new(&city, &demand, params);
+                let res = planner.run(mode);
+                let plan = &res.best;
+                if plan.is_empty() {
+                    writeln!(out, "no feasible route found").map_err(w)?;
+                    return Ok(());
+                }
+                writeln!(
+                    out,
+                    "route: {} edges ({} new), {:.2} km, {} turns",
+                    plan.num_edges(),
+                    plan.num_new_edges(),
+                    plan.length_m / 1000.0,
+                    plan.turns
+                )
+                .map_err(w)?;
+                writeln!(out, "stops: {:?}", plan.stops).map_err(w)?;
+                writeln!(
+                    out,
+                    "objective {:.4} (demand {:.0}, connectivity +{:.5})",
+                    plan.objective, plan.demand, plan.conn_increment
+                )
+                .map_err(w)?;
+                let m = evaluate_plan(&city, plan, &planner.precomputed().candidates);
+                writeln!(
+                    out,
+                    "transfers avoided {:.2} | ζ(μ) {:.2} | crossed routes {}",
+                    m.transfers_avoided, m.distance_ratio, m.crossed_routes
+                )
+                .map_err(w)?;
+                if let Some(path) = self.options.get("geojson") {
+                    let ex = GeoJsonExporter::chicago_anchor();
+                    let fc = ex.transit_feature_collection(&city, Some(&plan.stops));
+                    std::fs::write(path, serde_json::to_string_pretty(&fc).expect("serialize"))
+                        .map_err(|e| UsageError(format!("cannot write {path}: {e}")))?;
+                    writeln!(out, "geojson written to {path}").map_err(w)?;
+                }
+                Ok(())
+            }
+            "multi" => {
+                let city = self.load_city()?;
+                let params = self.params()?;
+                let n: usize = self
+                    .get("routes")?
+                    .ok_or_else(|| UsageError("--routes is required".into()))?;
+                let demand = DemandModel::from_city(&city);
+                let plans = plan_multiple(&city, &demand, params, n, self.mode()?);
+                writeln!(out, "planned {} routes:", plans.len()).map_err(w)?;
+                for (i, p) in plans.iter().enumerate() {
+                    writeln!(
+                        out,
+                        "  #{}: {} edges ({} new), demand {:.0}, conn +{:.5}",
+                        i + 1,
+                        p.num_edges(),
+                        p.num_new_edges(),
+                        p.demand,
+                        p.conn_increment
+                    )
+                    .map_err(w)?;
+                }
+                Ok(())
+            }
+            "sites" => {
+                let city = self.load_city()?;
+                let demand = DemandModel::from_city(&city);
+                let mut p = SiteParams::default();
+                if let Some(n) = self.get::<usize>("n")? {
+                    p.num_sites = n;
+                }
+                if let Some(wv) = self.get::<f64>("w")? {
+                    p.w = wv;
+                }
+                if let Some(walk) = self.get::<f64>("walk")? {
+                    p.walk_radius_m = walk;
+                }
+                if let Some(gap) = self.get::<f64>("gap")? {
+                    p.min_gap_m = gap;
+                }
+                if !(0.0..=1.0).contains(&p.w) {
+                    return Err(UsageError(format!("--w must be in [0,1], got {}", p.w)));
+                }
+                let sel = select_sites(&city, &demand, &p);
+                writeln!(
+                    out,
+                    "selected {} sites from {} candidates ({:.1}% demand covered):",
+                    sel.sites.len(),
+                    sel.candidates,
+                    sel.coverage_fraction * 100.0
+                )
+                .map_err(w)?;
+                for (i, s) in sel.sites.iter().enumerate() {
+                    let pos = city.road.position(s.road_node);
+                    writeln!(
+                        out,
+                        "  #{}: road node {} at ({:.0}, {:.0}) — demand {:.0}, conn {:.2}",
+                        i + 1,
+                        s.road_node,
+                        pos.x,
+                        pos.y,
+                        s.marginal_demand,
+                        s.conn_potential
+                    )
+                    .map_err(w)?;
+                }
+                Ok(())
+            }
+            "augment" => {
+                let city = self.load_city()?;
+                let demand = DemandModel::from_city(&city);
+                let params = self.params()?;
+                let pre = crate::core::Precomputed::build(&city, &demand, &params);
+                let mut a = AugmentParams::default();
+                if let Some(k) = self.get::<usize>("k")? {
+                    a.k = k;
+                }
+                if let Some(pool) = self.get::<usize>("pool")? {
+                    a.pool_size = pool;
+                }
+                if let Some(no_bound) = self.get::<bool>("no-bound")? {
+                    a.use_bound = !no_bound;
+                }
+                let result = augment_connectivity(&pre, &a);
+                writeln!(
+                    out,
+                    "added {} edges: λ {:.4} → {:.4} (Δ {:.4})",
+                    result.edges.len(),
+                    result.lambda_before,
+                    result.lambda_after,
+                    result.lambda_after - result.lambda_before
+                )
+                .map_err(w)?;
+                writeln!(
+                    out,
+                    "work: {} full evaluations, {} pruned by the bound, {} column solves",
+                    result.stats.exact_evaluations, result.stats.pruned, result.stats.column_solves
+                )
+                .map_err(w)?;
+                for &id in &result.edges {
+                    let e = pre.candidates.edge(id);
+                    writeln!(out, "  stop {} — stop {} ({:.0} m)", e.u, e.v, e.length_m)
+                        .map_err(w)?;
+                }
+                Ok(())
+            }
+            "gtfs-export" => {
+                let city = self.load_city()?;
+                let dir = self.required("out")?;
+                let proj = Projection::new(GeoPoint::new(41.85, -87.65));
+                let feed = GtfsFeed::from_transit(&city.transit, &proj);
+                feed.write_dir(dir)
+                    .map_err(|e| UsageError(format!("cannot write {dir}: {e}")))?;
+                writeln!(
+                    out,
+                    "wrote GTFS feed to {dir}: {} stops, {} routes, {} stop_times",
+                    feed.stops.len(),
+                    feed.routes.len(),
+                    feed.stop_times.len()
+                )
+                .map_err(w)?;
+                Ok(())
+            }
+            "gtfs-import" => {
+                let mut city = self.load_city()?;
+                let dir = self.required("gtfs")?;
+                let proj = Projection::new(GeoPoint::new(41.85, -87.65));
+                let feed = GtfsFeed::load_dir(dir)
+                    .map_err(|e| UsageError(format!("cannot load {dir}: {e}")))?;
+                let (transit, stats) = feed
+                    .into_transit(&city.road, &proj)
+                    .map_err(|e| UsageError(format!("cannot import {dir}: {e}")))?;
+                writeln!(
+                    out,
+                    "imported {} stops / {} edges / {} routes (max snap {:.1} m, {} hops dropped)",
+                    transit.num_stops(),
+                    transit.num_edges(),
+                    transit.num_routes(),
+                    stats.max_snap_m,
+                    stats.dropped_hops
+                )
+                .map_err(w)?;
+                city.transit = transit;
+                city.name = format!("{}+gtfs", city.name);
+                if let Some(path) = self.options.get("out") {
+                    let file = std::fs::File::create(path)
+                        .map_err(|e| UsageError(format!("cannot create {path}: {e}")))?;
+                    save_city_json(&city, std::io::BufWriter::new(file))
+                        .map_err(|e| UsageError(format!("cannot write {path}: {e}")))?;
+                    writeln!(out, "saved to {path}").map_err(w)?;
+                }
+                Ok(())
+            }
+            _ => unreachable!("parse validated the subcommand"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_valid_commands() {
+        let cli = Cli::parse(args("plan --city c.json --k 12 --w 0.3")).unwrap();
+        assert_eq!(cli.command, "plan");
+        assert_eq!(cli.options["k"], "12");
+        let p = cli.params().unwrap();
+        assert_eq!(p.k, 12);
+        assert_eq!(p.w, 0.3);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Cli::parse(args("frobnicate")).is_err());
+        assert!(Cli::parse(args("plan --k")).is_err());
+        assert!(Cli::parse(args("plan k 5")).is_err());
+        assert!(Cli::parse(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn invalid_params_are_usage_errors() {
+        let cli = Cli::parse(args("plan --city c.json --w 3.0")).unwrap();
+        assert!(cli.params().is_err());
+        let cli = Cli::parse(args("plan --city c.json --k notanumber")).unwrap();
+        assert!(cli.params().is_err());
+    }
+
+    #[test]
+    fn presets_resolve() {
+        assert!(Cli::preset("chicago").is_ok());
+        assert!(Cli::preset("bronx").is_ok());
+        assert!(Cli::preset("atlantis").is_err());
+    }
+
+    #[test]
+    fn modes_resolve() {
+        let cli = Cli::parse(args("plan --city c.json --mode vk-tsp")).unwrap();
+        assert_eq!(cli.mode().unwrap(), PlannerMode::VkTsp);
+        let cli = Cli::parse(args("plan --city c.json")).unwrap();
+        assert_eq!(cli.mode().unwrap(), PlannerMode::EtaPre);
+        let cli = Cli::parse(args("plan --city c.json --mode bogus")).unwrap();
+        assert!(cli.mode().is_err());
+    }
+
+    #[test]
+    fn sites_augment_and_gtfs_end_to_end() {
+        let dir = std::env::temp_dir().join("ctbus-cli-ext-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let city_path = dir.join("city.json");
+        let gtfs_dir = dir.join("gtfs");
+        let reimport_path = dir.join("city2.json");
+
+        let mut out = Vec::new();
+        Cli::parse(args(&format!(
+            "generate --preset small --seed 3 --trajectories 300 --out {}",
+            city_path.display()
+        )))
+        .unwrap()
+        .execute(&mut out)
+        .unwrap();
+
+        let mut out = Vec::new();
+        Cli::parse(args(&format!("sites --city {} --n 3 --w 0.8", city_path.display())))
+            .unwrap()
+            .execute(&mut out)
+            .unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("selected 3 sites"), "{text}");
+
+        let mut out = Vec::new();
+        Cli::parse(args(&format!(
+            "augment --city {} --k 3 --pool 20 --sn 200 --it-max 500",
+            city_path.display()
+        )))
+        .unwrap()
+        .execute(&mut out)
+        .unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("added 3 edges"), "{text}");
+        assert!(text.contains("pruned by the bound"), "{text}");
+
+        let mut out = Vec::new();
+        Cli::parse(args(&format!(
+            "gtfs-export --city {} --out {}",
+            city_path.display(),
+            gtfs_dir.display()
+        )))
+        .unwrap()
+        .execute(&mut out)
+        .unwrap();
+        assert!(gtfs_dir.join("stop_times.txt").exists());
+
+        let mut out = Vec::new();
+        Cli::parse(args(&format!(
+            "gtfs-import --gtfs {} --city {} --out {}",
+            gtfs_dir.display(),
+            city_path.display(),
+            reimport_path.display()
+        )))
+        .unwrap()
+        .execute(&mut out)
+        .unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("imported"), "{text}");
+        assert!(reimport_path.exists());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sites_rejects_bad_w() {
+        let cli = Cli::parse(args("sites --city c.json --w 7")).unwrap();
+        // Fails on the city load first — point the test at a real city.
+        let dir = std::env::temp_dir().join("ctbus-cli-badw");
+        std::fs::create_dir_all(&dir).unwrap();
+        let city_path = dir.join("city.json");
+        let mut out = Vec::new();
+        Cli::parse(args(&format!(
+            "generate --preset small --trajectories 100 --out {}",
+            city_path.display()
+        )))
+        .unwrap()
+        .execute(&mut out)
+        .unwrap();
+        let cli2 =
+            Cli::parse(args(&format!("sites --city {} --w 7", city_path.display()))).unwrap();
+        let err = cli2.execute(&mut Vec::new()).unwrap_err();
+        assert!(err.0.contains("--w must be in [0,1]"), "{}", err.0);
+        drop(cli);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generate_stats_plan_end_to_end() {
+        let dir = std::env::temp_dir().join("ctbus-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let city_path = dir.join("city.json");
+        let geo_path = dir.join("route.geojson");
+
+        let mut out = Vec::new();
+        Cli::parse(args(&format!(
+            "generate --preset small --seed 7 --trajectories 400 --out {}",
+            city_path.display()
+        )))
+        .unwrap()
+        .execute(&mut out)
+        .unwrap();
+        assert!(String::from_utf8_lossy(&out).contains("generated small"));
+
+        let mut out = Vec::new();
+        Cli::parse(args(&format!("stats --city {}", city_path.display())))
+            .unwrap()
+            .execute(&mut out)
+            .unwrap();
+        assert!(String::from_utf8_lossy(&out).contains("routes |R|"));
+
+        let mut out = Vec::new();
+        Cli::parse(args(&format!(
+            "plan --city {} --k 8 --sn 200 --it-max 2000 --geojson {}",
+            city_path.display(),
+            geo_path.display()
+        )))
+        .unwrap()
+        .execute(&mut out)
+        .unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("objective"), "{text}");
+        let geo: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&geo_path).unwrap()).unwrap();
+        assert_eq!(geo["type"], "FeatureCollection");
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+//! # CT-Bus
+//!
+//! A Rust reproduction of *"Public Transport Planning: When Transit Network
+//! Connectivity Meets Commuting Demand"* (SIGMOD 2021): plan a new bus route
+//! of at most `k` edges over an existing transit network — without building
+//! new stops — that jointly maximizes met commuting demand and the natural
+//! connectivity of the network.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`spatial`] — geometry: projections, distances, turn angles, grid index;
+//! * [`linalg`] — eigensolvers, Lanczos, stochastic trace estimation;
+//! * [`graph`] — road/transit networks, shortest paths, transfers;
+//! * [`data`] — synthetic city & trajectory generation, loaders, demand;
+//! * [`matching`] — HMM map-matching of raw GPS traces onto the road
+//!   network (the paper's trajectory-ingestion substrate, Definition 3);
+//! * [`core`] — the CT-Bus problem: objective, bounds, ETA/ETA-Pre planners,
+//!   baselines, and evaluation metrics.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ct_bus::data::{CityConfig, DemandModel};
+//! use ct_bus::core::{CtBusParams, Planner, PlannerMode};
+//!
+//! // A small synthetic city (deterministic under the seed).
+//! let city = CityConfig::small().seed(7).generate();
+//! let demand = DemandModel::from_city(&city);
+//!
+//! // Plan one new route with the pre-computation-accelerated planner.
+//! let params = CtBusParams { k: 8, ..CtBusParams::small_defaults() };
+//! let planner = Planner::new(&city, &demand, params);
+//! let plan = planner.run(PlannerMode::EtaPre).best;
+//! assert!(plan.stops.len() >= 2);
+//! ```
+
+pub mod cli;
+
+pub use ct_core as core;
+pub use ct_data as data;
+pub use ct_graph as graph;
+pub use ct_linalg as linalg;
+pub use ct_match as matching;
+pub use ct_spatial as spatial;

@@ -1,0 +1,170 @@
+//! End-to-end integration: generation → demand → pre-computation →
+//! planning (all variants) → metrics → network application → serialization.
+
+use ct_bus::core::{
+    apply_plan, evaluate_plan, plan_multiple, CtBusParams, Planner, PlannerMode,
+};
+use ct_bus::data::{load_city_json, save_city_json, CityConfig, DemandModel};
+use ct_bus::graph::{dijkstra_all, TransferIndex};
+use ct_bus::linalg::natural_connectivity_exact;
+
+fn fixture() -> (ct_bus::data::City, DemandModel, CtBusParams) {
+    let city = CityConfig::small().seed(2024).generate();
+    let demand = DemandModel::from_city(&city);
+    (city, demand, CtBusParams::small_defaults())
+}
+
+#[test]
+fn full_pipeline_produces_connected_improvement() {
+    let (city, demand, mut params) = fixture();
+    assert!(city.validate().is_empty());
+    // Tiny networks need more probes for a tight increment estimate
+    // (n = 44 here is comparable to e^{λ₁}; accuracy scales as 1/√s).
+    params.trace_probes = 64;
+    params.lanczos_steps = 12;
+
+    let planner = Planner::new(&city, &demand, params);
+    let res = planner.run(PlannerMode::EtaPre);
+    let plan = &res.best;
+    assert!(!plan.is_empty());
+
+    // The applied network must strictly gain exact natural connectivity.
+    let before = natural_connectivity_exact(&city.transit.adjacency_matrix()).unwrap();
+    let new_transit = apply_plan(&city.transit, plan, &planner.precomputed().candidates);
+    let after = natural_connectivity_exact(&new_transit.adjacency_matrix()).unwrap();
+    assert!(
+        after > before,
+        "exact connectivity did not improve: {before} -> {after}"
+    );
+
+    // The estimated increment should agree with the exact one in magnitude.
+    let exact_inc = after - before;
+    assert!(
+        (plan.conn_increment - exact_inc).abs() < 0.5 * exact_inc + 1e-3,
+        "estimated increment {} vs exact {}",
+        plan.conn_increment,
+        exact_inc
+    );
+}
+
+#[test]
+fn planned_route_reduces_transfers_for_its_commuters() {
+    let (city, demand, params) = fixture();
+    let planner = Planner::new(&city, &demand, params);
+    let res = planner.run(PlannerMode::EtaPre);
+    let cands = &planner.precomputed().candidates;
+    let metrics = evaluate_plan(&city, &res.best, cands);
+
+    // On the NEW network every on-route OD pair is a direct ride.
+    let new_transit = apply_plan(&city.transit, &res.best, cands);
+    let idx = TransferIndex::new(&new_transit);
+    for (i, &o) in res.best.stops.iter().enumerate() {
+        for &d in &res.best.stops[i + 1..] {
+            assert_eq!(
+                idx.min_transfers(o, d),
+                Some(0),
+                "stops {o}->{d} on the new route still need transfers"
+            );
+        }
+    }
+    assert!(metrics.distance_ratio >= 1.0 - 1e-9);
+}
+
+#[test]
+fn new_route_shortens_or_preserves_all_transit_distances() {
+    let (city, demand, params) = fixture();
+    let planner = Planner::new(&city, &demand, params);
+    let res = planner.run(PlannerMode::EtaPre);
+    let new_transit = apply_plan(&city.transit, &res.best, &planner.precomputed().candidates);
+
+    // Adding edges can only shrink shortest-path distances.
+    for probe in [0u32, 5, 11] {
+        let before = dijkstra_all(&city.transit, probe);
+        let after = dijkstra_all(&new_transit, probe);
+        for (b, a) in before.iter().zip(&after) {
+            assert!(a <= &(b + 1e-9), "distance grew after adding a route");
+        }
+    }
+}
+
+#[test]
+fn all_planner_modes_agree_on_problem_shape() {
+    let (city, demand, mut params) = fixture();
+    params.it_max = 400;
+    params.sn = 60;
+    let planner = Planner::new(&city, &demand, params);
+    for mode in [
+        PlannerMode::Eta,
+        PlannerMode::EtaPre,
+        PlannerMode::EtaAll,
+        PlannerMode::EtaAllNeighbors,
+        PlannerMode::EtaNoDomination,
+        PlannerMode::VkTsp,
+    ] {
+        let res = planner.run(mode);
+        let plan = res.best;
+        assert!(!plan.is_empty(), "{mode:?} found nothing");
+        assert!(plan.num_edges() <= params.k);
+        assert!(plan.turns <= params.tn_max);
+        assert!(plan.objective.is_finite());
+        // Stop sequence matches edge count.
+        assert_eq!(plan.stops.len(), plan.num_edges() + 1);
+    }
+}
+
+#[test]
+fn multi_route_planning_grows_the_network_monotonically() {
+    let (city, demand, mut params) = fixture();
+    params.k = 6;
+    params.it_max = 1_000;
+    let plans = plan_multiple(&city, &demand, params, 3, PlannerMode::EtaPre);
+    assert!(!plans.is_empty());
+    for p in &plans {
+        assert!(p.conn_increment >= -1e-6);
+        assert!(p.num_edges() <= params.k);
+    }
+}
+
+#[test]
+fn city_snapshot_roundtrips_through_json_and_replans_identically() {
+    let (city, demand, params) = fixture();
+    let planner = Planner::new(&city, &demand, params);
+    let before = planner.run(PlannerMode::EtaPre);
+
+    let mut buf = Vec::new();
+    save_city_json(&city, &mut buf).unwrap();
+    let loaded = load_city_json(buf.as_slice()).unwrap();
+    let demand2 = DemandModel::from_city(&loaded);
+    let planner2 = Planner::new(&loaded, &demand2, params);
+    let after = planner2.run(PlannerMode::EtaPre);
+
+    assert_eq!(before.best, after.best, "replanning a JSON roundtrip diverged");
+}
+
+#[test]
+fn demand_weights_match_trajectory_overlap_definition() {
+    // Definition 5 ⇔ Eq. 4: summed per-edge weights equal summed overlaps.
+    let (city, demand, _) = fixture();
+    // Pick a route: the road edges of its transit edges.
+    let mut route_edges: Vec<u32> = Vec::new();
+    for e in city.transit.edges().iter().take(4) {
+        route_edges.extend(&e.road_edges);
+    }
+    route_edges.sort_unstable();
+    route_edges.dedup();
+
+    // Eq. 4 via the demand model.
+    let eq4: f64 = demand.path_weight(&route_edges);
+
+    // Definition 5 via raw trajectories: Σ_T |T ∩ μ| weighted by |e|.
+    let on_route: std::collections::HashSet<u32> = route_edges.iter().copied().collect();
+    let mut def5 = 0.0;
+    for t in &city.trajectories {
+        for &e in &t.edges {
+            if on_route.contains(&e) {
+                def5 += city.road.edge(e).length;
+            }
+        }
+    }
+    assert!((eq4 - def5).abs() < 1e-6, "Eq.4 {eq4} vs Definition 5 {def5}");
+}
