@@ -18,15 +18,11 @@ fn bench_bounds(c: &mut Criterion) {
         v.sort_by(|a, b| b.partial_cmp(a).unwrap());
         v
     };
-    group.bench_function("estrada", |b| {
-        b.iter(|| estrada_bound(black_box(6892), 15, 6171))
-    });
+    group.bench_function("estrada", |b| b.iter(|| estrada_bound(black_box(6892), 15, 6171)));
     group.bench_function("general_lemma3", |b| {
         b.iter(|| general_bound(black_box(0.8), &eigs, 30, 6171))
     });
-    group.bench_function("path_lemma4", |b| {
-        b.iter(|| path_bound(black_box(0.8), &eigs, 30, 6171))
-    });
+    group.bench_function("path_lemma4", |b| b.iter(|| path_bound(black_box(0.8), &eigs, 30, 6171)));
 
     // Ranked lists and the Algorithm 2 incremental bound.
     for n in [1_000usize, 30_000] {

@@ -13,10 +13,7 @@ fn bench_connectivity(c: &mut Criterion) {
     let mut group = c.benchmark_group("connectivity");
     group.sample_size(10);
 
-    for (name, cfg) in [
-        ("medium", CityConfig::medium()),
-        ("bronx", CityConfig::bronx_like()),
-    ] {
+    for (name, cfg) in [("medium", CityConfig::medium()), ("bronx", CityConfig::bronx_like())] {
         let city = cfg.generate();
         let adj = city.transit.adjacency_matrix();
         let params = CtBusParams::paper_defaults();

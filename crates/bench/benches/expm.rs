@@ -40,9 +40,7 @@ fn bench_expm(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(format!("{preset}/chebyshev_expv"), degree),
                 &degree,
-                |b, &d| {
-                    b.iter(|| chebyshev_expv(black_box(&adj), black_box(&v), d, rho * 1.05))
-                },
+                |b, &d| b.iter(|| chebyshev_expv(black_box(&adj), black_box(&v), d, rho * 1.05)),
             );
         }
     }

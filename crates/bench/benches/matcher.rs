@@ -5,9 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use ct_data::CityConfig;
-use ct_match::{
-    simulate_trace, stitch_route, CandidateIndex, GpsSimConfig, HmmParams, MapMatcher,
-};
+use ct_match::{simulate_trace, stitch_route, CandidateIndex, GpsSimConfig, HmmParams, MapMatcher};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

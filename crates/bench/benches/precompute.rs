@@ -11,10 +11,7 @@ fn bench_precompute(c: &mut Criterion) {
     let mut group = c.benchmark_group("precompute");
     group.sample_size(10);
 
-    for (name, cfg) in [
-        ("small", CityConfig::small()),
-        ("medium", CityConfig::medium()),
-    ] {
+    for (name, cfg) in [("small", CityConfig::small()), ("medium", CityConfig::medium())] {
         let city = cfg.generate();
         let demand = DemandModel::from_city(&city);
         let params = CtBusParams::small_defaults();

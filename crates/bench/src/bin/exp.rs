@@ -24,11 +24,7 @@ fn main() {
     }
 
     let mut ctx = ExperimentCtx::new(fast);
-    let to_run: Vec<&str> = if ids[0] == "all" {
-        experiments::all_ids().to_vec()
-    } else {
-        ids
-    };
+    let to_run: Vec<&str> = if ids[0] == "all" { experiments::all_ids().to_vec() } else { ids };
 
     let t0 = Instant::now();
     for id in to_run {

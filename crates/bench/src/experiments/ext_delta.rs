@@ -64,7 +64,13 @@ pub fn run(ctx: &mut ExperimentCtx) {
 
         sink.line(format!("## {name}"));
         sink.table(
-            &["Δ method", "precompute (s)", "top-decile rank overlap", "route objective", "route conn Oλ"],
+            &[
+                "Δ method",
+                "precompute (s)",
+                "top-decile rank overlap",
+                "route objective",
+                "route conn Oλ",
+            ],
             &[
                 vec![
                     "paired probes (paper §6)".into(),
@@ -83,13 +89,16 @@ pub fn run(ctx: &mut ExperimentCtx) {
             ],
         );
         sink.blank();
-        json.insert(name.to_string(), serde_json::json!({
-            "probe_secs": probe_secs,
-            "perturbation_secs": pert_secs,
-            "rank_overlap": overlap,
-            "probe_objective": plan_a.objective,
-            "perturbation_objective": plan_b.objective,
-        }));
+        json.insert(
+            name.to_string(),
+            serde_json::json!({
+                "probe_secs": probe_secs,
+                "perturbation_secs": pert_secs,
+                "rank_overlap": overlap,
+                "probe_objective": plan_a.objective,
+                "perturbation_objective": plan_b.objective,
+            }),
+        );
     }
     sink.line(
         "Takeaway: the deterministic second-order perturbation surrogate \

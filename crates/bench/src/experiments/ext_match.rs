@@ -9,9 +9,7 @@
 //! the quantity that actually feeds CT-Bus.
 
 use ct_data::DemandModel;
-use ct_match::{
-    evaluate_match, simulate_trace, stitch_route, GpsSimConfig, HmmParams, MapMatcher,
-};
+use ct_match::{evaluate_match, simulate_trace, stitch_route, GpsSimConfig, HmmParams, MapMatcher};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -51,7 +49,8 @@ pub fn run(ctx: &mut ExperimentCtx) {
             &city.road,
             HmmParams { sigma_m: sigma.max(5.0), ..Default::default() },
         );
-        let cfg = GpsSimConfig { noise_sigma_m: sigma, sample_interval_s: 10.0, ..Default::default() };
+        let cfg =
+            GpsSimConfig { noise_sigma_m: sigma, sample_interval_s: 10.0, ..Default::default() };
         let mut rng = StdRng::seed_from_u64(0xACC0 + sigma as u64);
         let mut f1 = 0.0;
         let mut mismatch = 0.0;

@@ -19,7 +19,9 @@ use crate::harness::{ExperimentCtx, OutputSink};
 /// Runs this experiment and writes its artifacts.
 pub fn run(ctx: &mut ExperimentCtx) {
     let mut sink = OutputSink::new("ext_measures");
-    sink.line("# Extension — connectivity measures under route removal (paper §2, Fig. 1 protocol)");
+    sink.line(
+        "# Extension — connectivity measures under route removal (paper §2, Fig. 1 protocol)",
+    );
     sink.blank();
 
     let mut json = Vec::new();

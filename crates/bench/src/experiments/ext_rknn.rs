@@ -38,8 +38,7 @@ pub fn run(ctx: &mut ExperimentCtx) {
         params.k = 20;
         let planner = ctx.planner(city_name, params);
         let plan = planner.run(PlannerMode::EtaPre).best;
-        let stops: Vec<Point> =
-            plan.stops.iter().map(|&s| city.transit.stop(s).pos).collect();
+        let stops: Vec<Point> = plan.stops.iter().map(|&s| city.transit.stop(s).pos).collect();
         let mut cells = vec![format!("{w:.1}"), format!("{:.0}", plan.demand)];
         for k in [1usize, 2, 3] {
             let d = rknn_demand(city, &stops, &RknnParams { k, ..Default::default() });

@@ -15,7 +15,11 @@ pub fn run(ctx: &mut ExperimentCtx) {
 
     // The §8 scenario: a city whose transit is too sparse for its demand.
     let routes = if ctx.fast { 3 } else { 5 };
-    let city = CityConfig::medium().routes(routes).trajectories(if ctx.fast { 600 } else { 2000 }).seed(808).generate();
+    let city = CityConfig::medium()
+        .routes(routes)
+        .trajectories(if ctx.fast { 600 } else { 2000 })
+        .seed(808)
+        .generate();
     let demand = DemandModel::from_city(&city);
     let s = city.stats();
     sink.line(format!(
@@ -35,7 +39,8 @@ pub fn run(ctx: &mut ExperimentCtx) {
     for &k in &ks {
         let mut cells = vec![format!("{k}")];
         for &w in &ws {
-            let sel = select_sites(&city, &demand, &SiteParams { num_sites: k, w, ..Default::default() });
+            let sel =
+                select_sites(&city, &demand, &SiteParams { num_sites: k, w, ..Default::default() });
             let mean_conn = if sel.sites.is_empty() {
                 0.0
             } else {
@@ -54,15 +59,7 @@ pub fn run(ctx: &mut ExperimentCtx) {
         rows.push(cells);
     }
     sink.table(
-        &[
-            "k",
-            "cover (w=1)",
-            "conn",
-            "cover (w=0.7)",
-            "conn",
-            "cover (w=0.3)",
-            "conn",
-        ],
+        &["k", "cover (w=1)", "conn", "cover (w=0.7)", "conn", "cover (w=0.3)", "conn"],
         &rows,
     );
     sink.blank();

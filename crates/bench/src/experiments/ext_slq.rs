@@ -57,11 +57,14 @@ pub fn run(ctx: &mut ExperimentCtx) {
         let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
         sink.table(&header_refs, &rows);
         sink.blank();
-        json.insert(name.to_string(), serde_json::json!({
-            "exact_lambda": exact,
-            "spectral_norm": norm,
-            "grid": cells,
-        }));
+        json.insert(
+            name.to_string(),
+            serde_json::json!({
+                "exact_lambda": exact,
+                "spectral_norm": norm,
+                "grid": cells,
+            }),
+        );
     }
     sink.line(
         "Shape check (paper): error is dominated by the probe count once \

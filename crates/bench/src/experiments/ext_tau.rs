@@ -44,10 +44,7 @@ pub fn run(ctx: &mut ExperimentCtx) {
                 "delta_secs": pre.timings.connectivity_secs,
             }));
         }
-        sink.table(
-            &["τ (m)", "#new candidates", "shortest paths (s)", "Δ(e) sweep (s)"],
-            &rows,
-        );
+        sink.table(&["τ (m)", "#new candidates", "shortest paths (s)", "Δ(e) sweep (s)"], &rows);
         sink.blank();
         json.insert(name.to_string(), serde_json::Value::Array(series));
     }

@@ -34,8 +34,8 @@ pub fn run(ctx: &mut ExperimentCtx) {
         let mut prev = f64::INFINITY;
         for removed in (0..=max_removed.min(transit.num_routes() - 1)).step_by(step) {
             let pruned = transit.without_routes(&order[..removed]);
-            let lambda = natural_connectivity_exact(&pruned.adjacency_matrix())
-                .expect("exact connectivity");
+            let lambda =
+                natural_connectivity_exact(&pruned.adjacency_matrix()).expect("exact connectivity");
             rows.push(vec![removed.to_string(), f(lambda, 4)]);
             points.push(serde_json::json!([removed, lambda]));
             assert!(

@@ -38,10 +38,7 @@ pub fn run(ctx: &mut ExperimentCtx) {
             "edges": res.best.num_edges(),
         }));
     }
-    sink.table(
-        &["k", "connectivity (norm)", "demand (norm)", "objective", "#edges"],
-        &rows,
-    );
+    sink.table(&["k", "connectivity (norm)", "demand (norm)", "objective", "#edges"], &rows);
     sink.blank();
     sink.line(
         "Shape check (paper): normalized values *drop* as k grows because \

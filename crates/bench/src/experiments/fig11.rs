@@ -40,11 +40,14 @@ pub fn run(ctx: &mut ExperimentCtx) {
                     res.iterations.to_string(),
                     format!("{:.2}", res.runtime_secs),
                 ]);
-                area.insert(format!("{label}-w{w}"), serde_json::json!({
-                    "trace": res.trace,
-                    "iterations": res.iterations,
-                    "runtime_secs": res.runtime_secs,
-                }));
+                area.insert(
+                    format!("{label}-w{w}"),
+                    serde_json::json!({
+                        "trace": res.trace,
+                        "iterations": res.iterations,
+                        "runtime_secs": res.runtime_secs,
+                    }),
+                );
             }
         }
         sink.table(&["w", "method", "final objective", "iterations", "runtime (s)"], &rows);

@@ -47,12 +47,15 @@ pub fn run(ctx: &mut ExperimentCtx) {
                 res.iterations.to_string(),
                 format!("{:.2}", res.runtime_secs),
             ]);
-            area.insert(label.to_string(), serde_json::json!({
-                "trace": res.trace,
-                "objective": final_obj,
-                "edges": res.best.num_edges(),
-                "turns": res.best.turns,
-            }));
+            area.insert(
+                label.to_string(),
+                serde_json::json!({
+                    "trace": res.trace,
+                    "objective": final_obj,
+                    "edges": res.best.num_edges(),
+                    "turns": res.best.turns,
+                }),
+            );
         }
         sink.table(
             &["setting", "final objective", "#edges", "#turns", "iterations", "runtime (s)"],

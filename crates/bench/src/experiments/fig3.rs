@@ -17,8 +17,11 @@ pub fn run(ctx: &mut ExperimentCtx) {
     sink.line("# Fig. 3 — θ = (Oλ(μ) − ΣΔ(e)) / ΣΔ(e) vs. number of edges");
     sink.blank();
 
-    let sizes: Vec<usize> =
-        if ctx.fast { vec![2, 10, 20, 35, 50] } else { vec![2, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50] };
+    let sizes: Vec<usize> = if ctx.fast {
+        vec![2, 10, 20, 35, 50]
+    } else {
+        vec![2, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50]
+    };
     let samples = if ctx.fast { 8 } else { 15 };
 
     let mut json = serde_json::Map::new();

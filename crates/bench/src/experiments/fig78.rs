@@ -44,9 +44,12 @@ pub fn run(ctx: &mut ExperimentCtx) {
             f(res.best.length_m / 1000.0, 2),
             m.crossed_routes.to_string(),
         ]);
-        json.insert(format!("fig7-{name}"), serde_json::json!({
-            "stops": coords, "crossed_routes": m.crossed_routes,
-        }));
+        json.insert(
+            format!("fig7-{name}"),
+            serde_json::json!({
+                "stops": coords, "crossed_routes": m.crossed_routes,
+            }),
+        );
     }
     sink.line("## Fig. 7 — new route per area (w = 0.5)");
     sink.table(&["area", "#stops", "length km", "#crossed routes"], &rows);

@@ -48,9 +48,12 @@ pub fn run(ctx: &mut ExperimentCtx) {
                 conv_at.to_string(),
                 format!("{:.2}", res.runtime_secs),
             ]);
-            area.insert(label.to_string(), serde_json::json!({
-                "trace": res.trace, "runtime_secs": res.runtime_secs,
-            }));
+            area.insert(
+                label.to_string(),
+                serde_json::json!({
+                    "trace": res.trace, "runtime_secs": res.runtime_secs,
+                }),
+            );
         }
         sink.table(
             &["method", "iterations", "final objective", "95%-conv @ iter", "runtime (s)"],

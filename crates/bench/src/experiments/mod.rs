@@ -30,9 +30,29 @@ use crate::harness::ExperimentCtx;
 /// Every experiment id, in the order `all` runs them.
 pub fn all_ids() -> &'static [&'static str] {
     &[
-        "table5", "fig5", "fig1", "table2", "table3", "fig4", "fig3", "table4", "fig6",
-        "table6", "fig7", "table7", "fig9", "fig10", "fig11", "fig12", "ext_tau",
-        "ext_delta", "ext_slq", "ext_match", "ext_augment", "ext_measures", "ext_sites",
+        "table5",
+        "fig5",
+        "fig1",
+        "table2",
+        "table3",
+        "fig4",
+        "fig3",
+        "table4",
+        "fig6",
+        "table6",
+        "fig7",
+        "table7",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "ext_tau",
+        "ext_delta",
+        "ext_slq",
+        "ext_match",
+        "ext_augment",
+        "ext_measures",
+        "ext_sites",
         "ext_rknn",
     ]
 }

@@ -33,9 +33,8 @@ pub fn run(ctx: &mut ExperimentCtx) {
         let k = ctx.base_params().k;
 
         let (exact, t_eigen) = time_secs(|| natural_connectivity_exact(adj).expect("exact"));
-        let (est, t_lanczos) = time_secs(|| {
-            bundle.pre.estimator.lambda(adj).expect("SLQ estimate")
-        });
+        let (est, t_lanczos) =
+            time_secs(|| bundle.pre.estimator.lambda(adj).expect("SLQ estimate"));
         let eigs = &bundle.pre.top_eigs;
         let ((), t_general) = time_secs(|| {
             std::hint::black_box(general_bound(est, eigs, k, adj.n()));

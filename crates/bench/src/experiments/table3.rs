@@ -30,18 +30,13 @@ pub fn run(ctx: &mut ExperimentCtx) {
         let path = path_bound(base, &pre.top_eigs, k, adj.n()) - base;
         let incr = increment_bound(&pre.llambda, k);
 
-        assert!(estrada >= general && general >= path,
-            "{name}: bound ordering violated: estrada {estrada}, general {general}, path {path}");
-        assert!(path >= incr * 0.99,
-            "{name}: increment bound {incr} above path bound {path}");
+        assert!(
+            estrada >= general && general >= path,
+            "{name}: bound ordering violated: estrada {estrada}, general {general}, path {path}"
+        );
+        assert!(path >= incr * 0.99, "{name}: increment bound {incr} above path bound {path}");
 
-        rows.push(vec![
-            name.to_string(),
-            f(estrada, 3),
-            f(general, 3),
-            f(path, 4),
-            f(incr, 4),
-        ]);
+        rows.push(vec![name.to_string(), f(estrada, 3), f(general, 3), f(path, 4), f(incr, 4)]);
         json.insert(
             name.to_string(),
             serde_json::json!({
@@ -51,7 +46,13 @@ pub fn run(ctx: &mut ExperimentCtx) {
         );
     }
     sink.table(
-        &["city", "Estrada bound [25]", "General bound (L3)", "Path bound (L4)", "Increment bound (§6)"],
+        &[
+            "city",
+            "Estrada bound [25]",
+            "General bound (L3)",
+            "Path bound (L4)",
+            "Increment bound (§6)",
+        ],
         &rows,
     );
     sink.blank();

@@ -30,10 +30,7 @@ pub fn run(ctx: &mut ExperimentCtx) {
             }),
         );
     }
-    sink.table(
-        &["dataset", "#new edges", "connectivity Δ(e) (s)", "shortest paths (s)"],
-        &rows,
-    );
+    sink.table(&["dataset", "#new edges", "connectivity Δ(e) (s)", "shortest paths (s)"], &rows);
     sink.blank();
     sink.line(
         "Shape check (paper): pre-computation is the expensive one-off stage \

@@ -31,10 +31,7 @@ pub fn run(ctx: &mut ExperimentCtx) {
         ]);
         json.insert(name.to_string(), serde_json::to_value(s).expect("stats serialize"));
     }
-    sink.table(
-        &["dataset", "|R|", "len(R)", "|V|", "|Vr|", "|E|", "|Er|", "|D|"],
-        &rows,
-    );
+    sink.table(&["dataset", "|R|", "len(R)", "|V|", "|Vr|", "|E|", "|Er|", "|D|"], &rows);
     sink.blank();
     sink.line(
         "Paper reference (full scale): Chicago 146 routes / 6171 stops / \

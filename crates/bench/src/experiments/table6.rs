@@ -41,8 +41,13 @@ pub fn run(ctx: &mut ExperimentCtx) {
 
     let mut json = serde_json::Map::new();
     let header = [
-        "method", "#new edges", "objective O(μ)", "connectivity", "#transfers avoided",
-        "distance ratio ζ", "#crossed routes",
+        "method",
+        "#new edges",
+        "objective O(μ)",
+        "connectivity",
+        "#transfers avoided",
+        "distance ratio ζ",
+        "#crossed routes",
     ];
     for name in ctx.table6_city_names() {
         ctx.prepare(name);
@@ -58,20 +63,26 @@ pub fn run(ctx: &mut ExperimentCtx) {
         let city = &ctx.bundle(name).city;
         let res = planner.run(PlannerMode::Eta);
         rows.push(row_for("ETA", &planner, city, &res.best));
-        area_json.insert("eta".into(), serde_json::json!({
-            "objective": res.best.objective, "conn": res.best.conn_increment,
-            "new_edges": res.best.num_new_edges(), "runtime_secs": res.runtime_secs,
-        }));
+        area_json.insert(
+            "eta".into(),
+            serde_json::json!({
+                "objective": res.best.objective, "conn": res.best.conn_increment,
+                "new_edges": res.best.num_new_edges(), "runtime_secs": res.runtime_secs,
+            }),
+        );
 
         // ETA-Pre and vk-TSP at full iteration budget.
         let planner = ctx.planner(name, params);
         for (label, mode) in [("ETA-Pre", PlannerMode::EtaPre), ("vk-TSP", PlannerMode::VkTsp)] {
             let res = planner.run(mode);
             rows.push(row_for(label, &planner, city, &res.best));
-            area_json.insert(label.to_lowercase(), serde_json::json!({
-                "objective": res.best.objective, "conn": res.best.conn_increment,
-                "new_edges": res.best.num_new_edges(), "runtime_secs": res.runtime_secs,
-            }));
+            area_json.insert(
+                label.to_lowercase(),
+                serde_json::json!({
+                    "objective": res.best.objective, "conn": res.best.conn_increment,
+                    "new_edges": res.best.num_new_edges(), "runtime_secs": res.runtime_secs,
+                }),
+            );
         }
 
         // Grey rows: the weight study on Chicago (paper's grey cells).
@@ -82,9 +93,12 @@ pub fn run(ctx: &mut ExperimentCtx) {
                 let planner = ctx.planner(name, wp);
                 let res = planner.run(PlannerMode::EtaPre);
                 rows.push(row_for(&format!("ETA-Pre w={w}"), &planner, city, &res.best));
-                area_json.insert(format!("eta-pre-w{w}"), serde_json::json!({
-                    "objective": res.best.objective, "conn": res.best.conn_increment,
-                }));
+                area_json.insert(
+                    format!("eta-pre-w{w}"),
+                    serde_json::json!({
+                        "objective": res.best.objective, "conn": res.best.conn_increment,
+                    }),
+                );
             }
         }
         sink.table(&header, &rows);

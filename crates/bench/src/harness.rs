@@ -99,9 +99,7 @@ impl ExperimentCtx {
     /// # Panics
     /// Panics if [`ExperimentCtx::prepare`] was not called for `name`.
     pub fn bundle(&self, name: &str) -> &CityBundle {
-        self.bundles
-            .get(name)
-            .unwrap_or_else(|| panic!("city {name} not prepared"))
+        self.bundles.get(name).unwrap_or_else(|| panic!("city {name} not prepared"))
     }
 
     /// Builds a planner for a prepared city under `params`, re-deriving the
@@ -214,10 +212,7 @@ mod tests {
     #[test]
     fn table_renders_markdown() {
         let mut sink = OutputSink::new("__test");
-        sink.table(
-            &["a", "bbb"],
-            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
-        );
+        sink.table(&["a", "bbb"], &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]]);
         assert!(sink.buffer.contains("a | bbb"));
         assert!(sink.buffer.contains("|-"));
         assert!(sink.buffer.contains("333 |"));

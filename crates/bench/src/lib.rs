@@ -5,9 +5,9 @@
 //! the full index). The `exp` binary dispatches by experiment id:
 //!
 //! ```sh
-//! cargo run --release -p ct-bench --bin exp -- table6          # one experiment
-//! cargo run --release -p ct-bench --bin exp -- all             # everything
-//! cargo run --release -p ct-bench --bin exp -- all --fast      # reduced scales
+//! cargo run --release -p ct_bench --bin exp -- table6          # one experiment
+//! cargo run --release -p ct_bench --bin exp -- all             # everything
+//! cargo run --release -p ct_bench --bin exp -- all --fast      # reduced scales
 //! ```
 //!
 //! Every experiment prints its table/series to stdout *and* writes a

@@ -54,11 +54,8 @@ pub fn connectivity_first_edges(pre: &Precomputed, l: usize, pool_size: usize) -
         chosen.push(id);
         chosen_pairs.push((e.u, e.v));
         current = current.with_added_unit_edges(&[(e.u, e.v)]);
-        current_trace = pre
-            .estimator
-            .trace_exp(&current)
-            .unwrap_or(current_trace)
-            .max(f64::MIN_POSITIVE);
+        current_trace =
+            pre.estimator.trace_exp(&current).unwrap_or(current_trace).max(f64::MIN_POSITIVE);
     }
     chosen
 }
@@ -152,11 +149,7 @@ pub fn stitch_edges_into_route(
             None => unconnected_gaps += 1,
         }
     }
-    let overhead_ratio = if edge_length_m > 0.0 {
-        connector_length_m / edge_length_m
-    } else {
-        0.0
-    };
+    let overhead_ratio = if edge_length_m > 0.0 { connector_length_m / edge_length_m } else { 0.0 };
     StitchedRoute {
         order,
         edge_length_m,
@@ -202,11 +195,8 @@ mod tests {
         // candidate with the single largest Δ(e).
         let (_, pre) = setup();
         let picks = connectivity_first_edges(&pre, 1, 50);
-        let top_new = pre
-            .llambda
-            .iter_desc()
-            .find(|&id| !pre.candidates.edge(id).existing)
-            .unwrap();
+        let top_new =
+            pre.llambda.iter_desc().find(|&id| !pre.candidates.edge(id).existing).unwrap();
         assert_eq!(picks[0], top_new);
     }
 

@@ -61,9 +61,7 @@ pub fn general_bound(base_lambda: f64, top_eigs: &[f64], k: usize, n: usize) -> 
 /// Eigenvalues of the `k`-edge simple path graph `P_{k+1}`:
 /// `2cos(iπ/(k+2))` for `i = 1..=k+1`, descending.
 pub fn path_graph_eigenvalues(k: usize) -> Vec<f64> {
-    (1..=k + 1)
-        .map(|i| 2.0 * (i as f64 * std::f64::consts::PI / (k as f64 + 2.0)).cos())
-        .collect()
+    (1..=k + 1).map(|i| 2.0 * (i as f64 * std::f64::consts::PI / (k as f64 + 2.0)).cos()).collect()
 }
 
 /// Lemma 4: bound on `λ(G')` after adding a `k`-edge simple path.
@@ -179,10 +177,7 @@ mod tests {
             let a_new = a.with_added_unit_edges(&adds);
             let exact_new = natural_connectivity_exact(&a_new).unwrap();
             let bound = general_bound(base, &eigs, k, a.n());
-            assert!(
-                bound >= exact_new - 1e-9,
-                "k={k}: bound {bound} < exact {exact_new}"
-            );
+            assert!(bound >= exact_new - 1e-9, "k={k}: bound {bound} < exact {exact_new}");
         }
     }
 
@@ -200,17 +195,12 @@ mod tests {
                 let j = rng.gen_range(0..=i);
                 verts.swap(i, j);
             }
-            let path: Vec<(u32, u32)> = verts[..k + 1]
-                .windows(2)
-                .map(|w| (w[0].min(w[1]), w[0].max(w[1])))
-                .collect();
+            let path: Vec<(u32, u32)> =
+                verts[..k + 1].windows(2).map(|w| (w[0].min(w[1]), w[0].max(w[1]))).collect();
             let a_new = a.with_added_unit_edges(&path);
             let exact_new = natural_connectivity_exact(&a_new).unwrap();
             let bound = path_bound(base, &eigs, k, a.n());
-            assert!(
-                bound >= exact_new - 1e-9,
-                "k={k}: path bound {bound} < exact {exact_new}"
-            );
+            assert!(bound >= exact_new - 1e-9, "k={k}: path bound {bound} < exact {exact_new}");
         }
     }
 

@@ -199,11 +199,7 @@ impl CandidateSet {
 
     /// Lookup table from (u, v) stop pair to candidate id.
     pub fn pair_lookup(&self) -> HashMap<(u32, u32), u32> {
-        self.edges
-            .iter()
-            .enumerate()
-            .map(|(id, e)| ((e.u, e.v), id as u32))
-            .collect()
+        self.edges.iter().enumerate().map(|(id, e)| ((e.u, e.v), id as u32)).collect()
     }
 }
 
@@ -269,9 +265,8 @@ mod tests {
             }
         }
         // Every candidate appears in exactly two incidence lists.
-        let total: usize = (0..city.transit.num_stops() as u32)
-            .map(|s| set.incident(s).len())
-            .sum();
+        let total: usize =
+            (0..city.transit.num_stops() as u32).map(|s| set.incident(s).len()).sum();
         assert_eq!(total, 2 * set.len());
     }
 

@@ -33,7 +33,6 @@ use ct_data::{City, DemandModel};
 use ct_spatial::{turn_angle, TurnClass};
 use serde::{Deserialize, Serialize};
 
-
 use crate::params::CtBusParams;
 use crate::plan::RoutePlan;
 use crate::precompute::Precomputed;
@@ -83,11 +82,9 @@ impl PlannerMode {
             PlannerMode::EtaAll => ModeConfig { seed_all: true, ..base },
             PlannerMode::EtaAllNeighbors => ModeConfig { all_neighbors: true, ..base },
             PlannerMode::EtaNoDomination => ModeConfig { domination: false, ..base },
-            PlannerMode::VkTsp => ModeConfig {
-                new_edges_only: true,
-                w_override: Some(1.0),
-                ..base
-            },
+            PlannerMode::VkTsp => {
+                ModeConfig { new_edges_only: true, w_override: Some(1.0), ..base }
+            }
         }
     }
 }
@@ -254,8 +251,7 @@ impl<'a> Planner<'a> {
         };
 
         // Candidate admissibility under the mode.
-        let admissible =
-            |id: u32| -> bool { !cfg.new_edges_only || !cands.edge(id).existing };
+        let admissible = |id: u32| -> bool { !cfg.new_edges_only || !cands.edge(id).existing };
 
         // Path objective evaluation. Linear paths carry their objective
         // incrementally; online paths are re-estimated in full.
@@ -273,11 +269,7 @@ impl<'a> Planner<'a> {
         let seed_ids: Vec<u32> = if cfg.seed_all {
             (0..cands.len() as u32).filter(|&id| admissible(id)).collect()
         } else {
-            bound_list
-                .iter_desc()
-                .filter(|&id| admissible(id))
-                .take(self.params.sn)
-                .collect()
+            bound_list.iter_desc().filter(|&id| admissible(id)).take(self.params.sn).collect()
         };
 
         let mut o_max = f64::NEG_INFINITY;
@@ -334,7 +326,14 @@ impl<'a> Planner<'a> {
                             continue;
                         }
                         let mut p = cp.clone();
-                        if !self.try_append(&mut p, e_id, end, bound_list, cfg.online_scoring, &le_values) {
+                        if !self.try_append(
+                            &mut p,
+                            e_id,
+                            end,
+                            bound_list,
+                            cfg.online_scoring,
+                            &le_values,
+                        ) {
                             continue;
                         }
                         if cfg.online_scoring {
@@ -347,7 +346,15 @@ impl<'a> Planner<'a> {
                             o_max = p.obj;
                             best = Some(p.clone());
                         }
-                        self.further_expansion(p, o_max, &mut dt, &mut q, &mut seq, cfg.domination, k);
+                        self.further_expansion(
+                            p,
+                            o_max,
+                            &mut dt,
+                            &mut q,
+                            &mut seq,
+                            cfg.domination,
+                            k,
+                        );
                     }
                 }
             } else {
@@ -384,7 +391,14 @@ impl<'a> Planner<'a> {
                         }
                     }
                     if let Some((e_id, _)) = best_ext {
-                        if self.try_append(&mut newp, e_id, end, bound_list, cfg.online_scoring, &le_values) {
+                        if self.try_append(
+                            &mut newp,
+                            e_id,
+                            end,
+                            bound_list,
+                            cfg.online_scoring,
+                            &le_values,
+                        ) {
                             extended = true;
                         }
                     }
@@ -679,11 +693,9 @@ mod tests {
         let (city, demand, mut params) = planner_fixture();
         params.it_max = 1_000;
         let planner = Planner::new(&city, &demand, params);
-        for mode in [
-            PlannerMode::EtaAll,
-            PlannerMode::EtaAllNeighbors,
-            PlannerMode::EtaNoDomination,
-        ] {
+        for mode in
+            [PlannerMode::EtaAll, PlannerMode::EtaAllNeighbors, PlannerMode::EtaNoDomination]
+        {
             let res = planner.run(mode);
             check_plan_feasible(&city, &params, &res.best);
         }

@@ -58,7 +58,7 @@ pub use metrics::{apply_plan, evaluate_plan, PlanMetrics};
 pub use multi::plan_multiple;
 pub use params::CtBusParams;
 pub use plan::RoutePlan;
-pub use precompute::{DeltaMethod, Precomputed, PrecomputeTimings};
+pub use precompute::{DeltaMethod, PrecomputeTimings, Precomputed};
 pub use ranked::RankedList;
 pub use rknn::{rknn_demand, route_service_distance, RknnDemand, RknnParams};
 pub use scorer::ConnScorer;

@@ -49,9 +49,8 @@ pub fn apply_plan(
     }
     let lookup = cands.pair_lookup();
     transit.with_route_added(&plan.stops, |u, v| {
-        let id = lookup
-            .get(&(u.min(v), u.max(v)))
-            .expect("plan edges come from the candidate pool");
+        let id =
+            lookup.get(&(u.min(v), u.max(v))).expect("plan edges come from the candidate pool");
         let e = cands.edge(*id);
         (e.length_m, e.road_edges.clone())
     })
@@ -79,11 +78,8 @@ pub fn evaluate_plan(city: &City, plan: &RoutePlan, cands: &CandidateSet) -> Pla
             }
         }
     }
-    let transfers_avoided = if transfer_pairs > 0 {
-        transfer_sum as f64 / transfer_pairs as f64
-    } else {
-        0.0
-    };
+    let transfers_avoided =
+        if transfer_pairs > 0 { transfer_sum as f64 / transfer_pairs as f64 } else { 0.0 };
 
     // ζ(μ): one Dijkstra per stop on each network.
     let mut ratio_sum = 0.0;
@@ -106,11 +102,8 @@ pub fn evaluate_plan(city: &City, plan: &RoutePlan, cands: &CandidateSet) -> Pla
 
     // Crossed routes: existing routes sharing a stop with μ.
     let on_plan: std::collections::HashSet<u32> = stops.iter().copied().collect();
-    let crossed_routes = old
-        .routes()
-        .iter()
-        .filter(|r| r.stops.iter().any(|s| on_plan.contains(s)))
-        .count();
+    let crossed_routes =
+        old.routes().iter().filter(|r| r.stops.iter().any(|s| on_plan.contains(s))).count();
 
     PlanMetrics {
         transfers_avoided,
@@ -145,10 +138,7 @@ mod tests {
         assert!(!plan.is_empty());
         let new = apply_plan(&city.transit, &plan, &cands);
         assert_eq!(new.num_routes(), city.transit.num_routes() + 1);
-        assert_eq!(
-            new.num_edges(),
-            city.transit.num_edges() + plan.num_new_edges()
-        );
+        assert_eq!(new.num_edges(), city.transit.num_edges() + plan.num_new_edges());
         assert_eq!(new.num_stops(), city.transit.num_stops(), "no new stops, ever");
     }
 

@@ -37,11 +37,8 @@ pub fn plan_multiple(
         let new_transit = apply_plan(&current_city.transit, &plan, cands);
 
         // Zero out served demand (paper: set covered edges' demand to zero).
-        let covered: Vec<u32> = plan
-            .cand_edges
-            .iter()
-            .flat_map(|&id| cands.edge(id).road_edges.clone())
-            .collect();
+        let covered: Vec<u32> =
+            plan.cand_edges.iter().flat_map(|&id| cands.edge(id).road_edges.clone()).collect();
         let road = current_city.road.clone();
         current_demand.zero_edges(&road, &covered);
 

@@ -186,11 +186,14 @@ impl Precomputed {
             .edges()
             .iter()
             .enumerate()
-            .map(|(i, e)| params.w * e.demand / d_max + (1.0 - params.w) * self.delta[i] / lambda_max)
+            .map(|(i, e)| {
+                params.w * e.demand / d_max + (1.0 - params.w) * self.delta[i] / lambda_max
+            })
             .collect();
-        let conn_path_ub = (path_bound(self.base_lambda, &self.top_eigs, params.k, self.base_adj.n())
-            - self.base_lambda)
-            .max(0.0);
+        let conn_path_ub =
+            (path_bound(self.base_lambda, &self.top_eigs, params.k, self.base_adj.n())
+                - self.base_lambda)
+                .max(0.0);
         Precomputed {
             candidates: self.candidates.clone(),
             delta: self.delta.clone(),
@@ -219,24 +222,19 @@ fn compute_deltas(
 ) -> Vec<f64> {
     let n = candidates.len();
     let mut delta = vec![0.0f64; n];
-    let ids: Vec<u32> = (0..n as u32)
-        .filter(|&i| !candidates.edge(i).existing)
-        .collect();
+    let ids: Vec<u32> = (0..n as u32).filter(|&i| !candidates.edge(i).existing).collect();
     if ids.is_empty() {
         return delta;
     }
 
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(ids.len());
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(ids.len());
     let chunk = ids.len().div_ceil(threads);
     let mut results: Vec<Vec<(u32, f64)>> = Vec::new();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = ids
             .chunks(chunk)
             .map(|part| {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut out = Vec::with_capacity(part.len());
                     for &id in part {
                         let e = candidates.edge(id);
@@ -257,8 +255,7 @@ fn compute_deltas(
         for h in handles {
             results.push(h.join().expect("delta worker does not panic"));
         }
-    })
-    .expect("crossbeam scope");
+    });
 
     for part in results {
         for (id, inc) in part {
@@ -295,12 +292,8 @@ fn compute_deltas_perturbation(
 
     // Columns of e^A for every endpoint of a new candidate edge.
     let mut columns: HashMap<u32, Vec<f64>> = HashMap::new();
-    let mut needed: Vec<u32> = candidates
-        .edges()
-        .iter()
-        .filter(|e| !e.existing)
-        .flat_map(|e| [e.u, e.v])
-        .collect();
+    let mut needed: Vec<u32> =
+        candidates.edges().iter().filter(|e| !e.existing).flat_map(|e| [e.u, e.v]).collect();
     needed.sort_unstable();
     needed.dedup();
     for &u in &needed {
@@ -379,11 +372,7 @@ mod tests {
         // single edge achieves (it bounds whole k-edge paths).
         let (city, demand, params) = setup();
         let pre = Precomputed::build(&city, &demand, &params);
-        let best_single = pre
-            .delta
-            .iter()
-            .cloned()
-            .fold(0.0f64, f64::max);
+        let best_single = pre.delta.iter().cloned().fold(0.0f64, f64::max);
         assert!(
             pre.conn_path_ub >= best_single - 1e-6,
             "path ub {} < best single Δ {}",
@@ -426,8 +415,7 @@ mod tests {
         let (city, demand, mut params) = setup();
         params.trace_probes = 96; // tight reference
         let reference = Precomputed::build(&city, &demand, &params);
-        let perturbed =
-            Precomputed::build_with(&city, &demand, &params, DeltaMethod::Perturbation);
+        let perturbed = Precomputed::build_with(&city, &demand, &params, DeltaMethod::Perturbation);
 
         let ids: Vec<usize> = (0..reference.candidates.len())
             .filter(|&i| !reference.candidates.edge(i as u32).existing)

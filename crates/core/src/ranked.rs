@@ -182,7 +182,7 @@ mod tests {
     fn seed_outside_top_k_swaps_boundary() {
         let l = list();
         let b = IncrementalBound::for_seed(&l, 3, 2); // value 1 at rank 4
-        // 21 − (5 − 1) = 17
+                                                      // 21 − (5 − 1) = 17
         assert_eq!(b.ub, 17.0);
         assert_eq!(b.cur, 2);
     }

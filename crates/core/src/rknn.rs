@@ -154,8 +154,7 @@ pub fn rknn_demand(city: &City, candidate_stops: &[Point], params: &RknnParams) 
         let dest = road.position(d);
         out.total += 1;
 
-        let cand_dist =
-            route_service_distance(&origin, &dest, candidate_stops, params.max_walk_m);
+        let cand_dist = route_service_distance(&origin, &dest, candidate_stops, params.max_walk_m);
         let Some(cand_dist) = cand_dist else { continue };
         out.reachable += 1;
 
@@ -207,12 +206,8 @@ mod tests {
         assert!((dist - 20.0).abs() < 1e-9);
         // Same nearest stop for both endpoints: must fall back to the
         // second-best on one side, not serve via a single stop.
-        let both_near_first = route_service_distance(
-            &Point::new(10.0, 0.0),
-            &Point::new(20.0, 0.0),
-            &stops,
-            500.0,
-        );
+        let both_near_first =
+            route_service_distance(&Point::new(10.0, 0.0), &Point::new(20.0, 0.0), &stops, 500.0);
         assert!(both_near_first.is_none(), "1 km walk exceeds the cutoff");
     }
 
@@ -229,13 +224,8 @@ mod tests {
     #[test]
     fn supporters_grow_with_k_and_walk_radius() {
         let city = CityConfig::small().seed(6).generate();
-        let stops: Vec<Point> = city
-            .transit
-            .route(0)
-            .stops
-            .iter()
-            .map(|&s| city.transit.stop(s).pos)
-            .collect();
+        let stops: Vec<Point> =
+            city.transit.route(0).stops.iter().map(|&s| city.transit.stop(s).pos).collect();
         let base = rknn_demand(&city, &stops, &RknnParams { k: 1, max_walk_m: 400.0 });
         let more_k = rknn_demand(&city, &stops, &RknnParams { k: 3, max_walk_m: 400.0 });
         let more_walk = rknn_demand(&city, &stops, &RknnParams { k: 1, max_walk_m: 800.0 });
@@ -263,11 +253,7 @@ mod tests {
         // A candidate placed exactly on a trajectory's endpoints beats any
         // existing route for that trip (distance ~0 each side).
         let city = CityConfig::small().seed(6).generate();
-        let t = city
-            .trajectories
-            .iter()
-            .find(|t| t.len() >= 3)
-            .expect("a usable trajectory");
+        let t = city.trajectories.iter().find(|t| t.len() >= 3).expect("a usable trajectory");
         let o = city.road.position(t.origin().unwrap());
         let d = city.road.position(t.destination().unwrap());
         let stops = vec![o, d];

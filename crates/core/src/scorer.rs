@@ -49,9 +49,7 @@ impl ConnScorer<'_> {
                     return 0.0;
                 }
                 let augmented = base.with_added_unit_edges(&pairs);
-                natural_connectivity_exact(&augmented)
-                    .map(|l| l - base_lambda)
-                    .unwrap_or(0.0)
+                natural_connectivity_exact(&augmented).map(|l| l - base_lambda).unwrap_or(0.0)
             }
             ConnScorer::Online { est, base, base_trace } => {
                 let pairs = cands.new_stop_pairs(cand_ids);
@@ -64,10 +62,7 @@ impl ConnScorer<'_> {
                     Err(_) => 0.0,
                 }
             }
-            ConnScorer::Linear { delta } => cand_ids
-                .iter()
-                .map(|&id| delta[id as usize])
-                .sum(),
+            ConnScorer::Linear { delta } => cand_ids.iter().map(|&id| delta[id as usize]).sum(),
         }
     }
 
@@ -100,18 +95,13 @@ mod tests {
         let online = ConnScorer::Online { est: &est, base: &base, base_trace };
 
         // A few new candidates as a pseudo-path.
-        let new_ids: Vec<u32> = (0..cands.len() as u32)
-            .filter(|&i| !cands.edge(i).existing)
-            .take(4)
-            .collect();
+        let new_ids: Vec<u32> =
+            (0..cands.len() as u32).filter(|&i| !cands.edge(i).existing).take(4).collect();
         assert!(!new_ids.is_empty());
         let e = exact.increment(&new_ids, &cands);
         let o = online.increment(&new_ids, &cands);
         assert!(e > 0.0);
-        assert!(
-            (e - o).abs() < 0.5 * e + 1e-4,
-            "exact {e} vs online {o}"
-        );
+        assert!((e - o).abs() < 0.5 * e + 1e-4, "exact {e} vs online {o}");
     }
 
     #[test]
@@ -122,10 +112,8 @@ mod tests {
         let base = city.transit.adjacency_matrix();
         let base_lambda = natural_connectivity_exact(&base).unwrap();
         let exact = ConnScorer::Exact { base: &base, base_lambda };
-        let existing: Vec<u32> = (0..cands.len() as u32)
-            .filter(|&i| cands.edge(i).existing)
-            .take(3)
-            .collect();
+        let existing: Vec<u32> =
+            (0..cands.len() as u32).filter(|&i| cands.edge(i).existing).take(3).collect();
         assert_eq!(exact.increment(&existing, &cands), 0.0);
     }
 

@@ -298,10 +298,7 @@ mod tests {
                 assert!(a.dist(b) >= params.min_gap_m, "sites too close: {}", a.dist(b));
             }
             for stop in city.transit.stops() {
-                assert!(
-                    a.dist(&stop.pos) >= params.min_gap_m,
-                    "site within gap of existing stop"
-                );
+                assert!(a.dist(&stop.pos) >= params.min_gap_m, "site within gap of existing stop");
             }
         }
     }
@@ -408,8 +405,16 @@ mod tests {
     #[test]
     fn high_w_prefers_demand_low_w_prefers_connectivity() {
         let (city, demand) = small_city();
-        let d = select_sites(&city, &demand, &SiteParams { num_sites: 3, w: 1.0, ..Default::default() });
-        let c = select_sites(&city, &demand, &SiteParams { num_sites: 3, w: 0.0, ..Default::default() });
+        let d = select_sites(
+            &city,
+            &demand,
+            &SiteParams { num_sites: 3, w: 1.0, ..Default::default() },
+        );
+        let c = select_sites(
+            &city,
+            &demand,
+            &SiteParams { num_sites: 3, w: 0.0, ..Default::default() },
+        );
         let mean_dem = |s: &SiteSelection| {
             s.sites.iter().map(|x| x.marginal_demand).sum::<f64>() / s.sites.len() as f64
         };

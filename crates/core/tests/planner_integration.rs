@@ -1,9 +1,7 @@
 //! Integration tests for the planner against generated cities, including
 //! degenerate regimes the unit tests do not reach.
 
-use ct_core::{
-    evaluate_plan, CtBusParams, DeltaMethod, Planner, PlannerMode, Precomputed,
-};
+use ct_core::{evaluate_plan, CtBusParams, DeltaMethod, Planner, PlannerMode, Precomputed};
 use ct_data::{CityConfig, DemandModel};
 
 #[test]
@@ -92,12 +90,8 @@ fn perturbation_precompute_plans_comparable_routes() {
 
     let probe = Precomputed::build_with(&city, &demand, &params, DeltaMethod::PairedProbes);
     let pert = Precomputed::build_with(&city, &demand, &params, DeltaMethod::Perturbation);
-    let plan_probe = Planner::with_precomputed(&city, params, probe)
-        .run(PlannerMode::EtaPre)
-        .best;
-    let plan_pert = Planner::with_precomputed(&city, params, pert)
-        .run(PlannerMode::EtaPre)
-        .best;
+    let plan_probe = Planner::with_precomputed(&city, params, probe).run(PlannerMode::EtaPre).best;
+    let plan_pert = Planner::with_precomputed(&city, params, pert).run(PlannerMode::EtaPre).best;
     assert!(!plan_probe.is_empty() && !plan_pert.is_empty());
     // Final objectives are both re-scored with the same SLQ estimator, so
     // they are directly comparable.

@@ -90,9 +90,8 @@ mod tests {
 
     fn tiny_city() -> City {
         let positions: Vec<Point> = (0..4).map(|i| Point::new(i as f64 * 100.0, 0.0)).collect();
-        let road_edges: Vec<RoadEdge> = (0..3)
-            .map(|i| RoadEdge { u: i, v: i + 1, length: 100.0 })
-            .collect();
+        let road_edges: Vec<RoadEdge> =
+            (0..3).map(|i| RoadEdge { u: i, v: i + 1, length: 100.0 }).collect();
         let road = RoadNetwork::new(positions.clone(), road_edges);
         let mut b = TransitNetworkBuilder::new();
         let s0 = b.add_stop(0, positions[0]);

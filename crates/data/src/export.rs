@@ -21,9 +21,8 @@ pub struct RouteGeometry {
 /// JSON overview of a city (Fig. 5 substitute): stats plus route geometries.
 pub fn city_summary_json(city: &City) -> serde_json::Value {
     let stats = city.stats();
-    let routes: Vec<RouteGeometry> = (0..city.transit.num_routes() as u32)
-        .map(|r| route_geometry(city, r))
-        .collect();
+    let routes: Vec<RouteGeometry> =
+        (0..city.transit.num_routes() as u32).map(|r| route_geometry(city, r)).collect();
     serde_json::json!({
         "name": city.name,
         "stats": {
@@ -68,10 +67,7 @@ mod tests {
         let v = city_summary_json(&city);
         assert_eq!(v["name"], "small");
         assert_eq!(v["stats"]["trajectories"], 100);
-        assert_eq!(
-            v["routes"].as_array().unwrap().len(),
-            city.transit.num_routes()
-        );
+        assert_eq!(v["routes"].as_array().unwrap().len(), city.transit.num_routes());
     }
 
     #[test]

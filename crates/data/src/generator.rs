@@ -544,9 +544,8 @@ impl CityConfig {
             }
 
             // Place stops every `stop_spacing_blocks` nodes along the path.
-            let mut stop_nodes: Vec<usize> = (0..path.nodes.len())
-                .step_by(self.stop_spacing_blocks)
-                .collect();
+            let mut stop_nodes: Vec<usize> =
+                (0..path.nodes.len()).step_by(self.stop_spacing_blocks).collect();
             if *stop_nodes.last().unwrap() != path.nodes.len() - 1 {
                 stop_nodes.push(path.nodes.len() - 1);
             }
@@ -614,9 +613,8 @@ impl CityConfig {
         }
         let index = GridIndex::build(self.spacing_m.max(1.0), road.positions());
         let n_origins = (self.n_trajectories / 25).clamp(8, 400);
-        let origins: Vec<u32> = (0..n_origins)
-            .map(|_| self.sample_node(road, &index, hotspots, rng))
-            .collect();
+        let origins: Vec<u32> =
+            (0..n_origins).map(|_| self.sample_node(road, &index, hotspots, rng)).collect();
 
         let mut out = Vec::with_capacity(self.n_trajectories);
         let per_origin = self.n_trajectories / origins.len() + 1;
@@ -702,11 +700,8 @@ mod tests {
 
     #[test]
     fn coastline_mask_removes_land() {
-        let m = GeographyMask::Coastline {
-            side: CoastSide::East,
-            base_frac: 0.3,
-            amplitude_frac: 0.0,
-        };
+        let m =
+            GeographyMask::Coastline { side: CoastSide::East, base_frac: 0.3, amplitude_frac: 0.0 };
         assert!(m.is_land(0.5, 0.5));
         assert!(!m.is_land(0.9, 0.5));
         assert!(GeographyMask::None.is_land(0.99, 0.99));
@@ -714,11 +709,8 @@ mod tests {
 
     #[test]
     fn coastline_sides_are_oriented() {
-        let west = GeographyMask::Coastline {
-            side: CoastSide::West,
-            base_frac: 0.3,
-            amplitude_frac: 0.0,
-        };
+        let west =
+            GeographyMask::Coastline { side: CoastSide::West, base_frac: 0.3, amplitude_frac: 0.0 };
         assert!(!west.is_land(0.05, 0.5));
         assert!(west.is_land(0.9, 0.5));
         let north = GeographyMask::Coastline {

@@ -36,11 +36,8 @@ impl GeoJsonExporter {
     /// One route as a GeoJSON `LineString` feature.
     pub fn route_feature(&self, city: &City, route_id: u32, props: Value) -> Value {
         let route = city.transit.route(route_id);
-        let coords: Vec<Value> = route
-            .stops
-            .iter()
-            .map(|&s| self.coord(&city.transit.stop(s).pos))
-            .collect();
+        let coords: Vec<Value> =
+            route.stops.iter().map(|&s| self.coord(&city.transit.stop(s).pos)).collect();
         json!({
             "type": "Feature",
             "geometry": { "type": "LineString", "coordinates": coords },
@@ -50,10 +47,8 @@ impl GeoJsonExporter {
 
     /// An arbitrary stop sequence (e.g. a planned route) as a `LineString`.
     pub fn stop_seq_feature(&self, city: &City, stops: &[u32], props: Value) -> Value {
-        let coords: Vec<Value> = stops
-            .iter()
-            .map(|&s| self.coord(&city.transit.stop(s).pos))
-            .collect();
+        let coords: Vec<Value> =
+            stops.iter().map(|&s| self.coord(&city.transit.stop(s).pos)).collect();
         json!({
             "type": "Feature",
             "geometry": { "type": "LineString", "coordinates": coords },
@@ -63,12 +58,7 @@ impl GeoJsonExporter {
 
     /// All bus stops as a `MultiPoint` feature.
     pub fn stops_feature(&self, city: &City) -> Value {
-        let coords: Vec<Value> = city
-            .transit
-            .stops()
-            .iter()
-            .map(|s| self.coord(&s.pos))
-            .collect();
+        let coords: Vec<Value> = city.transit.stops().iter().map(|s| self.coord(&s.pos)).collect();
         json!({
             "type": "Feature",
             "geometry": { "type": "MultiPoint", "coordinates": coords },
@@ -80,13 +70,7 @@ impl GeoJsonExporter {
     /// route, the stop layer, and optionally a highlighted new route.
     pub fn transit_feature_collection(&self, city: &City, new_route: Option<&[u32]>) -> Value {
         let mut features: Vec<Value> = (0..city.transit.num_routes() as u32)
-            .map(|r| {
-                self.route_feature(
-                    city,
-                    r,
-                    json!({ "layer": "existing", "route_id": r }),
-                )
-            })
+            .map(|r| self.route_feature(city, r, json!({ "layer": "existing", "route_id": r })))
             .collect();
         features.push(self.stops_feature(city));
         if let Some(stops) = new_route {
@@ -120,10 +104,7 @@ mod tests {
         assert_eq!(features.len(), city.transit.num_routes() + 2);
         let last = features.last().unwrap();
         assert_eq!(last["properties"]["layer"], "planned");
-        assert_eq!(
-            last["geometry"]["coordinates"].as_array().unwrap().len(),
-            2
-        );
+        assert_eq!(last["geometry"]["coordinates"].as_array().unwrap().len(), 2);
     }
 
     #[test]

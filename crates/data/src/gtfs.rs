@@ -363,12 +363,7 @@ impl GtfsFeed {
             .enumerate()
             .map(|(i, s)| {
                 let g = projection.unproject(&s.pos);
-                GtfsStop {
-                    id: format!("S{i}"),
-                    name: format!("Stop {i}"),
-                    lat: g.lat,
-                    lon: g.lon,
-                }
+                GtfsStop { id: format!("S{i}"), name: format!("Stop {i}"), lat: g.lat, lon: g.lon }
             })
             .collect();
         let mut routes = Vec::with_capacity(network.num_routes());
@@ -454,17 +449,19 @@ fn hms(total_secs: u64) -> String {
 fn parse_stops<R: BufRead>(reader: R) -> Result<Vec<GtfsStop>, GtfsError> {
     const FILE: &str = "stops.txt";
     let mut lines = reader.lines();
-    let header = Header::parse(&lines.next().ok_or(GtfsError::MissingColumn {
-        file: FILE,
-        column: "stop_id",
-    })??);
+    let header = Header::parse(
+        &lines.next().ok_or(GtfsError::MissingColumn { file: FILE, column: "stop_id" })??,
+    );
     for col in ["stop_id", "stop_lat", "stop_lon"] {
         if header.index(col).is_none() {
-            return Err(GtfsError::MissingColumn { file: FILE, column: match col {
-                "stop_id" => "stop_id",
-                "stop_lat" => "stop_lat",
-                _ => "stop_lon",
-            }});
+            return Err(GtfsError::MissingColumn {
+                file: FILE,
+                column: match col {
+                    "stop_id" => "stop_id",
+                    "stop_lat" => "stop_lat",
+                    _ => "stop_lon",
+                },
+            });
         }
     }
     let mut out = Vec::new();
@@ -500,10 +497,9 @@ fn parse_stops<R: BufRead>(reader: R) -> Result<Vec<GtfsStop>, GtfsError> {
 fn parse_routes<R: BufRead>(reader: R) -> Result<Vec<GtfsRoute>, GtfsError> {
     const FILE: &str = "routes.txt";
     let mut lines = reader.lines();
-    let header = Header::parse(&lines.next().ok_or(GtfsError::MissingColumn {
-        file: FILE,
-        column: "route_id",
-    })??);
+    let header = Header::parse(
+        &lines.next().ok_or(GtfsError::MissingColumn { file: FILE, column: "route_id" })??,
+    );
     if header.index("route_id").is_none() {
         return Err(GtfsError::MissingColumn { file: FILE, column: "route_id" });
     }
@@ -536,10 +532,9 @@ fn parse_routes<R: BufRead>(reader: R) -> Result<Vec<GtfsRoute>, GtfsError> {
 fn parse_trips<R: BufRead>(reader: R) -> Result<Vec<GtfsTrip>, GtfsError> {
     const FILE: &str = "trips.txt";
     let mut lines = reader.lines();
-    let header = Header::parse(&lines.next().ok_or(GtfsError::MissingColumn {
-        file: FILE,
-        column: "trip_id",
-    })??);
+    let header = Header::parse(
+        &lines.next().ok_or(GtfsError::MissingColumn { file: FILE, column: "trip_id" })??,
+    );
     for col in ["trip_id", "route_id"] {
         if header.index(col).is_none() {
             return Err(GtfsError::MissingColumn {
@@ -572,10 +567,9 @@ fn parse_trips<R: BufRead>(reader: R) -> Result<Vec<GtfsTrip>, GtfsError> {
 fn parse_stop_times<R: BufRead>(reader: R) -> Result<Vec<GtfsStopTime>, GtfsError> {
     const FILE: &str = "stop_times.txt";
     let mut lines = reader.lines();
-    let header = Header::parse(&lines.next().ok_or(GtfsError::MissingColumn {
-        file: FILE,
-        column: "trip_id",
-    })??);
+    let header = Header::parse(
+        &lines.next().ok_or(GtfsError::MissingColumn { file: FILE, column: "trip_id" })??,
+    );
     for col in ["trip_id", "stop_id", "stop_sequence"] {
         if header.index(col).is_none() {
             return Err(GtfsError::MissingColumn {
@@ -617,14 +611,11 @@ fn parse_field<T: std::str::FromStr>(
     file: &'static str,
     line: usize,
 ) -> Result<T, GtfsError> {
-    header
-        .get(rec, col)
-        .and_then(|v| v.parse().ok())
-        .ok_or_else(|| GtfsError::BadRecord {
-            file,
-            line,
-            reason: format!("missing or malformed `{col}`"),
-        })
+    header.get(rec, col).and_then(|v| v.parse().ok()).ok_or_else(|| GtfsError::BadRecord {
+        file,
+        line,
+        reason: format!("missing or malformed `{col}`"),
+    })
 }
 
 #[cfg(test)]
@@ -736,8 +727,16 @@ mod tests {
         let mut feed = feed_for_grid(&proj, &road);
         // A second, shorter trip on the same route must not win.
         feed.trips.push(GtfsTrip { id: "t2".into(), route_id: "r1".into() });
-        feed.stop_times.push(GtfsStopTime { trip_id: "t2".into(), stop_id: "A".into(), sequence: 1 });
-        feed.stop_times.push(GtfsStopTime { trip_id: "t2".into(), stop_id: "B".into(), sequence: 2 });
+        feed.stop_times.push(GtfsStopTime {
+            trip_id: "t2".into(),
+            stop_id: "A".into(),
+            sequence: 1,
+        });
+        feed.stop_times.push(GtfsStopTime {
+            trip_id: "t2".into(),
+            stop_id: "B".into(),
+            sequence: 2,
+        });
         let seqs = feed.route_stop_sequences().expect("sequences");
         assert_eq!(seqs.len(), 1);
         assert_eq!(seqs[0].1, vec!["A", "B", "C"]);
@@ -752,25 +751,33 @@ mod tests {
             Point::new(10_000.0, 0.0),
             Point::new(10_100.0, 0.0),
         ];
-        let edges = vec![
-            RoadEdge { u: 0, v: 1, length: 100.0 },
-            RoadEdge { u: 2, v: 3, length: 100.0 },
-        ];
+        let edges =
+            vec![RoadEdge { u: 0, v: 1, length: 100.0 }, RoadEdge { u: 2, v: 3, length: 100.0 }];
         let road = RoadNetwork::new(positions, edges);
         let proj = Projection::new(GeoPoint::new(41.85, -87.65));
         let g = |node: u32| proj.unproject(&road.position(node));
         let pts: Vec<GeoPoint> = (0..4).map(g).collect();
         let stops = format!(
             "stop_id,stop_lat,stop_lon\nA,{},{}\nB,{},{}\nC,{},{}\nD,{},{}\n",
-            pts[0].lat, pts[0].lon, pts[1].lat, pts[1].lon,
-            pts[2].lat, pts[2].lon, pts[3].lat, pts[3].lon,
+            pts[0].lat,
+            pts[0].lon,
+            pts[1].lat,
+            pts[1].lon,
+            pts[2].lat,
+            pts[2].lon,
+            pts[3].lat,
+            pts[3].lon,
         );
         let routes = "route_id\nr1\n";
         let trips = "route_id,trip_id\nr1,t1\n";
         let stop_times = "trip_id,stop_id,stop_sequence\nt1,A,1\nt1,B,2\nt1,C,3\nt1,D,4\n";
         let feed = GtfsFeed::parse(
-            stops.as_bytes(), routes.as_bytes(), trips.as_bytes(), stop_times.as_bytes(),
-        ).expect("parse");
+            stops.as_bytes(),
+            routes.as_bytes(),
+            trips.as_bytes(),
+            stop_times.as_bytes(),
+        )
+        .expect("parse");
         let (net, stats) = feed.into_transit(&road, &proj).expect("import");
         // The B→C hop is unroutable: the route splits into A-B and C-D.
         assert_eq!(stats.dropped_hops, 1);
@@ -788,8 +795,12 @@ mod tests {
         // One-stop trip: nothing to connect.
         let stop_times = "trip_id,stop_id,stop_sequence\nt1,A,1\n";
         let feed = GtfsFeed::parse(
-            stops.as_bytes(), routes.as_bytes(), trips.as_bytes(), stop_times.as_bytes(),
-        ).expect("parse");
+            stops.as_bytes(),
+            routes.as_bytes(),
+            trips.as_bytes(),
+            stop_times.as_bytes(),
+        )
+        .expect("parse");
         match feed.into_transit(&road, &proj) {
             Err(GtfsError::EmptyFeed) => {}
             other => panic!("expected EmptyFeed, got {other:?}"),

@@ -77,8 +77,7 @@ pub fn trips_to_trajectories(
     let index = GridIndex::build(250.0, road.positions());
     let mut out = Vec::with_capacity(trips.len());
     for trip in trips {
-        let (Some(a), Some(b)) = (index.nearest(&trip.pickup), index.nearest(&trip.dropoff))
-        else {
+        let (Some(a), Some(b)) = (index.nearest(&trip.pickup), index.nearest(&trip.dropoff)) else {
             continue;
         };
         if a == b {

@@ -77,9 +77,7 @@ mod tests {
 
     fn line_road() -> RoadNetwork {
         let positions = (0..4).map(|i| Point::new(i as f64 * 100.0, 0.0)).collect();
-        let edges = (0..3)
-            .map(|i| RoadEdge { u: i, v: i + 1, length: 100.0 })
-            .collect();
+        let edges = (0..3).map(|i| RoadEdge { u: i, v: i + 1, length: 100.0 }).collect();
         RoadNetwork::new(positions, edges)
     }
 

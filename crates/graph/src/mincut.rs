@@ -123,8 +123,7 @@ pub fn global_min_cut(num_nodes: usize, edges: &[(u32, u32, f64)]) -> Option<Min
         }
 
         // Merge t into s.
-        let t_adj: Vec<(u32, f64)> =
-            adj[t as usize].iter().map(|(&n, &w)| (n, w)).collect();
+        let t_adj: Vec<(u32, f64)> = adj[t as usize].iter().map(|(&n, &w)| (n, w)).collect();
         for (nbr, w) in t_adj {
             adj[nbr as usize].remove(&t);
             if nbr == s {
@@ -291,9 +290,7 @@ mod tests {
             for mask in 1..(1u32 << (n - 1)) {
                 let weight: f64 = edges
                     .iter()
-                    .filter(|&&(u, v, _)| {
-                        ((mask >> u) & 1) != ((mask >> v) & 1)
-                    })
+                    .filter(|&&(u, v, _)| ((mask >> u) & 1) != ((mask >> v) & 1))
                     .map(|&(_, _, w)| w)
                     .sum();
                 best = best.min(weight);

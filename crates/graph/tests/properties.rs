@@ -1,8 +1,8 @@
 //! Property-based tests for the graph substrate.
 
 use ct_graph::{
-    bfs_hops, connected_components, dijkstra_all, dijkstra_bounded, global_min_cut,
-    min_cut_of, shortest_path, RoadEdge, RoadNetwork, TransferIndex, TransitNetworkBuilder,
+    bfs_hops, connected_components, dijkstra_all, dijkstra_bounded, global_min_cut, min_cut_of,
+    shortest_path, RoadEdge, RoadNetwork, TransferIndex, TransitNetworkBuilder,
 };
 use ct_spatial::Point;
 use proptest::prelude::*;
@@ -11,16 +11,17 @@ fn road_strategy(max_n: usize) -> impl Strategy<Value = RoadNetwork> {
     (3..max_n).prop_flat_map(|n| {
         proptest::collection::vec((0..n as u32, 0..n as u32, 1.0f64..100.0), 0..3 * n).prop_map(
             move |extra| {
-                let positions: Vec<Point> =
-                    (0..n).map(|i| Point::new((i % 7) as f64 * 50.0, (i / 7) as f64 * 50.0)).collect();
-                let mut edges: Vec<RoadEdge> = (0..n as u32 - 1)
-                    .map(|i| RoadEdge { u: i, v: i + 1, length: 10.0 })
+                let positions: Vec<Point> = (0..n)
+                    .map(|i| Point::new((i % 7) as f64 * 50.0, (i / 7) as f64 * 50.0))
                     .collect();
+                let mut edges: Vec<RoadEdge> =
+                    (0..n as u32 - 1).map(|i| RoadEdge { u: i, v: i + 1, length: 10.0 }).collect();
                 edges.extend(
-                    extra
-                        .into_iter()
-                        .filter(|(u, v, _)| u != v)
-                        .map(|(u, v, length)| RoadEdge { u, v, length }),
+                    extra.into_iter().filter(|(u, v, _)| u != v).map(|(u, v, length)| RoadEdge {
+                        u,
+                        v,
+                        length,
+                    }),
                 );
                 RoadNetwork::new(positions, edges)
             },

@@ -48,10 +48,7 @@ impl ConnectivityEstimator {
     /// Creates an estimator for `n × n` adjacency matrices.
     pub fn new(n: usize, params: &TraceParams, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        ConnectivityEstimator {
-            paired: PairedTraceEstimator::new(n, params, &mut rng),
-            n,
-        }
+        ConnectivityEstimator { paired: PairedTraceEstimator::new(n, params, &mut rng), n }
     }
 
     /// The matrix dimension this estimator serves.
@@ -128,10 +125,7 @@ mod tests {
         let exact = natural_connectivity_exact(&a).unwrap();
         let est = ConnectivityEstimator::new(150, &TraceParams::default(), 7);
         let got = est.lambda(&a).unwrap();
-        assert!(
-            (got - exact).abs() / exact.abs().max(1.0) < 0.05,
-            "est {got} vs exact {exact}"
-        );
+        assert!((got - exact).abs() / exact.abs().max(1.0) < 0.05, "est {got} vs exact {exact}");
     }
 
     #[test]

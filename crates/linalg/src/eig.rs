@@ -145,8 +145,7 @@ mod tests {
     fn cycle_graph_eigenvalues() {
         // C_n adjacency eigenvalues are 2 cos(2πk/n).
         let n = 7;
-        let edges: Vec<(u32, u32)> =
-            (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
         let a = CsrMatrix::from_undirected_edges(n, &edges);
         let got = sparse_symmetric_eigenvalues(&a).unwrap();
         let mut want: Vec<f64> = (0..n)

@@ -73,8 +73,8 @@ pub fn householder_tridiagonalize(a: &mut DenseMatrix) -> (Vec<f64>, Vec<f64>) {
 
     // Convert to the "e[i] couples i and i+1" convention.
     let mut e = vec![0.0; n];
-    for i in 0..n.saturating_sub(1) {
-        e[i] = e_nr[i + 1];
+    if n > 1 {
+        e[..n - 1].copy_from_slice(&e_nr[1..]);
     }
     (d, e)
 }

@@ -108,12 +108,7 @@ pub fn lanczos_tridiagonalize(
         beta_prev = beta;
     }
 
-    Ok(LanczosDecomposition {
-        alphas,
-        betas,
-        basis: store.then_some(basis),
-        initial_norm,
-    })
+    Ok(LanczosDecomposition { alphas, betas, basis: store.then_some(basis), initial_norm })
 }
 
 /// Approximates `e^A v` with `steps` Lanczos iterations.
@@ -205,12 +200,7 @@ mod tests {
         let v = gaussian_vector(&mut rng, 10);
         let want = exact.matvec_alloc(&v);
         let got = lanczos_expv(&a, &v, 8).unwrap();
-        let err: f64 = got
-            .iter()
-            .zip(&want)
-            .map(|(g, w)| (g - w) * (g - w))
-            .sum::<f64>()
-            .sqrt();
+        let err: f64 = got.iter().zip(&want).map(|(g, w)| (g - w) * (g - w)).sum::<f64>().sqrt();
         let scale: f64 = want.iter().map(|w| w * w).sum::<f64>().sqrt();
         assert!(err / scale < 1e-4, "relative error {}", err / scale);
     }

@@ -227,11 +227,7 @@ mod tests {
 
     #[test]
     fn lanczos_matches_exact_on_structured_graphs() {
-        for (name, g) in [
-            ("P12", path(12)),
-            ("C15", cycle(15)),
-            ("K8", complete(8)),
-        ] {
+        for (name, g) in [("P12", path(12)), ("C15", cycle(15)), ("K8", complete(8))] {
             let exact = algebraic_connectivity_exact(&g).unwrap();
             let iter = algebraic_connectivity(&g, 30).unwrap();
             assert!(
@@ -267,8 +263,7 @@ mod tests {
         // Adding an edge can only increase (weakly) algebraic connectivity.
         let p = path(8);
         let before = algebraic_connectivity_exact(&p).unwrap();
-        let after =
-            algebraic_connectivity_exact(&p.with_added_unit_edges(&[(0, 7)])).unwrap();
+        let after = algebraic_connectivity_exact(&p.with_added_unit_edges(&[(0, 7)])).unwrap();
         assert!(after >= before - 1e-12);
         assert!(after > before + 1e-6, "closing a path into a cycle must help");
     }

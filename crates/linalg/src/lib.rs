@@ -37,7 +37,9 @@ pub mod util;
 pub mod vector;
 
 pub use chebyshev::{bessel_i, chebyshev_expv};
-pub use connectivity::{natural_connectivity_exact, natural_connectivity_from_eigs, ConnectivityEstimator};
+pub use connectivity::{
+    natural_connectivity_exact, natural_connectivity_from_eigs, ConnectivityEstimator,
+};
 pub use dense::DenseMatrix;
 pub use eig::{full_symmetric_eigenvalues, jacobi_eigenvalues, sparse_symmetric_eigenvalues};
 pub use error::LinalgError;

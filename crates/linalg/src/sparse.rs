@@ -22,8 +22,7 @@ impl CsrMatrix {
     /// unit entry, matching the paper's modelling of transit networks as
     /// simple undirected graphs.
     pub fn from_undirected_edges(n: usize, edges: &[(u32, u32)]) -> Self {
-        let weighted: Vec<(u32, u32, f64)> =
-            edges.iter().map(|&(u, v)| (u, v, 1.0)).collect();
+        let weighted: Vec<(u32, u32, f64)> = edges.iter().map(|&(u, v)| (u, v, 1.0)).collect();
         Self::build(n, &weighted, true)
     }
 
@@ -212,7 +211,8 @@ mod tests {
 
     #[test]
     fn matvec_matches_dense() {
-        let a = CsrMatrix::from_undirected_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)]);
+        let a =
+            CsrMatrix::from_undirected_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)]);
         let d = a.to_dense();
         let x = vec![0.5, -1.0, 2.0, 0.25, 3.0];
         let ys = a.matvec_alloc(&x);

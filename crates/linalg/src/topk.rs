@@ -14,9 +14,9 @@
 
 use rand::Rng;
 
-use crate::error::LinalgError;
-use crate::eig::full_symmetric_eigenvalues;
 use crate::dense::DenseMatrix;
+use crate::eig::full_symmetric_eigenvalues;
+use crate::error::LinalgError;
 use crate::lanczos::lanczos_tridiagonalize;
 use crate::rng::gaussian_vector;
 use crate::sparse::CsrMatrix;

@@ -71,9 +71,7 @@ pub struct PairedTraceEstimator {
 impl PairedTraceEstimator {
     /// Draws and freezes `params.probes` probe vectors of dimension `n`.
     pub fn new<R: Rng + ?Sized>(n: usize, params: &TraceParams, rng: &mut R) -> Self {
-        let probes = (0..params.probes.max(1))
-            .map(|_| probe_vector(rng, params.kind, n))
-            .collect();
+        let probes = (0..params.probes.max(1)).map(|_| probe_vector(rng, params.kind, n)).collect();
         PairedTraceEstimator { probes, lanczos_steps: params.lanczos_steps }
     }
 
@@ -210,11 +208,7 @@ mod tests {
         let a = random_graph(300, 390, 21);
         let exact = exact_trace_exp(&a);
         let mut rng = StdRng::seed_from_u64(2);
-        let params = TraceParams {
-            probes: 100,
-            lanczos_steps: 15,
-            kind: ProbeKind::Rademacher,
-        };
+        let params = TraceParams { probes: 100, lanczos_steps: 15, kind: ProbeKind::Rademacher };
         let est = hutchinson_trace_exp(&a, &params, &mut rng).unwrap();
         assert!((est - exact).abs() / exact < 0.05);
     }
@@ -232,10 +226,7 @@ mod tests {
             err_h += (hutchinson_trace_exp(&a, &params, &mut r1).unwrap() - exact).abs();
             err_pp += (hutchpp_trace_exp(&a, &params, &mut r2).unwrap() - exact).abs();
         }
-        assert!(
-            err_pp <= err_h * 1.5,
-            "Hutch++ mean error {err_pp} vs Hutchinson {err_h}"
-        );
+        assert!(err_pp <= err_h * 1.5, "Hutch++ mean error {err_pp} vs Hutchinson {err_h}");
         assert!(err_pp / 6.0 / exact < 0.05);
     }
 
@@ -254,8 +245,8 @@ mod tests {
             }
         }
         let a_new = a.with_added_unit_edges(&[(u, v)]);
-        let exact_inc = natural_connectivity_exact(&a_new).unwrap()
-            - natural_connectivity_exact(&a).unwrap();
+        let exact_inc =
+            natural_connectivity_exact(&a_new).unwrap() - natural_connectivity_exact(&a).unwrap();
 
         let params = TraceParams { probes: 60, lanczos_steps: 15, ..Default::default() };
         let mut rng = StdRng::seed_from_u64(9);
@@ -282,7 +273,8 @@ mod tests {
     #[test]
     fn dimension_mismatch_rejected() {
         let a = random_graph(10, 20, 1);
-        let est = PairedTraceEstimator::new(12, &TraceParams::default(), &mut StdRng::seed_from_u64(1));
+        let est =
+            PairedTraceEstimator::new(12, &TraceParams::default(), &mut StdRng::seed_from_u64(1));
         assert!(est.trace_exp(&a).is_err());
     }
 

@@ -39,9 +39,7 @@ pub fn tridiag_ql_implicit<F: FnMut(usize, f64, f64)>(
     // |e| ≤ ε(|d_m| + |d_{m+1}|) never fires (both diagonals → 0); deflating
     // at ε‖T‖ instead keeps the error within ε‖A‖.
     let anorm = (0..n)
-        .map(|i| {
-            d[i].abs() + e[i].abs() + if i > 0 { e[i - 1].abs() } else { 0.0 }
-        })
+        .map(|i| d[i].abs() + e[i].abs() + if i > 0 { e[i - 1].abs() } else { 0.0 })
         .fold(0.0f64, f64::max);
     let floor = f64::EPSILON * anorm.max(f64::MIN_POSITIVE);
 
@@ -62,7 +60,10 @@ pub fn tridiag_ql_implicit<F: FnMut(usize, f64, f64)>(
             }
             iter += 1;
             if iter > MAX_QL_ITERS {
-                return Err(LinalgError::NonConvergence { routine: "tridiag_ql", max_iters: MAX_QL_ITERS });
+                return Err(LinalgError::NonConvergence {
+                    routine: "tridiag_ql",
+                    max_iters: MAX_QL_ITERS,
+                });
             }
 
             // Form the implicit Wilkinson-like shift.
@@ -276,10 +277,7 @@ mod tests {
                 if i + 1 < n {
                     tv += off[i] * z[(i + 1) * n + j];
                 }
-                assert!(
-                    (tv - vals[j] * z[i * n + j]).abs() < 1e-9,
-                    "eigenpair {j} row {i}"
-                );
+                assert!((tv - vals[j] * z[i * n + j]).abs() < 1e-9, "eigenpair {j} row {i}");
             }
         }
     }
@@ -315,7 +313,7 @@ mod tests {
         for (i, o) in off.iter_mut().enumerate() {
             *o = match i % 7 {
                 0 => 1.0,
-                1 => 0.0, // explicit splits
+                1 => 0.0,   // explicit splits
                 2 => 1e-18, // couplings far below ε‖T‖
                 _ => ((i % 3) as f64) * 0.5,
             };

@@ -58,12 +58,7 @@ pub struct GpsSimConfig {
 
 impl Default for GpsSimConfig {
     fn default() -> Self {
-        GpsSimConfig {
-            speed_mps: 10.0,
-            sample_interval_s: 15.0,
-            noise_sigma_m: 15.0,
-            dropout: 0.0,
-        }
+        GpsSimConfig { speed_mps: 10.0, sample_interval_s: 15.0, noise_sigma_m: 15.0, dropout: 0.0 }
     }
 }
 
@@ -97,11 +92,7 @@ pub fn simulate_trace<R: Rng + ?Sized>(
         "sample interval must be positive, got {}",
         cfg.sample_interval_s
     );
-    assert!(
-        (0.0..1.0).contains(&cfg.dropout),
-        "dropout must be in [0, 1), got {}",
-        cfg.dropout
-    );
+    assert!((0.0..1.0).contains(&cfg.dropout), "dropout must be in [0, 1), got {}", cfg.dropout);
     if truth.nodes.is_empty() {
         return GpsTrace::default();
     }
@@ -165,9 +156,7 @@ mod tests {
 
     fn line_road() -> RoadNetwork {
         let positions = (0..5).map(|i| Point::new(i as f64 * 100.0, 0.0)).collect();
-        let edges = (0..4)
-            .map(|i| RoadEdge { u: i, v: i + 1, length: 100.0 })
-            .collect();
+        let edges = (0..4).map(|i| RoadEdge { u: i, v: i + 1, length: 100.0 }).collect();
         RoadNetwork::new(positions, edges)
     }
 
@@ -212,11 +201,8 @@ mod tests {
     fn noise_perturbs_but_stays_bounded_in_distribution() {
         let road = line_road();
         let mut rng = StdRng::seed_from_u64(3);
-        let cfg = GpsSimConfig {
-            sample_interval_s: 1.0,
-            noise_sigma_m: 20.0,
-            ..Default::default()
-        };
+        let cfg =
+            GpsSimConfig { sample_interval_s: 1.0, noise_sigma_m: 20.0, ..Default::default() };
         let trace = simulate_trace(&road, &line_trajectory(), &cfg, &mut rng);
         let mean_abs_y: f64 =
             trace.samples.iter().map(|s| s.pos.y.abs()).sum::<f64>() / trace.len() as f64;
@@ -229,7 +215,8 @@ mod tests {
         let road = line_road();
         let cfg_full = GpsSimConfig { sample_interval_s: 1.0, ..Default::default() };
         let cfg_drop = GpsSimConfig { dropout: 0.5, ..cfg_full };
-        let full = simulate_trace(&road, &line_trajectory(), &cfg_full, &mut StdRng::seed_from_u64(4));
+        let full =
+            simulate_trace(&road, &line_trajectory(), &cfg_full, &mut StdRng::seed_from_u64(4));
         let dropped =
             simulate_trace(&road, &line_trajectory(), &cfg_drop, &mut StdRng::seed_from_u64(4));
         assert!(dropped.len() < full.len());

@@ -94,8 +94,7 @@ impl<'a> MapMatcher<'a> {
         let mut unmatched = Vec::new();
         for (i, s) in trace.samples.iter().enumerate() {
             let candidates =
-                self.index
-                    .candidates(self.road, &s.pos, p.candidate_radius_m, p.max_candidates);
+                self.index.candidates(self.road, &s.pos, p.candidate_radius_m, p.max_candidates);
             if candidates.is_empty() {
                 unmatched.push(i);
                 continue;
@@ -294,11 +293,8 @@ mod tests {
             Trajectory::new(nodes, edges)
         };
         let mut rng = StdRng::seed_from_u64(12);
-        let cfg = GpsSimConfig {
-            noise_sigma_m: 15.0,
-            sample_interval_s: 5.0,
-            ..Default::default()
-        };
+        let cfg =
+            GpsSimConfig { noise_sigma_m: 15.0, sample_interval_s: 5.0, ..Default::default() };
         let trace = simulate_trace(&road, &truth, &cfg, &mut rng);
         let matcher = MapMatcher::new(&road, HmmParams::default());
         let result = matcher.match_trace(&trace);
@@ -317,10 +313,7 @@ mod tests {
                 Point::new(10_000.0, 0.0),
                 Point::new(10_100.0, 0.0),
             ],
-            vec![
-                RoadEdge { u: 0, v: 1, length: 100.0 },
-                RoadEdge { u: 2, v: 3, length: 100.0 },
-            ],
+            vec![RoadEdge { u: 0, v: 1, length: 100.0 }, RoadEdge { u: 2, v: 3, length: 100.0 }],
         );
         let trace = GpsTrace {
             samples: vec![

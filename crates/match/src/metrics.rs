@@ -96,9 +96,7 @@ mod tests {
 
     fn line_road(n: u32) -> RoadNetwork {
         let positions = (0..n).map(|i| Point::new(i as f64 * 100.0, 0.0)).collect();
-        let edges = (0..n - 1)
-            .map(|i| RoadEdge { u: i, v: i + 1, length: 100.0 })
-            .collect();
+        let edges = (0..n - 1).map(|i| RoadEdge { u: i, v: i + 1, length: 100.0 }).collect();
         RoadNetwork::new(positions, edges)
     }
 
@@ -106,7 +104,7 @@ mod tests {
     fn perfect_match_scores_one() {
         let road = line_road(4);
         let truth = Trajectory::new(vec![0, 1, 2, 3], vec![0, 1, 2]);
-        let acc = evaluate_match(&road, &truth, &[truth.clone()]);
+        let acc = evaluate_match(&road, &truth, std::slice::from_ref(&truth));
         assert_eq!(acc.edge_precision, 1.0);
         assert_eq!(acc.edge_recall, 1.0);
         assert_eq!(acc.length_mismatch, 0.0);
@@ -140,10 +138,8 @@ mod tests {
     fn union_over_multiple_segments() {
         let road = line_road(5);
         let truth = Trajectory::new(vec![0, 1, 2, 3, 4], vec![0, 1, 2, 3]);
-        let segs = vec![
-            Trajectory::new(vec![0, 1], vec![0]),
-            Trajectory::new(vec![2, 3, 4], vec![2, 3]),
-        ];
+        let segs =
+            vec![Trajectory::new(vec![0, 1], vec![0]), Trajectory::new(vec![2, 3, 4], vec![2, 3])];
         let acc = evaluate_match(&road, &truth, &segs);
         assert_eq!(acc.edge_precision, 1.0);
         assert_eq!(acc.edge_recall, 0.75);

@@ -88,10 +88,7 @@ impl CandidateIndex {
             }
         });
         out.sort_by(|x, y| {
-            x.dist
-                .partial_cmp(&y.dist)
-                .expect("distances are not NaN")
-                .then(x.edge.cmp(&y.edge))
+            x.dist.partial_cmp(&y.dist).expect("distances are not NaN").then(x.edge.cmp(&y.edge))
         });
         out.truncate(max_candidates);
         out

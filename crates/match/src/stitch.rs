@@ -186,10 +186,7 @@ mod tests {
                 Point::new(10_000.0, 0.0),
                 Point::new(10_100.0, 0.0),
             ],
-            vec![
-                RoadEdge { u: 0, v: 1, length: 100.0 },
-                RoadEdge { u: 2, v: 3, length: 100.0 },
-            ],
+            vec![RoadEdge { u: 0, v: 1, length: 100.0 }, RoadEdge { u: 2, v: 3, length: 100.0 }],
         );
         // One segment (no declared break) whose anchors hop components —
         // stitcher must still split.

@@ -3,8 +3,8 @@
 
 use ct_data::CityConfig;
 use ct_match::{
-    evaluate_match, project_to_segment, simulate_trace, stitch_route,viterbi::LatticeStep,
-    viterbi::viterbi, CandidateIndex, GpsSimConfig, HmmParams, MapMatcher,
+    evaluate_match, project_to_segment, simulate_trace, stitch_route, viterbi::viterbi,
+    viterbi::LatticeStep, CandidateIndex, GpsSimConfig, HmmParams, MapMatcher,
 };
 use ct_spatial::Point;
 use proptest::prelude::*;
@@ -45,7 +45,8 @@ fn matched_demand_approximates_true_demand() {
     let cfg = GpsSimConfig { noise_sigma_m: 8.0, sample_interval_s: 6.0, ..Default::default() };
     let mut rng = StdRng::seed_from_u64(99);
 
-    let truths: Vec<_> = city.trajectories.iter().filter(|t| t.len() >= 3).take(20).cloned().collect();
+    let truths: Vec<_> =
+        city.trajectories.iter().filter(|t| t.len() >= 3).take(20).cloned().collect();
     let mut matched_all = Vec::new();
     for truth in &truths {
         let trace = simulate_trace(&city.road, truth, &cfg, &mut rng);
@@ -159,11 +160,11 @@ proptest! {
                 t: 0.5,
                 dist: 1.0,
             }).collect(),
-            emission: (0..n_cand).map(|_| -rng.gen_range(0.0..10.0)).collect(),
+            emission: (0..n_cand).map(|_| -rng.gen_range(0.0f64..10.0)).collect(),
         }).collect();
         let transitions: Vec<Vec<Vec<f64>>> = (1..n_steps).map(|_| {
             (0..n_cand).map(|_| (0..n_cand).map(|_| {
-                if rng.gen_bool(0.2) { f64::NEG_INFINITY } else { -rng.gen_range(0.0..5.0) }
+                if rng.gen_bool(0.2) { f64::NEG_INFINITY } else { -rng.gen_range(0.0f64..5.0) }
             }).collect()).collect()
         }).collect();
         let r = viterbi(&steps, &transitions);

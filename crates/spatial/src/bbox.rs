@@ -64,10 +64,7 @@ impl BBox {
 
     /// Center of the box.
     pub fn center(&self) -> Point {
-        Point::new(
-            (self.min_x + self.max_x) / 2.0,
-            (self.min_y + self.max_y) / 2.0,
-        )
+        Point::new((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
     }
 
     /// The box inflated by `margin` meters on every side.

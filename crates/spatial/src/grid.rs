@@ -27,11 +27,7 @@ impl GridIndex {
             cell_size.is_finite() && cell_size > 0.0,
             "grid cell size must be positive, got {cell_size}"
         );
-        GridIndex {
-            cell: cell_size,
-            cells: HashMap::new(),
-            points: Vec::new(),
-        }
+        GridIndex { cell: cell_size, cells: HashMap::new(), points: Vec::new() }
     }
 
     /// Builds an index over `points`, where the id of each point is its index.
@@ -45,10 +41,7 @@ impl GridIndex {
     }
 
     fn key(&self, p: &Point) -> (i32, i32) {
-        (
-            (p.x / self.cell).floor() as i32,
-            (p.y / self.cell).floor() as i32,
-        )
+        ((p.x / self.cell).floor() as i32, (p.y / self.cell).floor() as i32)
     }
 
     /// Inserts a point and returns its id (sequential).
@@ -123,9 +116,7 @@ impl GridIndex {
                     if let Some(ids) = self.cells.get(&(gx, gy)) {
                         for &id in ids {
                             let d2 = self.points[id as usize].dist_sq(center);
-                            if best.is_none_or(|(bd, bid)| {
-                                d2 < bd || (d2 == bd && id < bid)
-                            }) {
+                            if best.is_none_or(|(bd, bid)| d2 < bd || (d2 == bd && id < bid)) {
                                 best = Some((d2, id));
                             }
                         }
@@ -142,12 +133,13 @@ impl GridIndex {
                 }
             }
             ring += 1;
-            let max_ring = 2 + (self
-                .cells
-                .keys()
-                .map(|&(x, y)| (x - cx).abs().max((y - cy).abs()))
-                .max()
-                .unwrap_or(0));
+            let max_ring = 2
+                + (self
+                    .cells
+                    .keys()
+                    .map(|&(x, y)| (x - cx).abs().max((y - cy).abs()))
+                    .max()
+                    .unwrap_or(0));
             if ring > max_ring {
                 break;
             }
@@ -224,9 +216,8 @@ mod tests {
         let g = GridIndex::build(60.0, &pts);
         let q = Point::new(300.0, 200.0);
         let r = 130.0;
-        let mut brute: Vec<u32> = (0..pts.len() as u32)
-            .filter(|&i| pts[i as usize].dist(&q) <= r)
-            .collect();
+        let mut brute: Vec<u32> =
+            (0..pts.len() as u32).filter(|&i| pts[i as usize].dist(&q) <= r).collect();
         brute.sort_unstable();
         assert_eq!(g.within(&q, r), brute);
     }

@@ -47,10 +47,7 @@ impl Point {
 
     /// Linear interpolation: `t = 0` gives `self`, `t = 1` gives `other`.
     pub fn lerp(&self, other: &Point, t: f64) -> Point {
-        Point::new(
-            self.x + (other.x - self.x) * t,
-            self.y + (other.y - self.y) * t,
-        )
+        Point::new(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
     }
 }
 
@@ -83,10 +80,7 @@ pub struct Projection {
 impl Projection {
     /// Builds a projection centred on `origin`.
     pub fn new(origin: GeoPoint) -> Self {
-        Projection {
-            origin,
-            cos_lat: origin.lat.to_radians().cos(),
-        }
+        Projection { origin, cos_lat: origin.lat.to_radians().cos() }
     }
 
     /// Projects a geographic point to local planar meters.
@@ -100,10 +94,7 @@ impl Projection {
     pub fn unproject(&self, p: &Point) -> GeoPoint {
         let dlat = p.y / EARTH_RADIUS_M;
         let dlon = p.x / (EARTH_RADIUS_M * self.cos_lat);
-        GeoPoint::new(
-            self.origin.lat + dlat.to_degrees(),
-            self.origin.lon + dlon.to_degrees(),
-        )
+        GeoPoint::new(self.origin.lat + dlat.to_degrees(), self.origin.lon + dlon.to_degrees())
     }
 
     /// The projection origin.

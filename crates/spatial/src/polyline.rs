@@ -40,17 +40,16 @@ impl Polyline {
 
     /// Total length in meters.
     pub fn length(&self) -> f64 {
-        self.points
-            .windows(2)
-            .map(|w| w[0].dist(&w[1]))
-            .sum()
+        self.points.windows(2).map(|w| w[0].dist(&w[1])).sum()
     }
 
     /// Number of junctions whose deflection classifies as a turn or sharper.
     pub fn count_turns(&self) -> usize {
         self.points
             .windows(3)
-            .filter(|w| TurnClass::from_angle(turn_angle(&w[0], &w[1], &w[2])) != TurnClass::Straight)
+            .filter(|w| {
+                TurnClass::from_angle(turn_angle(&w[0], &w[1], &w[2])) != TurnClass::Straight
+            })
             .count()
     }
 
@@ -97,11 +96,7 @@ mod tests {
     use super::*;
 
     fn l_shape() -> Polyline {
-        Polyline::new(vec![
-            Point::new(0.0, 0.0),
-            Point::new(10.0, 0.0),
-            Point::new(10.0, 10.0),
-        ])
+        Polyline::new(vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(10.0, 10.0)])
     }
 
     #[test]

@@ -20,12 +20,7 @@ fn main() {
         city.name, stats.routes, stats.stops, stats.trajectories
     );
 
-    let params = CtBusParams {
-        k: 16,
-        sn: 1500,
-        it_max: 20_000,
-        ..CtBusParams::small_defaults()
-    };
+    let params = CtBusParams { k: 16, sn: 1500, it_max: 20_000, ..CtBusParams::small_defaults() };
     let planner = Planner::new(&city, &demand, params);
 
     println!(

@@ -7,8 +7,7 @@
 //! ```
 
 use ct_bus::core::{
-    augment_connectivity, stitch_edges_into_route, AugmentParams, CtBusParams, Planner,
-    PlannerMode,
+    augment_connectivity, stitch_edges_into_route, AugmentParams, CtBusParams, Planner, PlannerMode,
 };
 use ct_bus::data::{CityConfig, DemandModel};
 
@@ -18,8 +17,12 @@ fn main() {
     let params = CtBusParams::small_defaults();
     let planner = Planner::new(&city, &demand, params);
     let pre = planner.precomputed();
-    println!("city: {} — λ(Gr) ≈ {:.4}, {} candidate edges", city.name, pre.base_lambda,
-        pre.candidates.len());
+    println!(
+        "city: {} — λ(Gr) ≈ {:.4}, {} candidate edges",
+        city.name,
+        pre.base_lambda,
+        pre.candidates.len()
+    );
 
     // 1. k discrete edges, plain greedy vs bound-guided.
     for use_bound in [false, true] {
@@ -55,6 +58,9 @@ fn main() {
     let plan = &result.best;
     println!(
         "\nCT-Bus route (k = {}): Δλ = {:.4}, a single connected path of {} edges, {} turns",
-        params.k, plan.conn_increment, plan.num_edges(), plan.turns
+        params.k,
+        plan.conn_increment,
+        plan.num_edges(),
+        plan.turns
     );
 }

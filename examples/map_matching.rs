@@ -22,7 +22,12 @@ fn main() {
     println!("city: {} ({} ground-truth trajectories)", city.name, city.trajectories.len());
 
     // 1. Simulate a noisy GPS feed from every ground-truth trip.
-    let cfg = GpsSimConfig { noise_sigma_m: 12.0, sample_interval_s: 10.0, dropout: 0.05, ..Default::default() };
+    let cfg = GpsSimConfig {
+        noise_sigma_m: 12.0,
+        sample_interval_s: 10.0,
+        dropout: 0.05,
+        ..Default::default()
+    };
     println!(
         "GPS simulator: σ = {} m, one fix per {} s, {:.0}% dropout",
         cfg.noise_sigma_m,
@@ -72,16 +77,16 @@ fn main() {
     let plan_truth = Planner::new(&city, &demand_truth, params).run(PlannerMode::EtaPre).best;
     let plan_matched = Planner::new(&city, &demand_matched, params).run(PlannerMode::EtaPre).best;
 
-    println!("\nplan on ground-truth demand: objective {:.4}, stops {:?}",
-        plan_truth.objective, plan_truth.stops);
-    println!("plan on map-matched demand:  objective {:.4}, stops {:?}",
-        plan_matched.objective, plan_matched.stops);
+    println!(
+        "\nplan on ground-truth demand: objective {:.4}, stops {:?}",
+        plan_truth.objective, plan_truth.stops
+    );
+    println!(
+        "plan on map-matched demand:  objective {:.4}, stops {:?}",
+        plan_matched.objective, plan_matched.stops
+    );
 
-    let shared: usize = plan_matched
-        .stops
-        .iter()
-        .filter(|s| plan_truth.stops.contains(s))
-        .count();
+    let shared: usize = plan_matched.stops.iter().filter(|s| plan_truth.stops.contains(s)).count();
     println!(
         "route agreement: {}/{} stops of the matched-demand plan also on the truth-demand plan",
         shared,

@@ -13,7 +13,9 @@
 use std::io::Write as _;
 
 use ct_bus::core::{CtBusParams, Planner, PlannerMode};
-use ct_bus::data::{load_trip_records_csv, loaders::trips_to_trajectories, CityConfig, DemandModel};
+use ct_bus::data::{
+    load_trip_records_csv, loaders::trips_to_trajectories, CityConfig, DemandModel,
+};
 
 fn main() {
     let city = CityConfig::small().seed(2025).generate();
@@ -37,10 +39,7 @@ fn main() {
     let (records, skipped) = load_trip_records_csv(csv.as_bytes()).expect("parse CSV");
     println!("parsed {} trip records ({} malformed rows skipped)", records.len(), skipped);
     let trajectories = trips_to_trajectories(&city.road, &records, 0.05);
-    println!(
-        "{} trips survived snapping + the 5% distance filter",
-        trajectories.len()
-    );
+    println!("{} trips survived snapping + the 5% distance filter", trajectories.len());
 
     // 3. Plan on the ingested demand.
     let demand = DemandModel::new(&city.road, &trajectories);
@@ -61,7 +60,6 @@ fn main() {
     let fc = ex.transit_feature_collection(&city, Some(&plan.stops));
     let path = std::env::temp_dir().join("ctbus_real_data_route.geojson");
     let mut f = std::fs::File::create(&path).expect("create geojson");
-    f.write_all(serde_json::to_string_pretty(&fc).unwrap().as_bytes())
-        .expect("write geojson");
+    f.write_all(serde_json::to_string_pretty(&fc).unwrap().as_bytes()).expect("write geojson");
     println!("route exported to {}", path.display());
 }

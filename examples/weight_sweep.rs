@@ -19,13 +19,8 @@ fn main() {
         "w", "edges", "demand", "conn Oλ(μ)", "#transfers", "ζ(μ)", "#crossed"
     );
     for w in [0.0, 0.3, 0.5, 0.7, 1.0] {
-        let params = CtBusParams {
-            k: 14,
-            w,
-            sn: 1200,
-            it_max: 15_000,
-            ..CtBusParams::small_defaults()
-        };
+        let params =
+            CtBusParams { k: 14, w, sn: 1200, it_max: 15_000, ..CtBusParams::small_defaults() };
         let planner = Planner::new(&city, &demand, params);
         let res = planner.run(PlannerMode::EtaPre);
         let m = evaluate_plan(&city, &res.best, &planner.precomputed().candidates);

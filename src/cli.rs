@@ -69,12 +69,16 @@ impl Cli {
     /// Parses `args` (without the program name).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, UsageError> {
         let mut it = args.into_iter();
-        let command = it
-            .next()
-            .ok_or_else(|| UsageError("missing subcommand".into()))?;
+        let command = it.next().ok_or_else(|| UsageError("missing subcommand".into()))?;
         if !matches!(
             command.as_str(),
-            "generate" | "stats" | "plan" | "multi" | "sites" | "augment" | "gtfs-export"
+            "generate"
+                | "stats"
+                | "plan"
+                | "multi"
+                | "sites"
+                | "augment"
+                | "gtfs-export"
                 | "gtfs-import"
         ) {
             return Err(UsageError(format!("unknown subcommand `{command}`")));
@@ -84,9 +88,7 @@ impl Cli {
             let key = flag
                 .strip_prefix("--")
                 .ok_or_else(|| UsageError(format!("expected --flag, got `{flag}`")))?;
-            let value = it
-                .next()
-                .ok_or_else(|| UsageError(format!("--{key} needs a value")))?;
+            let value = it.next().ok_or_else(|| UsageError(format!("--{key} needs a value")))?;
             options.insert(key.to_string(), value);
         }
         Ok(Cli { command, options })
@@ -95,10 +97,9 @@ impl Cli {
     fn get<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, UsageError> {
         match self.options.get(key) {
             None => Ok(None),
-            Some(v) => v
-                .parse()
-                .map(Some)
-                .map_err(|_| UsageError(format!("--{key}: cannot parse `{v}`"))),
+            Some(v) => {
+                v.parse().map(Some).map_err(|_| UsageError(format!("--{key}: cannot parse `{v}`")))
+            }
         }
     }
 
@@ -254,9 +255,8 @@ impl Cli {
             "multi" => {
                 let city = self.load_city()?;
                 let params = self.params()?;
-                let n: usize = self
-                    .get("routes")?
-                    .ok_or_else(|| UsageError("--routes is required".into()))?;
+                let n: usize =
+                    self.get("routes")?.ok_or_else(|| UsageError("--routes is required".into()))?;
                 let demand = DemandModel::from_city(&city);
                 let plans = plan_multiple(&city, &demand, params, n, self.mode()?);
                 writeln!(out, "planned {} routes:", plans.len()).map_err(w)?;
@@ -361,8 +361,7 @@ impl Cli {
                 let dir = self.required("out")?;
                 let proj = Projection::new(GeoPoint::new(41.85, -87.65));
                 let feed = GtfsFeed::from_transit(&city.transit, &proj);
-                feed.write_dir(dir)
-                    .map_err(|e| UsageError(format!("cannot write {dir}: {e}")))?;
+                feed.write_dir(dir).map_err(|e| UsageError(format!("cannot write {dir}: {e}")))?;
                 writeln!(
                     out,
                     "wrote GTFS feed to {dir}: {} stops, {} routes, {} stop_times",

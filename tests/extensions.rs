@@ -34,8 +34,7 @@ fn matched_demand_plans_the_same_route_as_truth() {
     let demand_matched = DemandModel::new(&city.road, &matched);
     let params = CtBusParams { k: 8, ..CtBusParams::small_defaults() };
     let plan_true = Planner::new(&city, &demand_true, params).run(PlannerMode::EtaPre).best;
-    let plan_matched =
-        Planner::new(&city, &demand_matched, params).run(PlannerMode::EtaPre).best;
+    let plan_matched = Planner::new(&city, &demand_matched, params).run(PlannerMode::EtaPre).best;
     // At taxi-grade noise the plans should share most of their stops.
     let shared = plan_matched.stops.iter().filter(|s| plan_true.stops.contains(s)).count();
     assert!(

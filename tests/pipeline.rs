@@ -1,9 +1,7 @@
 //! End-to-end integration: generation → demand → pre-computation →
 //! planning (all variants) → metrics → network application → serialization.
 
-use ct_bus::core::{
-    apply_plan, evaluate_plan, plan_multiple, CtBusParams, Planner, PlannerMode,
-};
+use ct_bus::core::{apply_plan, evaluate_plan, plan_multiple, CtBusParams, Planner, PlannerMode};
 use ct_bus::data::{load_city_json, save_city_json, CityConfig, DemandModel};
 use ct_bus::graph::{dijkstra_all, TransferIndex};
 use ct_bus::linalg::natural_connectivity_exact;
@@ -32,10 +30,7 @@ fn full_pipeline_produces_connected_improvement() {
     let before = natural_connectivity_exact(&city.transit.adjacency_matrix()).unwrap();
     let new_transit = apply_plan(&city.transit, plan, &planner.precomputed().candidates);
     let after = natural_connectivity_exact(&new_transit.adjacency_matrix()).unwrap();
-    assert!(
-        after > before,
-        "exact connectivity did not improve: {before} -> {after}"
-    );
+    assert!(after > before, "exact connectivity did not improve: {before} -> {after}");
 
     // The estimated increment should agree with the exact one in magnitude.
     let exact_inc = after - before;

@@ -2,13 +2,11 @@
 //! planner's feasibility invariants.
 
 use ct_bus::core::ranked::{rescan_bound, IncrementalBound};
-use ct_bus::core::{
-    general_bound, path_bound, CtBusParams, Planner, PlannerMode, RankedList,
-};
+use ct_bus::core::{general_bound, path_bound, CtBusParams, Planner, PlannerMode, RankedList};
 use ct_bus::data::{CityConfig, DemandModel};
 use ct_bus::linalg::{
-    logsumexp, natural_connectivity_exact, natural_connectivity_from_eigs,
-    sparse_symmetric_eigenvalues, slq_quadratic_form, CsrMatrix,
+    logsumexp, natural_connectivity_exact, natural_connectivity_from_eigs, slq_quadratic_form,
+    sparse_symmetric_eigenvalues, CsrMatrix,
 };
 use proptest::prelude::*;
 

@@ -1,0 +1,230 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the API surface used by the benches under
+//! `crates/bench/benches/`: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`]
+//! / [`BenchmarkGroup::sample_size`], [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's full statistical machinery it takes `sample_size`
+//! timed samples of each benchmark (after one warm-up run) and prints
+//! min/median/mean per iteration. Under `--test` (what `cargo test --benches`
+//! passes) every benchmark runs exactly once so test runs stay fast.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark id: a function name plus an optional parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id like `"eta_online/8"`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{parameter}", function_name.into()) }
+    }
+
+    /// An id that is only a parameter, e.g. `"64"`.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Things acceptable wherever criterion expects a benchmark id.
+pub trait IntoBenchmarkId {
+    /// Renders the id label.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` target functions.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness-less bench binaries with `--test`;
+        // `cargo bench` passes `--bench`.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 20, c: self }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_id();
+        run_one(&label, 20, self.test_mode, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_id());
+        run_one(&label, self.sample_size, self.c.test_mode, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_id());
+        run_one(&label, self.sample_size, self.c.test_mode, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; prints nothing extra).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    /// Per-iteration durations (each averaged over a timed batch).
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+/// Aim for timed batches of at least this span so per-call timer overhead
+/// is amortized away for nanosecond-scale benchmarks.
+const MIN_BATCH_SPAN: Duration = Duration::from_micros(5);
+
+impl Bencher {
+    /// Times `f`: one untimed warm-up call sizes a batch, then each of the
+    /// configured samples times a whole batch and records the mean per
+    /// iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.sample_count == 0 {
+            return;
+        }
+        // Warm-up (untimed for the sample set) also estimates the cost of
+        // one call so fast benchmarks get large batches.
+        let t = Instant::now();
+        black_box(f());
+        let once = t.elapsed().max(Duration::from_nanos(1));
+        let batch = (MIN_BATCH_SPAN.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+        for _ in 0..self.sample_count {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed() / batch);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, test_mode: bool, mut f: F) {
+    let iters = if test_mode { 1 } else { sample_size };
+    let mut b = Bencher { samples: Vec::with_capacity(iters), sample_count: iters };
+    f(&mut b);
+    if test_mode {
+        println!("test {label} ... ok");
+        return;
+    }
+    if b.samples.is_empty() {
+        println!("{label}: no samples recorded");
+        return;
+    }
+    b.samples.sort_unstable();
+    let min = b.samples[0];
+    let median = b.samples[b.samples.len() / 2];
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    println!(
+        "{label}: min {} / median {} / mean {} ({} samples)",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(mean),
+        b.samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,26 @@
+//! Collection strategies (`proptest::collection`).
+
+use crate::strategy::{Strategy, TestRng};
+use rand::Rng;
+use std::ops::Range;
+
+/// Generates `Vec`s whose length is drawn from `len` and whose elements come
+/// from `element`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = rng.gen_range(self.len.clone());
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,106 @@
+//! Offline stand-in for the [`proptest`](https://proptest-rs.github.io)
+//! property-testing crate.
+//!
+//! The build environment has no network access, so the subset of proptest the
+//! CT-Bus workspace uses is reimplemented here:
+//!
+//! * the [`proptest!`] macro with the `arg in strategy` binding syntax;
+//! * [`Strategy`] with [`Strategy::prop_map`] and [`Strategy::prop_flat_map`];
+//! * range strategies (`0..n`, `-5.0f64..5.0`, inclusive variants), tuple
+//!   strategies up to arity 6, [`Just`], and [`collection::vec`];
+//! * [`prop_assert!`], [`prop_assert_eq!`], and [`prop_assume!`].
+//!
+//! **No shrinking**: on failure the offending inputs are reported via the
+//! case's deterministic seed instead of being minimized. Each test runs
+//! `PROPTEST_CASES` cases (default 32), seeded from the test name, so runs
+//! are reproducible.
+
+pub mod collection;
+pub mod runner;
+pub mod strategy;
+
+pub use runner::ProptestConfig;
+pub use strategy::{Just, Strategy};
+
+/// Everything a property-test module usually imports.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::runner::ProptestConfig;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (@impl ($config:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::runner::run_cases($config, stringify!($name), |__pt_rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), __pt_rng);)+
+                    let __pt_out: ::std::result::Result<(), $crate::runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    __pt_out
+                })
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts inside a [`proptest!`] body; failure reports the formatted message
+/// without aborting the whole process.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+/// Discards the current case (without failing) when its inputs don't satisfy
+/// a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::runner::TestCaseError::Reject);
+        }
+    };
+}

@@ -1,0 +1,83 @@
+//! Case runner for the [`proptest!`](crate::proptest) macro.
+
+use crate::strategy::TestRng;
+use rand::SeedableRng;
+
+/// Outcome of one generated case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Assertion failure with a rendered message.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is re-drawn.
+    Reject,
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Per-property configuration (subset of `proptest::test_runner::ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many successful cases each property must see.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Runs `f` over deterministic cases (count from `config`, overridable via
+/// the `PROPTEST_CASES` environment variable), panicking on the first
+/// failure with enough information to replay it.
+pub fn run_cases<F>(config: ProptestConfig, name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let want = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(config.cases as usize);
+    let base = fnv1a(name);
+    let mut ran = 0usize;
+    let mut rejected = 0usize;
+    let max_rejects = want.saturating_mul(20).max(1000);
+    let mut attempt = 0u64;
+    while ran < want {
+        let seed = base.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        attempt += 1;
+        let mut rng = TestRng::seed_from_u64(seed);
+        match f(&mut rng) {
+            Ok(()) => ran += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "proptest `{name}`: too many prop_assume! rejections \
+                         ({rejected}) before completing {want} cases"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest `{name}` failed (case {n} of {want}, seed {seed:#x}):\n{msg}",
+                    n = ran + 1
+                );
+            }
+        }
+    }
+}

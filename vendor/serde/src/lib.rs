@@ -1,0 +1,271 @@
+//! Offline stand-in for the [`serde`](https://serde.rs) crate.
+//!
+//! The build environment has no network access, so this crate reimplements
+//! the slice of serde that the CT-Bus workspace uses: `Serialize` /
+//! `Deserialize` traits plus `#[derive(Serialize, Deserialize)]` (from the
+//! sibling `serde_derive` stub), targeting a single self-describing data
+//! model — the JSON [`Value`] tree re-exported by the `serde_json` stub.
+//!
+//! Compared to real serde this collapses the `Serializer`/`Deserializer`
+//! abstraction: `Serialize` renders directly into a [`Value`] and
+//! `Deserialize` reads back out of one. That is exactly what the workspace
+//! needs (its only format is JSON) and keeps the stub small. Supported derive
+//! features: structs with named fields, tuple/newtype/unit structs, enums
+//! with unit / newtype / tuple / struct variants (externally tagged, like
+//! serde), and the `#[serde(skip)]` / `#[serde(default)]` field attributes.
+
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Map, Value};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Serialization/deserialization error (stands in for both `serde` and
+/// `serde_json` error types).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error carrying `msg`.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types renderable into the JSON [`Value`] data model.
+pub trait Serialize {
+    /// Renders `self` as a [`Value`] tree.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Types reconstructible from the JSON [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a [`Value`] tree.
+    fn from_json_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::custom(format!("expected bool, got {v}")))
+    }
+}
+
+macro_rules! serde_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => Ok(*n as $t),
+                    _ => Err(Error::custom(format!(
+                        concat!("expected ", stringify!($t), ", got {}"), v))),
+                }
+            }
+        }
+    )*};
+}
+serde_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom(format!("expected string, got {v}")))
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::custom(format!("expected char, got {v}")))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom(format!("expected single char, got {s:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, got {v}")))?
+            .iter()
+            .map(T::from_json_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_json_value(v)?;
+        let n = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::custom(format!("expected array of length {N}, got {n}")))
+    }
+}
+
+macro_rules! serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                let arr = v
+                    .as_array()
+                    .ok_or_else(|| Error::custom(format!("expected tuple array, got {v}")))?;
+                let want = [$($idx),+].len();
+                if arr.len() != want {
+                    return Err(Error::custom(format!(
+                        "expected tuple of {want} elements, got {}", arr.len())));
+                }
+                Ok(($($name::from_json_value(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_json_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::custom(format!("expected object, got {v}")))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_json_value(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_json_value())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::custom(format!("expected object, got {v}")))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_json_value(v)?)))
+            .collect()
+    }
+}

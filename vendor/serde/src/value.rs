@@ -1,0 +1,335 @@
+//! The JSON tree data model shared by the `serde` and `serde_json` stubs.
+
+/// Object representation: sorted keys, like upstream `serde_json`'s default
+/// (`BTreeMap`-backed) `Map`.
+pub type Map = std::collections::BTreeMap<String, Value>;
+
+/// A JSON value (stand-in for `serde_json::Value`).
+///
+/// Numbers are stored as `f64`; every numeric type in this workspace fits
+/// (ids are `u32`, counts are well below 2^53).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (stored as `f64`).
+    Number(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object.
+    Object(Map),
+}
+
+impl Value {
+    /// Returns the boolean if `self` is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the number if `self` is a `Number`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the number as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// Returns the number as `i64` if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// Returns the string slice if `self` is a `String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the elements if `self` is an `Array`.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Returns the mutable elements if `self` is an `Array`.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Returns the map if `self` is an `Object`.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns the mutable map if `self` is an `Object`.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether `self` is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Member lookup: `Some(&value)` for an object containing `key`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Object member access; missing members and non-objects yield `Null`
+    /// (same semantics as upstream `serde_json`).
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    /// Array element access; out-of-bounds and non-arrays yield `Null`.
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+/// Writes a JSON number the way `serde_json` does: integers without a
+/// fractional part, everything else via `f64`'s shortest roundtrip form.
+pub(crate) fn fmt_number(n: f64, f: &mut impl std::fmt::Write) -> std::fmt::Result {
+    if !n.is_finite() {
+        // Real serde_json refuses non-finite numbers; `null` is the common
+        // lenient encoding and keeps Display infallible.
+        f.write_str("null")
+    } else if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+        write!(f, "{}", n as i64)
+    } else {
+        write!(f, "{n}")
+    }
+}
+
+/// Writes `s` as a JSON string literal with escapes.
+pub(crate) fn fmt_string(s: &str, f: &mut impl std::fmt::Write) -> std::fmt::Result {
+    f.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            '\u{08}' => f.write_str("\\b")?,
+            '\u{0C}' => f.write_str("\\f")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => f.write_char(c)?,
+        }
+    }
+    f.write_char('"')
+}
+
+impl std::fmt::Display for Value {
+    /// Compact JSON rendering (no whitespace), like `serde_json::to_string`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => fmt_number(*n, f),
+            Value::String(s) => fmt_string(s, f),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(map) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    fmt_string(k, f)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Renders `value` as pretty-printed JSON with two-space indentation
+/// (backs `serde_json::to_string_pretty`).
+pub fn to_pretty_string(value: &Value) -> String {
+    let mut out = String::new();
+    pretty(value, 0, &mut out).expect("writing to String cannot fail");
+    out
+}
+
+fn pretty(v: &Value, depth: usize, out: &mut String) -> std::fmt::Result {
+    use std::fmt::Write;
+    const INDENT: &str = "  ";
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                for _ in 0..=depth {
+                    out.push_str(INDENT);
+                }
+                pretty(item, depth + 1, out)?;
+                out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+            }
+            for _ in 0..depth {
+                out.push_str(INDENT);
+            }
+            out.push(']');
+            Ok(())
+        }
+        Value::Object(map) if !map.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in map.iter().enumerate() {
+                for _ in 0..=depth {
+                    out.push_str(INDENT);
+                }
+                fmt_string(k, out)?;
+                out.push_str(": ");
+                pretty(val, depth + 1, out)?;
+                out.push_str(if i + 1 < map.len() { ",\n" } else { "\n" });
+            }
+            for _ in 0..depth {
+                out.push_str(INDENT);
+            }
+            out.push('}');
+            Ok(())
+        }
+        other => write!(out, "{other}"),
+    }
+}
+
+// --- Conversions and comparisons used by `json!` call sites and tests. -----
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_string())
+    }
+}
+
+macro_rules! value_from_num {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(n: $t) -> Self {
+                Value::Number(n as f64)
+            }
+        }
+    )*};
+}
+value_from_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl From<Vec<Value>> for Value {
+    fn from(items: Vec<Value>) -> Self {
+        Value::Array(items)
+    }
+}
+
+impl From<Map> for Value {
+    fn from(map: Map) -> Self {
+        Value::Object(map)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+macro_rules! value_eq_num {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_f64() == Some(*other as f64)
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other.as_f64() == Some(*self as f64)
+            }
+        }
+    )*};
+}
+value_eq_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);

@@ -1,0 +1,540 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the
+//! simplified single-data-model traits of the sibling `serde` stub (see that
+//! crate's docs). Because the real `syn`/`quote` crates are unavailable in
+//! this offline build environment, the item is parsed directly from the
+//! `proc_macro::TokenStream`.
+//!
+//! Supported shapes (everything the CT-Bus workspace derives):
+//!
+//! * structs with named fields, honoring `#[serde(skip)]` and
+//!   `#[serde(default)]`;
+//! * tuple structs (newtype structs serialize transparently);
+//! * unit structs;
+//! * enums with unit, newtype, tuple, and struct variants, encoded
+//!   externally tagged exactly like real serde
+//!   (`"Variant"` / `{"Variant": ...}`).
+//!
+//! Not supported (panics at expansion time): generic type parameters,
+//! lifetimes, and `#[serde(...)]` attributes beyond `skip`/`default`/
+//! `rename = "..."`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Field {
+    /// Rust-side field identifier.
+    name: String,
+    /// JSON-side key (differs from `name` under `#[serde(rename)]`).
+    key: String,
+    skip: bool,
+    default: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor { toks: ts.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    /// Consumes leading `#[...]` attributes, returning serde flags found:
+    /// (skip, default, rename).
+    fn skip_attrs(&mut self) -> (bool, bool, Option<String>) {
+        let (mut skip, mut default, mut rename) = (false, false, None);
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.next();
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => panic!("expected attribute body after `#`, got {other:?}"),
+            };
+            let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(name)) = inner.first() {
+                if name.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        parse_serde_args(args.stream(), &mut skip, &mut default, &mut rename);
+                    }
+                }
+            }
+        }
+        (skip, default, rename)
+    }
+
+    /// Consumes `pub`, `pub(...)` if present.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn parse_serde_args(
+    args: TokenStream,
+    skip: &mut bool,
+    default: &mut bool,
+    rename: &mut Option<String>,
+) {
+    let toks: Vec<TokenTree> = args.into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Ident(id) => match id.to_string().as_str() {
+                "skip" | "skip_serializing" | "skip_deserializing" => *skip = true,
+                "default" => *default = true,
+                "rename" => {
+                    // rename = "literal"
+                    if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                        (toks.get(i + 1), toks.get(i + 2))
+                    {
+                        if eq.as_char() == '=' {
+                            let s = lit.to_string();
+                            *rename = Some(s.trim_matches('"').to_string());
+                            i += 2;
+                        }
+                    }
+                }
+                other => panic!(
+                    "serde stub derive: unsupported #[serde({other})] attribute \
+                     (supported: skip, default, rename)"
+                ),
+            },
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => panic!("serde stub derive: unexpected token in #[serde(...)]: {other}"),
+        }
+        i += 1;
+    }
+}
+
+/// Parses the fields of a `{ ... }` struct body or struct variant.
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(body);
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        let (skip, default, rename) = cur.skip_attrs();
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_visibility();
+        let name = match cur.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected field name, got {other:?}"),
+        };
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth zero.
+        // Commas inside (), [] and {} are enclosed in Group tokens; only
+        // generic argument lists need explicit depth tracking.
+        let mut angle_depth = 0i32;
+        while let Some(t) = cur.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    cur.next();
+                    break;
+                }
+                _ => {}
+            }
+            cur.next();
+        }
+        let key = rename.unwrap_or_else(|| name.clone());
+        fields.push(Field { name, key, skip, default });
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct/variant body `( ... )`.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut cur = Cursor::new(body);
+    let mut count = 0;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    while let Some(t) = cur.next() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(body);
+    let mut variants = Vec::new();
+    while !cur.at_end() {
+        cur.skip_attrs();
+        if cur.at_end() {
+            break;
+        }
+        let name = match cur.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let shape = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                cur.next();
+                VariantShape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                cur.next();
+                VariantShape::Tuple(n)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        while let Some(t) = cur.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    cur.next();
+                    break;
+                }
+                _ => {
+                    cur.next();
+                }
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    cur.skip_attrs();
+    cur.skip_visibility();
+    let kw = match cur.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match cur.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = cur.peek() {
+        if p.as_char() == '<' {
+            panic!("serde stub derive: generic parameters on `{name}` are not supported");
+        }
+    }
+    let kind = match kw.as_str() {
+        "struct" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body for `{name}`, got {other:?}"),
+        },
+        other => panic!("serde stub derive supports struct/enum, got `{other}`"),
+    };
+    Item { name, kind }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// Derives the `serde` stub's `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let mut s = String::from("let mut __m = ::serde::Map::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                s += &format!(
+                    "__m.insert(::std::string::String::from(\"{key}\"), \
+                     ::serde::Serialize::to_json_value(&self.{name}));\n",
+                    key = f.key,
+                    name = f.name
+                );
+            }
+            s += "::serde::Value::Object(__m)";
+            s
+        }
+        ItemKind::TupleStruct(1) => "::serde::Serialize::to_json_value(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let elems: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_json_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        ItemKind::UnitStruct => "::serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        arms += &format!(
+                            "{name}::{vn} => ::serde::Value::String(\
+                             ::std::string::String::from(\"{vn}\")),\n"
+                        );
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_json_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        arms += &format!(
+                            "{name}::{vn}({binds}) => {{\n\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert(::std::string::String::from(\"{vn}\"), {inner});\n\
+                             ::serde::Value::Object(__m)\n}}\n",
+                            binds = binds.join(", ")
+                        );
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds: Vec<String> = fields
+                            .iter()
+                            .map(|f| if f.skip { format!("{}: _", f.name) } else { f.name.clone() })
+                            .collect();
+                        let mut inner = String::from("let mut _taginner = ::serde::Map::new();\n");
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            inner += &format!(
+                                "_taginner.insert(::std::string::String::from(\"{key}\"), \
+                                 ::serde::Serialize::to_json_value({name}));\n",
+                                key = f.key,
+                                name = f.name
+                            );
+                        }
+                        arms += &format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n{inner}\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert(::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Object(_taginner));\n\
+                             ::serde::Value::Object(__m)\n}}\n",
+                            binds = binds.join(", ")
+                        );
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_json_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    );
+    out.parse().expect("serde stub derive generated invalid Serialize impl")
+}
+
+fn gen_named_fields_from(obj: &str, ty: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        if f.skip {
+            inits += &format!("{}: ::std::default::Default::default(),\n", f.name);
+        } else if f.default {
+            inits += &format!(
+                "{name}: match {obj}.get(\"{key}\") {{\n\
+                 ::std::option::Option::Some(__x) => \
+                 ::serde::Deserialize::from_json_value(__x)?,\n\
+                 ::std::option::Option::None => ::std::default::Default::default(),\n}},\n",
+                name = f.name,
+                key = f.key
+            );
+        } else {
+            inits += &format!(
+                "{name}: match {obj}.get(\"{key}\") {{\n\
+                 ::std::option::Option::Some(__x) => \
+                 ::serde::Deserialize::from_json_value(__x)?,\n\
+                 ::std::option::Option::None => return ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"missing field `{key}` in {ty}\")),\n}},\n",
+                name = f.name,
+                key = f.key
+            );
+        }
+    }
+    inits
+}
+
+/// Derives the `serde` stub's `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let inits = gen_named_fields_from("__o", name, fields);
+            format!(
+                "let __o = __v.as_object().ok_or_else(|| ::serde::Error::custom(\
+                 format!(\"expected object for {name}, got {{}}\", __v)))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        ItemKind::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_json_value(__v)?))"
+        ),
+        ItemKind::TupleStruct(n) => {
+            let mut elems = String::new();
+            for i in 0..*n {
+                elems += &format!("::serde::Deserialize::from_json_value(&__a[{i}])?,\n");
+            }
+            format!(
+                "let __a = __v.as_array().ok_or_else(|| ::serde::Error::custom(\
+                 format!(\"expected array for {name}, got {{}}\", __v)))?;\n\
+                 if __a.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"expected {n} elements for {name}, got {{}}\", __a.len())));\n}}\n\
+                 ::std::result::Result::Ok({name}({elems}))"
+            )
+        }
+        ItemKind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms +=
+                            &format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n");
+                        // Also accept `{"Variant": null}` (object form).
+                        tagged_arms +=
+                            &format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n");
+                    }
+                    VariantShape::Tuple(n) => {
+                        if *n == 1 {
+                            tagged_arms += &format!(
+                                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::from_json_value(_taginner)?)),\n"
+                            );
+                        } else {
+                            let mut elems = String::new();
+                            for i in 0..*n {
+                                elems +=
+                                    &format!("::serde::Deserialize::from_json_value(&__a[{i}])?,");
+                            }
+                            tagged_arms += &format!(
+                                "\"{vn}\" => {{\n\
+                                 let __a = _taginner.as_array().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected array for {name}::{vn}\"))?;\n\
+                                 if __a.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"wrong tuple arity for {name}::{vn}\"));\n}}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({elems}))\n}}\n"
+                            );
+                        }
+                    }
+                    VariantShape::Named(fields) => {
+                        let inits = gen_named_fields_from("__io", &format!("{name}::{vn}"), fields);
+                        tagged_arms += &format!(
+                            "\"{vn}\" => {{\n\
+                             let __io = _taginner.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object for {name}::{vn}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n{inits}}})\n}}\n"
+                        );
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown {name} variant `{{}}`\", __other))),\n}},\n\
+                 ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__tag, _taginner) = __m.iter().next().expect(\"len checked\");\n\
+                 match __tag.as_str() {{\n{tagged_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown {name} variant `{{}}`\", __other))),\n}}\n}},\n\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"expected {name}, got {{}}\", __other))),\n}}"
+            )
+        }
+    };
+    let out = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_json_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    );
+    out.parse().expect("serde stub derive generated invalid Deserialize impl")
+}

@@ -1,0 +1,243 @@
+//! Offline stand-in for the [`serde_json`](https://crates.io/crates/serde_json)
+//! crate.
+//!
+//! Re-exports the [`Value`] data model from the sibling `serde` stub and adds
+//! the entry points the CT-Bus workspace uses: [`to_value`], [`to_string`],
+//! [`to_string_pretty`], [`to_writer`], [`from_str`], [`from_reader`],
+//! [`from_value`], plus the [`json!`] macro (a token-tree muncher in the
+//! style of upstream's).
+//!
+//! The parser is a strict recursive-descent JSON reader: it rejects trailing
+//! garbage, handles `\uXXXX` escapes (including surrogate pairs), and
+//! enforces a nesting-depth limit instead of overflowing the stack.
+
+pub use serde::value::to_pretty_string;
+pub use serde::{Error, Map, Value};
+
+mod read;
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Converts any [`serde::Serialize`] type into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value> {
+    Ok(value.to_json_value())
+}
+
+/// Reconstructs `T` from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T> {
+    T::from_json_value(&value)
+}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_json_value().to_string())
+}
+
+/// Serializes `value` to pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(to_pretty_string(&value.to_json_value()))
+}
+
+/// Serializes `value` as compact JSON into `writer`.
+pub fn to_writer<W: std::io::Write, T: serde::Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<()> {
+    writer
+        .write_all(to_string(value)?.as_bytes())
+        .map_err(|e| Error::custom(format!("io error: {e}")))
+}
+
+/// Parses JSON text into any [`serde::Deserialize`] type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    let value = read::parse(s)?;
+    T::from_json_value(&value)
+}
+
+/// Reads `reader` to the end and parses the JSON text.
+pub fn from_reader<R: std::io::Read, T: serde::Deserialize>(mut reader: R) -> Result<T> {
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf).map_err(|e| Error::custom(format!("io error: {e}")))?;
+    from_str(&buf)
+}
+
+#[doc(hidden)]
+pub fn __to_value_unwrap<T: serde::Serialize>(value: T) -> Value {
+    value.to_json_value()
+}
+
+/// Builds a [`Value`] from JSON-like syntax, e.g.
+/// `json!({ "k": [1, 2.5, "s", null], "nested": { "a": expr } })`.
+#[macro_export]
+macro_rules! json {
+    ($($json:tt)+) => {
+        $crate::json_internal!($($json)+)
+    };
+}
+
+/// Implementation detail of [`json!`] (token-tree muncher, after upstream).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ---- arrays: munch elements into [$($elems,)*] ----
+    (@array [$($elems:expr,)*]) => {
+        vec![$($elems,)*]
+    };
+    (@array [$($elems:expr),*]) => {
+        vec![$($elems),*]
+    };
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(null)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(true)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(false)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($array:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($array)*])] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($map:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($map)*})] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($next),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last)])
+    };
+    (@array [$($elems:expr),*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    // ---- objects: munch `key: value` pairs into $object ----
+    (@object $object:ident () () ()) => {};
+    (@object $object:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+        $crate::json_internal!(@object $object () ($($rest)*) ($($rest)*));
+    };
+    (@object $object:ident [$($key:tt)+] ($value:expr)) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+    };
+    (@object $object:ident ($($key:tt)+) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(
+            @object $object [$($key)+] ($crate::json_internal!(null)) $($rest)*
+        );
+    };
+    (@object $object:ident ($($key:tt)+) (: true $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(
+            @object $object [$($key)+] ($crate::json_internal!(true)) $($rest)*
+        );
+    };
+    (@object $object:ident ($($key:tt)+) (: false $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(
+            @object $object [$($key)+] ($crate::json_internal!(false)) $($rest)*
+        );
+    };
+    (@object $object:ident ($($key:tt)+) (: [$($array:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(
+            @object $object [$($key)+] ($crate::json_internal!([$($array)*])) $($rest)*
+        );
+    };
+    (@object $object:ident ($($key:tt)+) (: {$($map:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(
+            @object $object [$($key)+] ($crate::json_internal!({$($map)*})) $($rest)*
+        );
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(
+            @object $object [$($key)+] ($crate::json_internal!($value)) , $($rest)*
+        );
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)));
+    };
+    // Munch one token into the current key.
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*) ($($rest)*));
+    };
+
+    // ---- primary forms ----
+    (null) => {
+        $crate::Value::Null
+    };
+    (true) => {
+        $crate::Value::Bool(true)
+    };
+    (false) => {
+        $crate::Value::Bool(false)
+    };
+    ([]) => {
+        $crate::Value::Array(::std::vec::Vec::new())
+    };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_internal!(@array [] $($tt)+))
+    };
+    ({}) => {
+        $crate::Value::Object($crate::Map::new())
+    };
+    ({ $($tt:tt)+ }) => {
+        $crate::Value::Object({
+            let mut object = $crate::Map::new();
+            $crate::json_internal!(@object object () ($($tt)+) ($($tt)+));
+            object
+        })
+    };
+    ($other:expr) => {
+        $crate::__to_value_unwrap(&$other)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_values() {
+        let routes = 3u32;
+        let v = json!({
+            "name": "city",
+            "stats": { "routes": routes, "avg": 1.5 },
+            "tags": [1, 2, routes],
+            "flag": true,
+            "nothing": null,
+        });
+        assert_eq!(v["name"], "city");
+        assert_eq!(v["stats"]["routes"], 3u32);
+        assert_eq!(v["tags"].as_array().unwrap().len(), 3);
+        assert_eq!(v["flag"], true);
+        assert!(v["nothing"].is_null());
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let v = json!({ "a": [1, 2.5, "s\n", null], "b": { "c": -3 } });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back2: Value = from_str(&pretty).unwrap();
+        assert_eq!(v, back2);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+        assert!(from_str::<Value>("\"unterminated").is_err());
+        // from_str_radix would accept a '+' sign; JSON hex escapes must not.
+        assert!(from_str::<Value>(r#""\u+041""#).is_err());
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v: Value = from_str(r#""é😀""#).unwrap();
+        assert_eq!(v, "é😀");
+        let v: Value = from_str(r#""é 😀 \n""#).unwrap();
+        assert_eq!(v, "é 😀 \n");
+    }
+}
