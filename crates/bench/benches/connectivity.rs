@@ -26,6 +26,16 @@ fn bench_connectivity(c: &mut Criterion) {
             b.iter(|| est.lambda(black_box(adj)).unwrap())
         });
 
+        // Frozen-probe trace sweep, before/after the batched kernel: the
+        // per-probe path streams the matrix once per probe per Lanczos step,
+        // the batched path once per step for all probes (bit-identical).
+        group.bench_with_input(BenchmarkId::new("slq_trace_per_probe", name), &adj, |b, adj| {
+            b.iter(|| est.trace_exp_unbatched(black_box(adj)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("slq_trace_batched", name), &adj, |b, adj| {
+            b.iter(|| est.trace_exp(black_box(adj)).unwrap())
+        });
+
         // Bound evaluation given a precomputed spectrum head.
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let eigs = block_krylov_topk(&adj, 60, 0, &mut rng).unwrap();

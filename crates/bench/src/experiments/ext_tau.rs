@@ -30,7 +30,15 @@ pub fn run(ctx: &mut ExperimentCtx) {
         for &tau in &taus {
             let mut params = ctx.base_params();
             params.tau_m = tau;
-            let pre = Precomputed::build(&bundle.city, &bundle.demand, &params);
+            // τ changes the candidate pool itself, so unlike the k/w sweeps
+            // (fig10–12, table6) this experiment genuinely has to rebuild —
+            // except at the base τ, where the bundle's pre-computation is
+            // reused via the cheap reparameterization path.
+            let pre = if tau == ctx.base_params().tau_m {
+                bundle.pre.reparameterize(&params)
+            } else {
+                Precomputed::build(&bundle.city, &bundle.demand, &params)
+            };
             rows.push(vec![
                 format!("{:.0}", tau),
                 pre.candidates.num_new().to_string(),

@@ -30,7 +30,8 @@
 
 use std::collections::HashMap;
 
-use ct_linalg::{lanczos_expv, CsrMatrix};
+use ct_linalg::lanczos::expm_column_in;
+use ct_linalg::{CsrMatrix, EdgeOverlay, LanczosWorkspace};
 use serde::{Deserialize, Serialize};
 
 use crate::precompute::Precomputed;
@@ -174,6 +175,11 @@ pub fn augment_connectivity(pre: &Precomputed, params: &AugmentParams) -> Augmen
     let mut stats = AugmentStats::default();
     let mut chosen: Vec<u32> = Vec::new();
     let mut gains: Vec<f64> = Vec::new();
+    // One Lanczos workspace serves every column solve and every estimator
+    // trace across all rounds; candidate matrices are overlay views, so the
+    // only CSR materialization left is the once-per-round commit of a pick.
+    let mut ws = LanczosWorkspace::new();
+    let mut col = Vec::new();
 
     for _ in 0..params.k {
         // Rank candidates for this round.
@@ -186,11 +192,17 @@ pub fn augment_connectivity(pre: &Precomputed, params: &AugmentParams) -> Augmen
                 }
                 let e = pre.candidates.edge(id);
                 for s in [e.u, e.v] {
-                    if let std::collections::hash_map::Entry::Vacant(e) = columns.entry(s) {
-                        let mut e_s = vec![0.0; current.n()];
-                        e_s[s as usize] = 1.0;
-                        if let Ok(col) = lanczos_expv(&current, &e_s, params.lanczos_steps) {
-                            e.insert(col);
+                    if let std::collections::hash_map::Entry::Vacant(entry) = columns.entry(s) {
+                        if expm_column_in(
+                            &current,
+                            s as usize,
+                            params.lanczos_steps,
+                            &mut ws,
+                            &mut col,
+                        )
+                        .is_ok()
+                        {
+                            entry.insert(col.clone());
                             stats.column_solves += 1;
                         }
                     }
@@ -213,6 +225,9 @@ pub fn augment_connectivity(pre: &Precomputed, params: &AugmentParams) -> Augmen
         ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("bounds are not NaN"));
 
         // Scan in bound order; stop when the bound cannot beat the best.
+        // Candidates are scored through an overlay of the current matrix
+        // (no CSR rebuild; bit-identical to materializing).
+        let mut overlay = EdgeOverlay::empty(&current);
         let mut best: Option<(u32, f64)> = None;
         for (rank, &(id, bound)) in ranked.iter().enumerate() {
             if let Some((_, best_gain)) = best {
@@ -222,9 +237,15 @@ pub fn augment_connectivity(pre: &Precomputed, params: &AugmentParams) -> Augmen
                 }
             }
             let e = pre.candidates.edge(id);
-            let augmented = current.with_added_unit_edges(&[(e.u, e.v)]);
             stats.exact_evaluations += 1;
-            let Some(tr) = trace_of(&augmented) else { continue };
+            let tr = match params.eval {
+                AugmentEval::Estimator => {
+                    overlay.set_edges(&[(e.u, e.v)]);
+                    pre.estimator.trace_exp_in(&overlay, &mut ws).ok()
+                }
+                AugmentEval::Exact => trace_of(&current.with_added_unit_edges(&[(e.u, e.v)])),
+            };
+            let Some(tr) = tr else { continue };
             let gain = (tr.max(f64::MIN_POSITIVE) / current_trace).ln();
             if best.is_none_or(|(_, g)| gain > g) {
                 best = Some((id, gain));
@@ -253,7 +274,7 @@ mod tests {
     use super::*;
     use crate::params::CtBusParams;
     use ct_data::{CityConfig, DemandModel};
-    use ct_linalg::natural_connectivity_exact;
+    use ct_linalg::{lanczos_expv, natural_connectivity_exact};
 
     fn setup() -> Precomputed {
         let city = CityConfig::small().seed(44).generate();

@@ -9,7 +9,7 @@
 
 use ct_data::City;
 use ct_graph::shortest_path;
-use ct_linalg::CsrMatrix;
+use ct_linalg::{CsrMatrix, EdgeOverlay, LanczosWorkspace};
 use serde::{Deserialize, Serialize};
 
 use crate::candidates::CandidateSet;
@@ -34,16 +34,20 @@ pub fn connectivity_first_edges(pre: &Precomputed, l: usize, pool_size: usize) -
     let mut chosen_pairs: Vec<(u32, u32)> = Vec::new();
     let mut current: CsrMatrix = pre.base_adj.clone();
     let mut current_trace = pre.base_trace;
+    let mut ws = LanczosWorkspace::new();
 
     for _ in 0..l {
+        // Candidates are scored through an overlay of the round's matrix
+        // (no per-candidate CSR rebuild; bit-identical to materializing).
+        let mut overlay = EdgeOverlay::empty(&current);
         let mut best: Option<(u32, f64)> = None;
         for &id in &pool {
             if chosen.contains(&id) {
                 continue;
             }
             let e = pre.candidates.edge(id);
-            let augmented = current.with_added_unit_edges(&[(e.u, e.v)]);
-            let Ok(tr) = pre.estimator.trace_exp(&augmented) else { continue };
+            overlay.set_edges(&[(e.u, e.v)]);
+            let Ok(tr) = pre.estimator.trace_exp_in(&overlay, &mut ws) else { continue };
             let gain = (tr.max(f64::MIN_POSITIVE) / current_trace).ln();
             if best.is_none_or(|(_, g)| gain > g) {
                 best = Some((id, gain));

@@ -215,11 +215,7 @@ impl<'a> Planner<'a> {
         let evaluations = std::cell::Cell::new(0u64);
 
         let scorer = if cfg.online_scoring {
-            ConnScorer::Online {
-                est: &self.pre.estimator,
-                base: &self.pre.base_adj,
-                base_trace: self.pre.base_trace,
-            }
+            ConnScorer::online(&self.pre.estimator, &self.pre.base_adj, self.pre.base_trace)
         } else {
             ConnScorer::Linear { delta: &self.pre.delta }
         };
@@ -549,11 +545,8 @@ impl<'a> Planner<'a> {
     /// ETA-Pre's final answer, Fig. 9).
     fn plan_from(&self, cp: &CandPath, w: f64) -> RoutePlan {
         let cands = &self.pre.candidates;
-        let online = ConnScorer::Online {
-            est: &self.pre.estimator,
-            base: &self.pre.base_adj,
-            base_trace: self.pre.base_trace,
-        };
+        let online =
+            ConnScorer::online(&self.pre.estimator, &self.pre.base_adj, self.pre.base_trace);
         let conn = online.increment(&cp.edges, cands);
         let demand = cp.demand_sum;
         let objective = self.pre.objective(w, demand, conn);

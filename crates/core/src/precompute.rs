@@ -11,14 +11,21 @@
 //!   online planner uses as its connectivity upper bound.
 //!
 //! The Δ(e) sweep is embarrassingly parallel and is spread over all cores
-//! with `crossbeam` scoped threads.
+//! with scoped threads pulling candidate ids off an atomic work-stealing
+//! counter. Each worker owns one [`LanczosWorkspace`] and one reusable
+//! [`EdgeOverlay`], so the steady-state sweep performs **no** heap
+//! allocations and **no** per-candidate CSR rebuilds: a candidate is scored
+//! by streaming the base matrix once per Lanczos step for all frozen probes
+//! (blocked matvec) with the candidate edge applied on the fly.
 
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use ct_data::{City, DemandModel};
-use ct_linalg::lanczos::expm_column;
-use ct_linalg::{block_krylov_topk, ConnectivityEstimator, CsrMatrix};
+use ct_linalg::lanczos::expm_column_in;
+use ct_linalg::{
+    block_krylov_topk, ConnectivityEstimator, CsrMatrix, EdgeOverlay, LanczosWorkspace,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -214,7 +221,86 @@ impl Precomputed {
 }
 
 /// Estimates `Δ(e)` for every new candidate in parallel.
-fn compute_deltas(
+///
+/// Workers pull candidate ids off a shared atomic counter (work stealing:
+/// skewed pools no longer leave cores idle behind a static partition) and
+/// score each candidate through an [`EdgeOverlay`] of the base matrix with
+/// a thread-local [`LanczosWorkspace`] — zero CSR rebuilds, zero steady-
+/// state allocations. Every Δ(e) is a pure function of the frozen probes,
+/// so the output is invariant under the worker count.
+pub fn compute_deltas(
+    candidates: &CandidateSet,
+    base: &CsrMatrix,
+    estimator: &ConnectivityEstimator,
+    base_trace: f64,
+) -> Vec<f64> {
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    compute_deltas_with_threads(candidates, base, estimator, base_trace, threads)
+}
+
+/// [`compute_deltas`] with an explicit worker count (exposed for the
+/// thread-invariance tests and benches).
+#[doc(hidden)]
+pub fn compute_deltas_with_threads(
+    candidates: &CandidateSet,
+    base: &CsrMatrix,
+    estimator: &ConnectivityEstimator,
+    base_trace: f64,
+    threads: usize,
+) -> Vec<f64> {
+    let n = candidates.len();
+    let mut delta = vec![0.0f64; n];
+    let ids: Vec<u32> = (0..n as u32).filter(|&i| !candidates.edge(i).existing).collect();
+    if ids.is_empty() {
+        return delta;
+    }
+
+    let threads = threads.max(1).min(ids.len());
+    let next = AtomicUsize::new(0);
+    let ids = &ids;
+    let next = &next;
+    let results: Vec<Vec<(u32, f64)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut ws = LanczosWorkspace::new();
+                    let mut overlay = EdgeOverlay::empty(base);
+                    let mut out = Vec::with_capacity(ids.len() / threads + 1);
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&id) = ids.get(idx) else { break };
+                        let e = candidates.edge(id);
+                        overlay.set_edges(&[(e.u, e.v)]);
+                        let inc = match estimator.trace_exp_in(&overlay, &mut ws) {
+                            Ok(tr) => (tr.max(f64::MIN_POSITIVE) / base_trace).ln(),
+                            Err(_) => 0.0,
+                        };
+                        // Monotonicity of natural connectivity under edge
+                        // addition guarantees Δ ≥ 0; clamp residual probe
+                        // noise.
+                        out.push((id, inc.max(0.0)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("delta worker does not panic")).collect()
+    });
+
+    for part in results {
+        for (id, inc) in part {
+            delta[id as usize] = inc;
+        }
+    }
+    delta
+}
+
+/// The pre-overlay Δ(e) sweep: statically chunked threads, one full CSR
+/// rebuild per candidate, one sequential SLQ pass per probe. Kept verbatim
+/// as the before/after baseline for the `precompute` bench and the
+/// equivalence tests; produces bit-identical Δ(e) to [`compute_deltas`].
+#[doc(hidden)]
+pub fn compute_deltas_reference(
     candidates: &CandidateSet,
     base: &CsrMatrix,
     estimator: &ConnectivityEstimator,
@@ -239,13 +325,10 @@ fn compute_deltas(
                     for &id in part {
                         let e = candidates.edge(id);
                         let augmented = base.with_added_unit_edges(&[(e.u, e.v)]);
-                        let inc = match estimator.trace_exp(&augmented) {
+                        let inc = match estimator.trace_exp_unbatched(&augmented) {
                             Ok(tr) => (tr.max(f64::MIN_POSITIVE) / base_trace).ln(),
                             Err(_) => 0.0,
                         };
-                        // Monotonicity of natural connectivity under edge
-                        // addition guarantees Δ ≥ 0; clamp residual probe
-                        // noise.
                         out.push((id, inc.max(0.0)));
                     }
                     out
@@ -290,23 +373,34 @@ fn compute_deltas_perturbation(
     let n = candidates.len();
     let mut delta = vec![0.0f64; n];
 
-    // Columns of e^A for every endpoint of a new candidate edge.
-    let mut columns: HashMap<u32, Vec<f64>> = HashMap::new();
+    // Columns of e^A for every endpoint of a new candidate edge: one solve
+    // per *distinct* stop (endpoints repeating across candidates — and a
+    // degenerate u == v pair — dedup to a single entry), all sharing one
+    // Lanczos workspace so the per-stop solve allocates only the stored
+    // column itself.
     let mut needed: Vec<u32> =
         candidates.edges().iter().filter(|e| !e.existing).flat_map(|e| [e.u, e.v]).collect();
     needed.sort_unstable();
     needed.dedup();
-    for &u in &needed {
-        if let Ok(col) = expm_column(base, u as usize, lanczos_steps) {
-            columns.insert(u, col);
-        }
-    }
+    let mut ws = LanczosWorkspace::new();
+    let mut col = Vec::new();
+    let columns: Vec<Option<Vec<f64>>> = needed
+        .iter()
+        .map(|&u| {
+            expm_column_in(base, u as usize, lanczos_steps, &mut ws, &mut col)
+                .is_ok()
+                .then(|| col.clone())
+        })
+        .collect();
+    let col_of = |stop: u32| -> Option<&Vec<f64>> {
+        needed.binary_search(&stop).ok().and_then(|i| columns[i].as_ref())
+    };
 
     for (id, e) in candidates.edges().iter().enumerate() {
         if e.existing {
             continue;
         }
-        let (Some(col_u), Some(col_v)) = (columns.get(&e.u), columns.get(&e.v)) else {
+        let (Some(col_u), Some(col_v)) = (col_of(e.u), col_of(e.v)) else {
             continue;
         };
         let comm = col_u[e.v as usize].max(0.0);
@@ -464,6 +558,26 @@ mod tests {
             assert!((cheap.le.value(i) - fresh.le.value(i)).abs() < 1e-9);
         }
         assert!((cheap.conn_path_ub - fresh.conn_path_ub).abs() < 1e-6);
+    }
+
+    #[test]
+    fn delta_sweep_invariant_under_thread_count_and_matches_reference() {
+        // The overlay + batched-probe sweep must reproduce the legacy
+        // (CSR-rebuild, per-probe) sweep bit-for-bit, under any worker
+        // count: every Δ(e) is a pure function of the frozen probes.
+        let (city, demand, params) = setup();
+        let candidates =
+            CandidateSet::build(&city, &demand, params.tau_m, params.max_detour_factor);
+        let base = city.transit.adjacency_matrix();
+        let estimator =
+            ConnectivityEstimator::new(base.n(), &params.trace_params(), params.probe_seed);
+        let base_trace = estimator.trace_exp(&base).unwrap().max(f64::MIN_POSITIVE);
+        let reference = compute_deltas_reference(&candidates, &base, &estimator, base_trace);
+        for threads in [1, 2, 5] {
+            let fast =
+                compute_deltas_with_threads(&candidates, &base, &estimator, base_trace, threads);
+            assert_eq!(fast, reference, "threads={threads}");
+        }
     }
 
     #[test]

@@ -10,7 +10,11 @@
 //! * [`ConnScorer::Linear`] — the §6 pre-computed surrogate
 //!   `Oλ(μ) ≈ Σ_{e∈μ} Δ(e)` ("ETA-Pre").
 
-use ct_linalg::{natural_connectivity_exact, ConnectivityEstimator, CsrMatrix};
+use std::cell::RefCell;
+
+use ct_linalg::{
+    natural_connectivity_exact, ConnectivityEstimator, CsrMatrix, EdgeOverlay, LanczosWorkspace,
+};
 
 use crate::candidates::CandidateSet;
 
@@ -27,10 +31,14 @@ pub enum ConnScorer<'a> {
     Online {
         /// The frozen-probe estimator.
         est: &'a ConnectivityEstimator,
-        /// Base adjacency.
-        base: &'a CsrMatrix,
         /// `tr(e^A)` of the base network under the same probes.
         base_trace: f64,
+        /// Reusable overlay view of the base adjacency plus Lanczos
+        /// scratch (boxed to keep the enum small). The ETA traversal is
+        /// single-threaded, so interior mutability keeps
+        /// [`ConnScorer::increment`] callable through `&self` while paths
+        /// are scored allocation-free in steady state.
+        scratch: Box<RefCell<(EdgeOverlay<'a>, LanczosWorkspace)>>,
     },
     /// Linear surrogate from pre-computed per-edge increments.
     Linear {
@@ -39,7 +47,20 @@ pub enum ConnScorer<'a> {
     },
 }
 
-impl ConnScorer<'_> {
+impl<'a> ConnScorer<'a> {
+    /// Builds the paired-probe SLQ scorer over `base`.
+    pub fn online(
+        est: &'a ConnectivityEstimator,
+        base: &'a CsrMatrix,
+        base_trace: f64,
+    ) -> ConnScorer<'a> {
+        ConnScorer::Online {
+            est,
+            base_trace,
+            scratch: Box::new(RefCell::new((EdgeOverlay::empty(base), LanczosWorkspace::new()))),
+        }
+    }
+
     /// Connectivity increment `Oλ` for a path given by candidate ids.
     pub fn increment(&self, cand_ids: &[u32], cands: &CandidateSet) -> f64 {
         match self {
@@ -51,13 +72,17 @@ impl ConnScorer<'_> {
                 let augmented = base.with_added_unit_edges(&pairs);
                 natural_connectivity_exact(&augmented).map(|l| l - base_lambda).unwrap_or(0.0)
             }
-            ConnScorer::Online { est, base, base_trace } => {
+            ConnScorer::Online { est, base_trace, scratch } => {
                 let pairs = cands.new_stop_pairs(cand_ids);
                 if pairs.is_empty() {
                     return 0.0;
                 }
-                let augmented = base.with_added_unit_edges(&pairs);
-                match est.trace_exp(&augmented) {
+                // The overlay view scores the path without rebuilding the
+                // CSR (bit-identical to materializing); overlay and
+                // workspace buffers are reused across paths.
+                let (overlay, ws) = &mut *scratch.borrow_mut();
+                overlay.set_edges(&pairs);
+                match est.trace_exp_in(overlay, ws) {
                     Ok(tr) => (tr.max(f64::MIN_POSITIVE) / base_trace).ln(),
                     Err(_) => 0.0,
                 }
@@ -92,7 +117,7 @@ mod tests {
         let base_trace = est.trace_exp(&base).unwrap();
 
         let exact = ConnScorer::Exact { base: &base, base_lambda };
-        let online = ConnScorer::Online { est: &est, base: &base, base_trace };
+        let online = ConnScorer::online(&est, &base, base_trace);
 
         // A few new candidates as a pseudo-path.
         let new_ids: Vec<u32> =

@@ -10,6 +10,8 @@ use rand::SeedableRng;
 
 use crate::eig::sparse_symmetric_eigenvalues;
 use crate::error::LinalgError;
+use crate::lanczos::LanczosWorkspace;
+use crate::matvec::MatVec;
 use crate::sparse::CsrMatrix;
 use crate::trace::{PairedTraceEstimator, TraceParams};
 use crate::util::logsumexp;
@@ -57,7 +59,7 @@ impl ConnectivityEstimator {
     }
 
     /// Estimated natural connectivity of `a`.
-    pub fn lambda(&self, a: &CsrMatrix) -> Result<f64, LinalgError> {
+    pub fn lambda<M: MatVec + ?Sized>(&self, a: &M) -> Result<f64, LinalgError> {
         let tr = self.paired.trace_exp(a)?.max(f64::MIN_POSITIVE);
         Ok(tr.ln() - (self.n as f64).ln())
     }
@@ -65,12 +67,35 @@ impl ConnectivityEstimator {
     /// Estimated `tr(e^A)` with the frozen probes; exposing the raw trace
     /// lets callers amortize a base-network trace across many increment
     /// computations (`Δλ = ln(tr'/tr)`).
-    pub fn trace_exp(&self, a: &CsrMatrix) -> Result<f64, LinalgError> {
+    pub fn trace_exp<M: MatVec + ?Sized>(&self, a: &M) -> Result<f64, LinalgError> {
         self.paired.trace_exp(a)
     }
 
+    /// Estimated `tr(e^A)` reusing a caller-owned [`LanczosWorkspace`];
+    /// the Δ(e) precompute sweep calls this once per candidate edge with a
+    /// thread-local workspace and allocates nothing in steady state.
+    pub fn trace_exp_in<M: MatVec + ?Sized>(
+        &self,
+        a: &M,
+        ws: &mut LanczosWorkspace,
+    ) -> Result<f64, LinalgError> {
+        self.paired.trace_exp_in(a, ws)
+    }
+
+    /// Sequential per-probe reference sweep (see
+    /// [`PairedTraceEstimator::trace_exp_unbatched`]); for equivalence tests
+    /// and before/after benches only.
+    #[doc(hidden)]
+    pub fn trace_exp_unbatched<M: MatVec + ?Sized>(&self, a: &M) -> Result<f64, LinalgError> {
+        self.paired.trace_exp_unbatched(a)
+    }
+
     /// Estimated increment `λ(a_new) − λ(a)` with shared probes.
-    pub fn lambda_increment(&self, a: &CsrMatrix, a_new: &CsrMatrix) -> Result<f64, LinalgError> {
+    pub fn lambda_increment<M1: MatVec + ?Sized, M2: MatVec + ?Sized>(
+        &self,
+        a: &M1,
+        a_new: &M2,
+    ) -> Result<f64, LinalgError> {
         self.paired.lambda_increment(a, a_new)
     }
 }

@@ -12,17 +12,39 @@
 //! Per Lemma 2 (a corollary of Musco et al. \[45\]), `t = O(‖A‖₂ + log 1/ε)`
 //! iterations suffice; transit networks have tiny spectral norms (≈ 5), so
 //! the paper's default `t = 10` is already in the high-accuracy regime.
+//!
+//! # Memory discipline
+//!
+//! Every entry point exists in two forms: the original allocating signature
+//! (kept for convenience and tests) and an `_in` variant taking a
+//! [`LanczosWorkspace`] that owns all scratch — the `v`/`v_prev`/`w`
+//! three-term recurrence vectors, a flat Krylov-basis buffer, the `α`/`β`
+//! coefficient arrays, and the small quadrature scratch. The allocating
+//! forms are thin wrappers over the `_in` forms (one fresh workspace per
+//! call), so both compute bit-identical results. Hot loops — the Δ(e)
+//! precompute sweep above all — create one workspace per thread and reuse
+//! it across thousands of solves, reaching a zero-allocation steady state.
+//!
+//! All kernels are generic over [`MatVec`], so they run unchanged on a
+//! materialized [`CsrMatrix`] or on a [`crate::matvec::EdgeOverlay`] view
+//! of `base + candidate edges`.
+//!
+//! [`slq_trace_batch_in`] walks *many* probe vectors through one matrix in
+//! lockstep with a blocked matvec: the sparse matrix is streamed once per
+//! Lanczos step instead of once per probe per step, which is the difference
+//! between being memory-bound on the matrix and memory-bound on the (much
+//! smaller, register-blocked) probe block.
 
 use crate::error::LinalgError;
-use crate::sparse::CsrMatrix;
-use crate::tridiag::{tridiag_eigen_first_row, tridiag_eigen_full};
-use crate::vector::{axpy, dot, norm, normalize, orthogonalize_against};
+use crate::matvec::MatVec;
+use crate::tridiag::{tridiag_eigen_first_row_in, tridiag_eigen_full};
+use crate::vector::{axpy, dot, norm, normalize};
 
 /// Tolerance, relative to `‖A‖·‖v‖`, below which a Lanczos β signals an
 /// invariant subspace (happy breakdown).
 const BREAKDOWN_TOL: f64 = 1e-13;
 
-/// Output of the Lanczos tridiagonalization.
+/// Output of the (allocating) Lanczos tridiagonalization.
 #[derive(Debug, Clone)]
 pub struct LanczosDecomposition {
     /// Diagonal of `T` (one entry per completed step).
@@ -42,19 +64,152 @@ impl LanczosDecomposition {
     }
 }
 
+/// Reusable scratch for all Lanczos-family kernels.
+///
+/// Holds the three recurrence vectors, an optional flat Krylov-basis buffer
+/// (row-major, one basis vector per `n`-chunk), the `α`/`β` arrays, the
+/// small tridiagonal-quadrature scratch, and the per-probe state of the
+/// batched SLQ kernel. Buffers only ever grow, so a workspace reused across
+/// same-sized problems performs **zero** heap allocations after the first
+/// solve.
+#[derive(Debug, Default, Clone)]
+pub struct LanczosWorkspace {
+    // Recurrence vectors; length n (single-vector) or n·nrhs (batched).
+    v: Vec<f64>,
+    v_prev: Vec<f64>,
+    w: Vec<f64>,
+    // Flat Krylov basis (single-vector kernels only), `steps_done` rows.
+    basis: Vec<f64>,
+    // Tridiagonal coefficients. Single-vector: `steps_done` alphas and
+    // `steps_done - 1` betas. Batched: strided per probe (see slq batch).
+    alphas: Vec<f64>,
+    betas: Vec<f64>,
+    // Per-probe batched state.
+    alpha_len: Vec<usize>,
+    beta_len: Vec<usize>,
+    beta_prev: Vec<f64>,
+    norms: Vec<f64>,
+    acc: Vec<f64>,
+    active: Vec<bool>,
+    // Small dense scratch: quadrature buffers and expv coefficients.
+    quad_d: Vec<f64>,
+    quad_e: Vec<f64>,
+    quad_row: Vec<f64>,
+    coeff: Vec<f64>,
+    // Reusable unit vector for expm_column_in (kept all-zero between calls).
+    unit: Vec<f64>,
+    initial_norm: f64,
+    steps_done: usize,
+    n: usize,
+}
+
+impl LanczosWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of Lanczos steps completed by the last single-vector run.
+    pub fn steps(&self) -> usize {
+        self.steps_done
+    }
+
+    /// Diagonal of `T` from the last single-vector run.
+    pub fn alphas(&self) -> &[f64] {
+        &self.alphas[..self.steps_done]
+    }
+
+    /// Subdiagonal of `T` from the last single-vector run.
+    pub fn betas(&self) -> &[f64] {
+        &self.betas[..self.steps_done.saturating_sub(1)]
+    }
+
+    /// Norm of the start vector from the last single-vector run.
+    pub fn initial_norm(&self) -> f64 {
+        self.initial_norm
+    }
+
+    /// Basis rows stored by the last single-vector run with `keep_basis`.
+    pub fn basis_rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.basis.chunks_exact(self.n.max(1)).take(self.steps_done)
+    }
+
+    fn reset_single(&mut self, n: usize, steps: usize, store_basis: bool) {
+        self.n = n;
+        self.steps_done = 0;
+        self.initial_norm = 0.0;
+        self.v.clear();
+        self.v_prev.clear();
+        self.v_prev.resize(n, 0.0);
+        self.w.clear();
+        self.w.resize(n, 0.0);
+        self.alphas.clear();
+        self.alphas.reserve(steps);
+        self.betas.clear();
+        self.betas.reserve(steps.saturating_sub(1));
+        self.basis.clear();
+        if store_basis {
+            self.basis.reserve(steps * n);
+        }
+    }
+}
+
+/// Resizes a scratch vector to `len` without touching retained contents
+/// (a no-op when the length already matches — callers guarantee every
+/// entry is written before it is read).
+fn resize_len(v: &mut Vec<f64>, len: usize) {
+    if v.len() != len {
+        v.resize(len, 0.0);
+    }
+}
+
+/// Removes from `v` its components along the first `rows` stored basis
+/// vectors (flat layout, assumed orthonormal). One pass of classical
+/// Gram–Schmidt, matching [`crate::vector::orthogonalize_against`].
+fn orthogonalize_against_flat(v: &mut [f64], basis: &[f64], n: usize, rows: usize) {
+    for q in basis.chunks_exact(n).take(rows) {
+        let c = dot(v, q);
+        axpy(-c, q, v);
+    }
+}
+
 /// Runs `steps` Lanczos iterations from `v0`.
 ///
 /// `keep_basis` stores the orthonormal vectors (needed by [`lanczos_expv`]
 /// but not by quadrature); `full_reorth` re-orthogonalizes every new vector
 /// against the whole basis, which costs `O(t²n)` but keeps Ritz values clean
 /// for eigenvalue work (it forces `keep_basis` internally).
-pub fn lanczos_tridiagonalize(
-    a: &CsrMatrix,
+pub fn lanczos_tridiagonalize<M: MatVec + ?Sized>(
+    a: &M,
     v0: &[f64],
     steps: usize,
     keep_basis: bool,
     full_reorth: bool,
 ) -> Result<LanczosDecomposition, LinalgError> {
+    let mut ws = LanczosWorkspace::new();
+    lanczos_tridiagonalize_in(a, v0, steps, keep_basis, full_reorth, &mut ws)?;
+    let store = keep_basis || full_reorth;
+    Ok(LanczosDecomposition {
+        alphas: ws.alphas().to_vec(),
+        betas: ws.betas().to_vec(),
+        basis: store.then(|| ws.basis_rows().map(<[f64]>::to_vec).collect()),
+        initial_norm: ws.initial_norm,
+    })
+}
+
+/// Workspace-based Lanczos tridiagonalization; results are read back through
+/// the [`LanczosWorkspace`] accessors ([`LanczosWorkspace::alphas`] etc.).
+///
+/// Identical arithmetic to [`lanczos_tridiagonalize`] — the allocating form
+/// is a wrapper over this one.
+pub fn lanczos_tridiagonalize_in<M: MatVec + ?Sized>(
+    a: &M,
+    v0: &[f64],
+    steps: usize,
+    keep_basis: bool,
+    full_reorth: bool,
+    ws: &mut LanczosWorkspace,
+) -> Result<(), LinalgError> {
     let n = a.n();
     if n == 0 {
         return Err(LinalgError::EmptyInput("matrix"));
@@ -62,88 +217,311 @@ pub fn lanczos_tridiagonalize(
     if v0.len() != n {
         return Err(LinalgError::DimensionMismatch { expected: n, actual: v0.len() });
     }
-    let mut v = v0.to_vec();
-    let initial_norm = normalize(&mut v);
-    if initial_norm == 0.0 {
+    let store = keep_basis || full_reorth;
+    ws.reset_single(n, steps, store);
+    ws.v.extend_from_slice(v0);
+    ws.initial_norm = normalize(&mut ws.v);
+    if ws.initial_norm == 0.0 {
         return Err(LinalgError::EmptyInput("start vector is zero"));
     }
 
-    let store = keep_basis || full_reorth;
-    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(if store { steps } else { 0 });
-    let mut alphas = Vec::with_capacity(steps);
-    let mut betas = Vec::with_capacity(steps.saturating_sub(1));
-
-    let mut v_prev: Vec<f64> = vec![0.0; n];
     let mut beta_prev = 0.0;
-    let mut w = vec![0.0; n];
-
-    for step in 0..steps.min(n) {
+    let cap = steps.min(n);
+    for step in 0..cap {
         if store {
-            basis.push(v.clone());
+            ws.basis.extend_from_slice(&ws.v);
         }
-        a.matvec(&v, &mut w);
+        a.matvec(&ws.v, &mut ws.w);
         if beta_prev != 0.0 {
-            axpy(-beta_prev, &v_prev, &mut w);
+            axpy(-beta_prev, &ws.v_prev, &mut ws.w);
         }
-        let alpha = dot(&w, &v);
-        axpy(-alpha, &v, &mut w);
+        let alpha = dot(&ws.w, &ws.v);
+        axpy(-alpha, &ws.v, &mut ws.w);
         if full_reorth {
             // Two passes of classical Gram–Schmidt ("twice is enough").
-            orthogonalize_against(&mut w, &basis);
-            orthogonalize_against(&mut w, &basis);
+            orthogonalize_against_flat(&mut ws.w, &ws.basis, n, step + 1);
+            orthogonalize_against_flat(&mut ws.w, &ws.basis, n, step + 1);
         }
-        alphas.push(alpha);
+        ws.alphas.push(alpha);
+        ws.steps_done = step + 1;
 
-        let beta = norm(&w);
-        if step + 1 == steps.min(n) {
+        let beta = norm(&ws.w);
+        if step + 1 == cap {
             break;
         }
         if beta <= BREAKDOWN_TOL * (1.0 + alpha.abs()) {
             break; // invariant subspace: T is exact for this Krylov space
         }
-        betas.push(beta);
-        std::mem::swap(&mut v_prev, &mut v);
-        v.copy_from_slice(&w);
-        normalize(&mut v);
+        ws.betas.push(beta);
+        std::mem::swap(&mut ws.v_prev, &mut ws.v);
+        ws.v.copy_from_slice(&ws.w);
+        normalize(&mut ws.v);
         beta_prev = beta;
     }
-
-    Ok(LanczosDecomposition { alphas, betas, basis: store.then_some(basis), initial_norm })
+    Ok(())
 }
 
 /// Approximates `e^A v` with `steps` Lanczos iterations.
-pub fn lanczos_expv(a: &CsrMatrix, v: &[f64], steps: usize) -> Result<Vec<f64>, LinalgError> {
-    let dec = lanczos_tridiagonalize(a, v, steps, true, false)?;
-    let t = dec.steps();
-    let basis = dec.basis.as_ref().expect("basis was requested");
+pub fn lanczos_expv<M: MatVec + ?Sized>(
+    a: &M,
+    v: &[f64],
+    steps: usize,
+) -> Result<Vec<f64>, LinalgError> {
+    let mut ws = LanczosWorkspace::new();
+    let mut out = Vec::new();
+    lanczos_expv_in(a, v, steps, &mut ws, &mut out)?;
+    Ok(out)
+}
+
+/// Workspace-based [`lanczos_expv`] writing into `out` (resized to `n`).
+///
+/// The Krylov basis lives in the workspace's flat buffer; the only remaining
+/// allocation is the `t × t` eigendecomposition of the tridiagonal matrix
+/// inside [`tridiag_eigen_full`] (a few hundred bytes at the paper's
+/// `t = 10`, once per *solve* rather than once per probe — load-bearing for
+/// code clarity, not for throughput).
+pub fn lanczos_expv_in<M: MatVec + ?Sized>(
+    a: &M,
+    v: &[f64],
+    steps: usize,
+    ws: &mut LanczosWorkspace,
+    out: &mut Vec<f64>,
+) -> Result<(), LinalgError> {
+    lanczos_tridiagonalize_in(a, v, steps, true, false, ws)?;
+    let t = ws.steps_done;
 
     // e^T e₁ = Z e^Θ Zᵀ e₁.
-    let (theta, z) = tridiag_eigen_full(&dec.alphas, &dec.betas)?;
+    let (theta, z) = tridiag_eigen_full(ws.alphas(), ws.betas())?;
     // (Zᵀ e₁)_j = z₀ⱼ.
-    let mut coeff = vec![0.0; t];
+    ws.coeff.clear();
+    ws.coeff.resize(t, 0.0);
     for j in 0..t {
         let zt_e1_j = z[j]; // row 0, column j
         let scale = theta[j].exp() * zt_e1_j;
         for i in 0..t {
-            coeff[i] += z[i * t + j] * scale;
+            ws.coeff[i] += z[i * t + j] * scale;
         }
     }
 
     let n = a.n();
-    let mut out = vec![0.0; n];
-    for (i, q) in basis.iter().enumerate() {
-        axpy(dec.initial_norm * coeff[i], q, &mut out);
+    out.clear();
+    out.resize(n, 0.0);
+    for (i, q) in ws.basis.chunks_exact(n).take(t).enumerate() {
+        axpy(ws.initial_norm * ws.coeff[i], q, out);
     }
-    Ok(out)
+    Ok(())
+}
+
+/// Quadrature `Σ_j z₀ⱼ² e^{θⱼ}` from the workspace's current `α`/`β` range,
+/// using its small scratch buffers. Summation runs over ascending
+/// eigenvalues, matching the allocating [`slq_quadratic_form`] path exactly.
+fn quadrature_in(
+    ws: &mut LanczosWorkspace,
+    a_lo: usize,
+    a_len: usize,
+    b_len: usize,
+) -> Result<f64, LinalgError> {
+    // Split borrows: coefficient slices vs. quadrature scratch.
+    let LanczosWorkspace { alphas, betas, quad_d, quad_e, quad_row, .. } = ws;
+    tridiag_eigen_first_row_in(
+        &alphas[a_lo..a_lo + a_len],
+        &betas[a_lo..a_lo + b_len],
+        quad_d,
+        quad_e,
+        quad_row,
+    )?;
+    Ok(quad_d.iter().zip(quad_row.iter()).map(|(&t, &w)| w * w * t.exp()).sum())
 }
 
 /// Approximates the quadratic form `vᵀ e^A v` by stochastic Lanczos
 /// quadrature with `steps` iterations (no basis stored).
-pub fn slq_quadratic_form(a: &CsrMatrix, v: &[f64], steps: usize) -> Result<f64, LinalgError> {
-    let dec = lanczos_tridiagonalize(a, v, steps, false, false)?;
-    let pairs = tridiag_eigen_first_row(&dec.alphas, &dec.betas)?;
-    let quad: f64 = pairs.iter().map(|&(t, w)| w * w * t.exp()).sum();
-    Ok(dec.initial_norm * dec.initial_norm * quad)
+pub fn slq_quadratic_form<M: MatVec + ?Sized>(
+    a: &M,
+    v: &[f64],
+    steps: usize,
+) -> Result<f64, LinalgError> {
+    let mut ws = LanczosWorkspace::new();
+    slq_quadratic_form_in(a, v, steps, &mut ws)
+}
+
+/// Workspace-based [`slq_quadratic_form`]: zero heap allocations once the
+/// workspace has warmed up, bit-identical results to the allocating form.
+pub fn slq_quadratic_form_in<M: MatVec + ?Sized>(
+    a: &M,
+    v: &[f64],
+    steps: usize,
+    ws: &mut LanczosWorkspace,
+) -> Result<f64, LinalgError> {
+    lanczos_tridiagonalize_in(a, v, steps, false, false, ws)?;
+    let (a_len, b_len) = (ws.steps_done, ws.steps_done.saturating_sub(1));
+    let quad = quadrature_in(ws, 0, a_len, b_len)?;
+    Ok(ws.initial_norm * ws.initial_norm * quad)
+}
+
+/// Batched stochastic Lanczos quadrature: walks `nrhs` probe vectors
+/// (interleaved node-major in `probes`, `probes[i*nrhs + j]` = entry `i` of
+/// probe `j`) through `A` in lockstep and returns
+/// `Σ_j ‖p_j‖² · (e^{T_j})₁₁` — i.e. the *sum* of the per-probe quadratic
+/// forms `p_jᵀ e^A p_j` (the caller divides by the probe count).
+///
+/// One blocked matvec per Lanczos step streams the matrix once for all
+/// probes. Per probe, every floating-point operation happens in the same
+/// order as a scalar [`slq_quadratic_form`] call, and probes are summed in
+/// index order — the result is **bit-identical** to the sequential loop.
+/// Probes that hit a happy breakdown are retired individually; their
+/// columns keep flowing through the blocked product as dead lanes.
+pub fn slq_trace_batch_in<M: MatVec + ?Sized>(
+    a: &M,
+    probes: &[f64],
+    nrhs: usize,
+    steps: usize,
+    ws: &mut LanczosWorkspace,
+) -> Result<f64, LinalgError> {
+    let n = a.n();
+    if n == 0 {
+        return Err(LinalgError::EmptyInput("matrix"));
+    }
+    if nrhs == 0 {
+        return Err(LinalgError::EmptyInput("probes"));
+    }
+    if probes.len() != n * nrhs {
+        return Err(LinalgError::DimensionMismatch { expected: n * nrhs, actual: probes.len() });
+    }
+    let s = nrhs;
+    let cap = steps.min(n);
+
+    // Resize batch state. The big buffers are length-only (every entry is
+    // written before it is read — `v_prev` only feeds the β_prev term,
+    // which step 0 skips, and `alphas`/`betas` are gated by the per-lane
+    // lengths), so a warm same-shape workspace does no memsets and no
+    // allocations here, just the probe copy.
+    ws.n = n;
+    if ws.v.len() == probes.len() {
+        ws.v.copy_from_slice(probes);
+    } else {
+        ws.v.clear();
+        ws.v.extend_from_slice(probes);
+    }
+    resize_len(&mut ws.v_prev, n * s);
+    resize_len(&mut ws.w, n * s);
+    resize_len(&mut ws.alphas, s * cap);
+    resize_len(&mut ws.betas, s * cap);
+    resize_len(&mut ws.beta_prev, s);
+    resize_len(&mut ws.acc, 2 * s);
+    ws.alpha_len.clear();
+    ws.alpha_len.resize(s, 0);
+    ws.beta_len.clear();
+    ws.beta_len.resize(s, 0);
+    ws.norms.clear();
+    ws.norms.resize(s, 0.0);
+    ws.active.clear();
+    ws.active.resize(s, true);
+
+    // ‖p_j‖ with the same left-fold accumulation order as `norm`.
+    for row in ws.v.chunks_exact(s) {
+        for (aj, &x) in ws.norms.iter_mut().zip(row) {
+            *aj += x * x;
+        }
+    }
+    for nj in ws.norms.iter_mut() {
+        *nj = nj.sqrt();
+        if *nj == 0.0 {
+            return Err(LinalgError::EmptyInput("start vector is zero"));
+        }
+    }
+    for row in ws.v.chunks_exact_mut(s) {
+        for (x, &nj) in row.iter_mut().zip(&ws.norms) {
+            *x *= 1.0 / nj;
+        }
+    }
+
+    let mut live = s;
+    for step in 0..cap {
+        a.matvec_block(&ws.v, &mut ws.w, s);
+        let (alpha_acc, beta_acc) = ws.acc.split_at_mut(s);
+        alpha_acc.fill(0.0);
+        if step > 0 {
+            // Fused: w_j -= β_prev_j · v_prev_j, then α_j += w_j ⊙ v_j.
+            // Each element's final value and each lane's row-order
+            // accumulation match the scalar kernel's separate axpy + dot
+            // passes exactly. Retired probes carry stale β_prev into dead
+            // lanes; live probes always have β_prev ≠ 0 here, matching the
+            // scalar kernel's conditional axpy.
+            for ((wrow, vrow), prow) in
+                ws.w.chunks_exact_mut(s).zip(ws.v.chunks_exact(s)).zip(ws.v_prev.chunks_exact(s))
+            {
+                for (((wj, &vj), &pj), (aj, &bj)) in wrow
+                    .iter_mut()
+                    .zip(vrow)
+                    .zip(prow)
+                    .zip(alpha_acc.iter_mut().zip(ws.beta_prev.iter()))
+                {
+                    *wj -= bj * pj;
+                    *aj += *wj * vj;
+                }
+            }
+        } else {
+            // α_j = ⟨w_j, v_j⟩ (no β_prev term on the first step).
+            for (wrow, vrow) in ws.w.chunks_exact(s).zip(ws.v.chunks_exact(s)) {
+                for ((aj, &wj), &vj) in alpha_acc.iter_mut().zip(wrow).zip(vrow) {
+                    *aj += wj * vj;
+                }
+            }
+        }
+        // w_j -= α_j · v_j, then β_j = ‖w_j‖.
+        beta_acc.fill(0.0);
+        for (wrow, vrow) in ws.w.chunks_exact_mut(s).zip(ws.v.chunks_exact(s)) {
+            for (((wj, &vj), &aj), bj) in
+                wrow.iter_mut().zip(vrow).zip(alpha_acc.iter()).zip(beta_acc.iter_mut())
+            {
+                *wj -= aj * vj;
+                *bj += *wj * *wj;
+            }
+        }
+        for j in 0..s {
+            if ws.active[j] {
+                ws.alphas[j * cap + ws.alpha_len[j]] = alpha_acc[j];
+                ws.alpha_len[j] += 1;
+            }
+        }
+        if step + 1 == cap {
+            break;
+        }
+        for j in 0..s {
+            if !ws.active[j] {
+                continue;
+            }
+            let beta = beta_acc[j].sqrt();
+            if beta <= BREAKDOWN_TOL * (1.0 + alpha_acc[j].abs()) {
+                ws.active[j] = false; // happy breakdown: retire this lane
+                live -= 1;
+            } else {
+                ws.betas[j * cap + ws.beta_len[j]] = beta;
+                ws.beta_len[j] += 1;
+                ws.beta_prev[j] = beta;
+                beta_acc[j] = 1.0 / beta;
+            }
+        }
+        if live == 0 {
+            break;
+        }
+        // v_prev ← v; v ← w / β (same scale factor 1/β as `normalize`).
+        std::mem::swap(&mut ws.v_prev, &mut ws.v);
+        for (vrow, wrow) in ws.v.chunks_exact_mut(s).zip(ws.w.chunks_exact(s)) {
+            for ((vj, &wj), &inv) in vrow.iter_mut().zip(wrow).zip(beta_acc.iter()) {
+                *vj = wj * inv;
+            }
+        }
+    }
+
+    // Per-probe Gauss quadrature, summed in probe order.
+    let mut total = 0.0;
+    for j in 0..s {
+        let (a_len, b_len) = (ws.alpha_len[j], ws.beta_len[j]);
+        let quad = quadrature_in(ws, j * cap, a_len, b_len)?;
+        total += ws.norms[j] * ws.norms[j] * quad;
+    }
+    Ok(total)
 }
 
 /// Column `j` of `e^A`, i.e. `e^A e_j`, via Lanczos from the unit vector.
@@ -152,20 +530,49 @@ pub fn slq_quadratic_form(a: &CsrMatrix, v: &[f64], steps: usize) -> Result<f64,
 /// `j` and every other vertex; entry `u` feeds the first-order trace
 /// perturbation `tr(e^{A+E}) − tr(e^A) ≈ 2(e^A)_{uv}` for a new edge
 /// `(u, v)` (the paper's §8 future-work direction).
-pub fn expm_column(a: &CsrMatrix, j: usize, steps: usize) -> Result<Vec<f64>, LinalgError> {
+pub fn expm_column<M: MatVec + ?Sized>(
+    a: &M,
+    j: usize,
+    steps: usize,
+) -> Result<Vec<f64>, LinalgError> {
+    let mut ws = LanczosWorkspace::new();
+    let mut out = Vec::new();
+    expm_column_in(a, j, steps, &mut ws, &mut out)?;
+    Ok(out)
+}
+
+/// Workspace-based [`expm_column`] writing into `out`; the unit start vector
+/// lives in the workspace and is re-zeroed after use, so repeated column
+/// solves (one per endpoint stop in the perturbation Δ(e) method) allocate
+/// nothing once warm.
+pub fn expm_column_in<M: MatVec + ?Sized>(
+    a: &M,
+    j: usize,
+    steps: usize,
+    ws: &mut LanczosWorkspace,
+    out: &mut Vec<f64>,
+) -> Result<(), LinalgError> {
     let n = a.n();
     if j >= n {
         return Err(LinalgError::DimensionMismatch { expected: n, actual: j });
     }
-    let mut e_j = vec![0.0; n];
-    e_j[j] = 1.0;
-    lanczos_expv(a, &e_j, steps)
+    // Take the unit buffer out of the workspace so it can be borrowed
+    // alongside the workspace's scratch inside the solve. The buffer is
+    // kept all-zero between calls, so only entry `j` needs touching.
+    let mut unit = std::mem::take(&mut ws.unit);
+    unit.resize(n, 0.0);
+    unit[j] = 1.0;
+    let res = lanczos_expv_in(a, &unit, steps, ws, out);
+    unit[j] = 0.0;
+    ws.unit = unit;
+    res
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::rng::gaussian_vector;
+    use crate::sparse::CsrMatrix;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -217,6 +624,88 @@ mod tests {
             let got = slq_quadratic_form(&a, &v, 10).unwrap();
             assert!((got - want).abs() / want.abs() < 1e-8, "{got} vs {want}");
         }
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical() {
+        let a = petersen();
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut ws = LanczosWorkspace::new();
+        for _ in 0..6 {
+            let v = gaussian_vector(&mut rng, 10);
+            let fresh = slq_quadratic_form(&a, &v, 10).unwrap();
+            let reused = slq_quadratic_form_in(&a, &v, 10, &mut ws).unwrap();
+            assert_eq!(fresh.to_bits(), reused.to_bits(), "{fresh} vs {reused}");
+        }
+    }
+
+    #[test]
+    fn expv_in_reuse_is_bit_identical() {
+        let a = petersen();
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut ws = LanczosWorkspace::new();
+        let mut out = Vec::new();
+        for _ in 0..4 {
+            let v = gaussian_vector(&mut rng, 10);
+            let fresh = lanczos_expv(&a, &v, 9).unwrap();
+            lanczos_expv_in(&a, &v, 9, &mut ws, &mut out).unwrap();
+            assert_eq!(fresh, out);
+        }
+    }
+
+    #[test]
+    fn batched_slq_matches_sequential_sum() {
+        let a = petersen();
+        let n = 10;
+        let s = 13;
+        let mut rng = StdRng::seed_from_u64(41);
+        let probes: Vec<Vec<f64>> = (0..s).map(|_| gaussian_vector(&mut rng, n)).collect();
+        // Interleave node-major.
+        let mut flat = vec![0.0; n * s];
+        for (j, p) in probes.iter().enumerate() {
+            for i in 0..n {
+                flat[i * s + j] = p[i];
+            }
+        }
+        for steps in [1, 3, 10, 25] {
+            let mut ws = LanczosWorkspace::new();
+            let batched = slq_trace_batch_in(&a, &flat, s, steps, &mut ws).unwrap();
+            let sequential: f64 =
+                probes.iter().map(|p| slq_quadratic_form(&a, p, steps).unwrap()).sum();
+            assert_eq!(batched.to_bits(), sequential.to_bits(), "steps={steps}");
+        }
+    }
+
+    #[test]
+    fn batched_slq_handles_breakdown_lanes() {
+        // K_2 with an eigenvector probe breaks down at step 1; mixing it
+        // with generic probes must retire only that lane.
+        let a = CsrMatrix::from_undirected_edges(2, &[(0, 1)]);
+        let probes = [vec![1.0, 1.0], vec![0.3, -0.9]];
+        let mut flat = vec![0.0; 4];
+        for (j, p) in probes.iter().enumerate() {
+            for i in 0..2 {
+                flat[i * 2 + j] = p[i];
+            }
+        }
+        let mut ws = LanczosWorkspace::new();
+        let batched = slq_trace_batch_in(&a, &flat, 2, 10, &mut ws).unwrap();
+        let sequential: f64 = probes.iter().map(|p| slq_quadratic_form(&a, p, 10).unwrap()).sum();
+        assert_eq!(batched.to_bits(), sequential.to_bits());
+    }
+
+    #[test]
+    fn expm_column_in_matches_allocating() {
+        let a = petersen();
+        let mut ws = LanczosWorkspace::new();
+        let mut out = Vec::new();
+        for j in [0usize, 4, 9] {
+            let fresh = expm_column(&a, j, 10).unwrap();
+            expm_column_in(&a, j, 10, &mut ws, &mut out).unwrap();
+            assert_eq!(fresh, out, "column {j}");
+        }
+        // The unit scratch is left all-zero for the next call.
+        assert!(ws.unit.iter().all(|&x| x == 0.0));
     }
 
     #[test]

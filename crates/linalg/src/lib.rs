@@ -28,6 +28,7 @@ pub mod error;
 pub mod householder;
 pub mod lanczos;
 pub mod laplacian;
+pub mod matvec;
 pub mod rng;
 pub mod sparse;
 pub mod topk;
@@ -43,9 +44,14 @@ pub use connectivity::{
 pub use dense::DenseMatrix;
 pub use eig::{full_symmetric_eigenvalues, jacobi_eigenvalues, sparse_symmetric_eigenvalues};
 pub use error::LinalgError;
-pub use lanczos::{lanczos_expv, lanczos_tridiagonalize, slq_quadratic_form, LanczosDecomposition};
+pub use lanczos::{
+    lanczos_expv, lanczos_expv_in, lanczos_tridiagonalize, lanczos_tridiagonalize_in,
+    slq_quadratic_form, slq_quadratic_form_in, slq_trace_batch_in, LanczosDecomposition,
+    LanczosWorkspace,
+};
 pub use laplacian::{algebraic_connectivity, algebraic_connectivity_exact, laplacian_dense};
-pub use rng::{gaussian_vector, rademacher_vector, ProbeKind};
+pub use matvec::{EdgeOverlay, MatVec};
+pub use rng::{gaussian_vector, probe_vector, probe_vector_in, rademacher_vector, ProbeKind};
 pub use sparse::CsrMatrix;
 pub use topk::{block_krylov_topk, lanczos_topk, spectral_norm};
 pub use trace::{hutchinson_trace_exp, hutchpp_trace_exp, PairedTraceEstimator, TraceParams};

@@ -42,6 +42,26 @@ pub fn probe_vector<R: Rng + ?Sized>(rng: &mut R, kind: ProbeKind, n: usize) -> 
     }
 }
 
+/// Refills `out` with a fresh probe vector, reusing its allocation.
+///
+/// Draws exactly the same random values as [`probe_vector`], so a loop
+/// refilling one buffer observes the same sequence as one allocating fresh
+/// vectors.
+pub fn probe_vector_in<R: Rng + ?Sized>(
+    rng: &mut R,
+    kind: ProbeKind,
+    n: usize,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    match kind {
+        ProbeKind::Gaussian => out.extend((0..n).map(|_| sample_gaussian(rng))),
+        ProbeKind::Rademacher => {
+            out.extend((0..n).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -18,8 +18,8 @@ use crate::dense::DenseMatrix;
 use crate::eig::full_symmetric_eigenvalues;
 use crate::error::LinalgError;
 use crate::lanczos::lanczos_tridiagonalize;
+use crate::matvec::MatVec;
 use crate::rng::gaussian_vector;
-use crate::sparse::CsrMatrix;
 use crate::tridiag::tridiag_eigenvalues;
 use crate::vector::{normalize, orthogonalize_against};
 
@@ -31,8 +31,8 @@ const DEFLATION_TOL: f64 = 1e-10;
 ///
 /// Returns fewer than `k` values if the Krylov space is exhausted first
 /// (e.g. highly structured graphs with few distinct eigenvalues).
-pub fn lanczos_topk<R: Rng + ?Sized>(
-    a: &CsrMatrix,
+pub fn lanczos_topk<M: MatVec + ?Sized, R: Rng + ?Sized>(
+    a: &M,
     k: usize,
     rng: &mut R,
 ) -> Result<Vec<f64>, LinalgError> {
@@ -55,8 +55,8 @@ pub fn lanczos_topk<R: Rng + ?Sized>(
 /// `block` is the block width (0 picks a default of `max(8, 4)` capped by
 /// `n`); widths at least as large as the biggest eigenvalue multiplicity
 /// recover repeated eigenvalues.
-pub fn block_krylov_topk<R: Rng + ?Sized>(
-    a: &CsrMatrix,
+pub fn block_krylov_topk<M: MatVec + ?Sized, R: Rng + ?Sized>(
+    a: &M,
     k: usize,
     block: usize,
     rng: &mut R,
@@ -75,6 +75,12 @@ pub fn block_krylov_topk<R: Rng + ?Sized>(
     let target_cols = (4 * k + 48).min(n);
 
     let mut basis: Vec<Vec<f64>> = Vec::with_capacity(target_cols);
+    // A·q for every accepted basis column, captured as columns are admitted
+    // so the Rayleigh–Ritz stage below needs no second matvec pass. The
+    // per-column allocations are load-bearing: each product both seeds the
+    // next Krylov block (where it is orthogonalized in place) and must
+    // survive pristine for T = Qᵀ A Q.
+    let mut aq: Vec<Vec<f64>> = Vec::with_capacity(target_cols);
     let mut current: Vec<Vec<f64>> = (0..b).map(|_| gaussian_vector(rng, n)).collect();
 
     while basis.len() < target_cols && !current.is_empty() {
@@ -84,8 +90,10 @@ pub fn block_krylov_topk<R: Rng + ?Sized>(
             orthogonalize_against(&mut col, &basis);
             let nm = normalize(&mut col);
             if nm > DEFLATION_TOL {
-                basis.push(col.clone());
-                next_block.push(a.matvec_alloc(&col));
+                let prod = a.matvec_alloc(&col);
+                basis.push(col);
+                aq.push(prod.clone());
+                next_block.push(prod);
                 if basis.len() >= target_cols {
                     break;
                 }
@@ -100,7 +108,6 @@ pub fn block_krylov_topk<R: Rng + ?Sized>(
 
     // Rayleigh–Ritz: T = Qᵀ A Q over the assembled basis.
     let m = basis.len();
-    let aq: Vec<Vec<f64>> = basis.iter().map(|q| a.matvec_alloc(q)).collect();
     let mut t = DenseMatrix::zeros(m);
     for i in 0..m {
         for j in i..m {
@@ -117,7 +124,10 @@ pub fn block_krylov_topk<R: Rng + ?Sized>(
 
 /// Spectral norm `‖A‖₂` of a symmetric matrix (largest |eigenvalue|),
 /// estimated with a short reorthogonalized Lanczos run.
-pub fn spectral_norm<R: Rng + ?Sized>(a: &CsrMatrix, rng: &mut R) -> Result<f64, LinalgError> {
+pub fn spectral_norm<M: MatVec + ?Sized, R: Rng + ?Sized>(
+    a: &M,
+    rng: &mut R,
+) -> Result<f64, LinalgError> {
     let n = a.n();
     if n == 0 {
         return Err(LinalgError::EmptyInput("matrix"));
@@ -135,6 +145,7 @@ pub fn spectral_norm<R: Rng + ?Sized>(a: &CsrMatrix, rng: &mut R) -> Result<f64,
 mod tests {
     use super::*;
     use crate::eig::sparse_symmetric_eigenvalues;
+    use crate::sparse::CsrMatrix;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -16,13 +16,23 @@
 //! * [`hutchpp_trace_exp`] implements Hutch++ (paper ref \[42\]): a low-rank
 //!   sketch captures the heavy eigenvalues exactly and Hutchinson mops up
 //!   the residual, reducing probe complexity from `O(1/ε²)` to `O(1/ε)`.
+//!
+//! The paired estimator stores its frozen probes *interleaved* (node-major,
+//! `flat[i*s + j]` = entry `i` of probe `j`) and evaluates all of them in
+//! lockstep through [`slq_trace_batch_in`]: one blocked matvec per Lanczos
+//! step streams the matrix once for the whole probe set. The batched sweep
+//! is bit-identical to the sequential per-probe loop (retained as
+//! [`PairedTraceEstimator::trace_exp_unbatched`] for tests and benches).
 
 use rand::Rng;
 
 use crate::error::LinalgError;
-use crate::lanczos::{lanczos_expv, slq_quadratic_form};
-use crate::rng::{probe_vector, ProbeKind};
-use crate::sparse::CsrMatrix;
+use crate::lanczos::{
+    lanczos_expv_in, slq_quadratic_form, slq_quadratic_form_in, slq_trace_batch_in,
+    LanczosWorkspace,
+};
+use crate::matvec::MatVec;
+use crate::rng::{probe_vector, probe_vector_in, ProbeKind};
 use crate::vector::{dot, normalize, orthogonalize_against};
 
 /// Parameters for stochastic trace estimation.
@@ -43,8 +53,11 @@ impl Default for TraceParams {
 }
 
 /// Plain Hutchinson estimate of `tr(e^A)` with fresh random probes.
-pub fn hutchinson_trace_exp<R: Rng + ?Sized>(
-    a: &CsrMatrix,
+///
+/// One workspace and one probe buffer are reused across the probe loop, so
+/// the per-probe cost is allocation-free after the first iteration.
+pub fn hutchinson_trace_exp<M: MatVec + ?Sized, R: Rng + ?Sized>(
+    a: &M,
     params: &TraceParams,
     rng: &mut R,
 ) -> Result<f64, LinalgError> {
@@ -52,10 +65,12 @@ pub fn hutchinson_trace_exp<R: Rng + ?Sized>(
         return Err(LinalgError::EmptyInput("probes"));
     }
     let n = a.n();
+    let mut ws = LanczosWorkspace::new();
+    let mut v = Vec::new();
     let mut acc = 0.0;
     for _ in 0..params.probes {
-        let v = probe_vector(rng, params.kind, n);
-        acc += slq_quadratic_form(a, &v, params.lanczos_steps)?;
+        probe_vector_in(rng, params.kind, n, &mut v);
+        acc += slq_quadratic_form_in(a, &v, params.lanczos_steps, &mut ws)?;
     }
     Ok(acc / params.probes as f64)
 }
@@ -64,42 +79,95 @@ pub fn hutchinson_trace_exp<R: Rng + ?Sized>(
 /// comparison of *different* matrices of the same dimension.
 #[derive(Debug, Clone)]
 pub struct PairedTraceEstimator {
-    probes: Vec<Vec<f64>>,
+    /// Frozen probes, interleaved node-major: `flat[i*s + j]` (the batched
+    /// sweep's layout).
+    flat: Vec<f64>,
+    /// The same probes, probe-major: `rows[j*n + i]` (contiguous per-probe
+    /// slices for the sequential reference sweep — stored separately so the
+    /// before/after comparison pays no gather overhead).
+    rows: Vec<f64>,
+    n: usize,
+    num_probes: usize,
     lanczos_steps: usize,
 }
 
 impl PairedTraceEstimator {
     /// Draws and freezes `params.probes` probe vectors of dimension `n`.
     pub fn new<R: Rng + ?Sized>(n: usize, params: &TraceParams, rng: &mut R) -> Self {
-        let probes = (0..params.probes.max(1)).map(|_| probe_vector(rng, params.kind, n)).collect();
-        PairedTraceEstimator { probes, lanczos_steps: params.lanczos_steps }
+        let s = params.probes.max(1);
+        let mut flat = vec![0.0; n * s];
+        let mut rows = Vec::with_capacity(n * s);
+        for j in 0..s {
+            // Draw probe-by-probe so the RNG stream matches historical
+            // (probe-major) generation exactly.
+            let p = probe_vector(rng, params.kind, n);
+            for (i, &x) in p.iter().enumerate() {
+                flat[i * s + j] = x;
+            }
+            rows.extend_from_slice(&p);
+        }
+        PairedTraceEstimator { flat, rows, n, num_probes: s, lanczos_steps: params.lanczos_steps }
     }
 
     /// Dimension the probes were drawn for.
     pub fn n(&self) -> usize {
-        self.probes.first().map_or(0, Vec::len)
+        self.n
     }
 
     /// Number of frozen probes.
     pub fn num_probes(&self) -> usize {
-        self.probes.len()
+        self.num_probes
     }
 
-    /// Estimates `tr(e^A)` with the frozen probes.
-    pub fn trace_exp(&self, a: &CsrMatrix) -> Result<f64, LinalgError> {
-        if a.n() != self.n() {
-            return Err(LinalgError::DimensionMismatch { expected: self.n(), actual: a.n() });
+    /// Probe `j` as a contiguous slice.
+    fn probe(&self, j: usize) -> &[f64] {
+        &self.rows[j * self.n..(j + 1) * self.n]
+    }
+
+    /// Estimates `tr(e^A)` with the frozen probes (batched sweep, fresh
+    /// workspace). Hot loops should prefer [`PairedTraceEstimator::trace_exp_in`].
+    pub fn trace_exp<M: MatVec + ?Sized>(&self, a: &M) -> Result<f64, LinalgError> {
+        self.trace_exp_in(a, &mut LanczosWorkspace::new())
+    }
+
+    /// Estimates `tr(e^A)` with the frozen probes, reusing `ws` for all
+    /// scratch: zero heap allocations once the workspace is warm.
+    pub fn trace_exp_in<M: MatVec + ?Sized>(
+        &self,
+        a: &M,
+        ws: &mut LanczosWorkspace,
+    ) -> Result<f64, LinalgError> {
+        if a.n() != self.n {
+            return Err(LinalgError::DimensionMismatch { expected: self.n, actual: a.n() });
+        }
+        let total = slq_trace_batch_in(a, &self.flat, self.num_probes, self.lanczos_steps, ws)?;
+        Ok(total / self.num_probes as f64)
+    }
+
+    /// Sequential per-probe reference sweep, faithful to the pre-workspace
+    /// implementation: one allocating SLQ call per probe, one matrix stream
+    /// per probe per Lanczos step. Bit-identical results to
+    /// [`PairedTraceEstimator::trace_exp`]; kept for equivalence tests and
+    /// the before/after benches.
+    #[doc(hidden)]
+    pub fn trace_exp_unbatched<M: MatVec + ?Sized>(&self, a: &M) -> Result<f64, LinalgError> {
+        if a.n() != self.n {
+            return Err(LinalgError::DimensionMismatch { expected: self.n, actual: a.n() });
         }
         let mut acc = 0.0;
-        for v in &self.probes {
-            acc += slq_quadratic_form(a, v, self.lanczos_steps)?;
+        for j in 0..self.num_probes {
+            acc += slq_quadratic_form(a, self.probe(j), self.lanczos_steps)?;
         }
-        Ok(acc / self.probes.len() as f64)
+        Ok(acc / self.num_probes as f64)
     }
 
     /// Estimates the natural-connectivity difference `λ(A') − λ(A)` with
     /// shared probes, so that probe noise largely cancels.
-    pub fn lambda_increment(&self, a: &CsrMatrix, a_new: &CsrMatrix) -> Result<f64, LinalgError> {
+    pub fn lambda_increment<M1: MatVec + ?Sized, M2: MatVec + ?Sized>(
+        &self,
+        a: &M1,
+        a_new: &M2,
+    ) -> Result<f64, LinalgError> {
         let t0 = self.trace_exp(a)?.max(f64::MIN_POSITIVE);
         let t1 = self.trace_exp(a_new)?.max(f64::MIN_POSITIVE);
         Ok((t1 / t0).ln())
@@ -110,9 +178,11 @@ impl PairedTraceEstimator {
 ///
 /// Splits the probe budget into a sketch of the dominant range of `e^A`
 /// (handled exactly by Rayleigh projection) and Hutchinson probes on the
-/// residual.
-pub fn hutchpp_trace_exp<R: Rng + ?Sized>(
-    a: &CsrMatrix,
+/// residual. The Lanczos scratch and probe buffer are reused across the
+/// sketch and residual loops; the per-column `Q` storage is load-bearing
+/// (later columns orthogonalize against all earlier ones).
+pub fn hutchpp_trace_exp<M: MatVec + ?Sized, R: Rng + ?Sized>(
+    a: &M,
     params: &TraceParams,
     rng: &mut R,
 ) -> Result<f64, LinalgError> {
@@ -127,34 +197,38 @@ pub fn hutchpp_trace_exp<R: Rng + ?Sized>(
     let hutch_probes = params.probes - sketch_size;
     let t = params.lanczos_steps;
 
+    let mut ws = LanczosWorkspace::new();
+    let mut probe = Vec::new();
+    let mut y = Vec::new();
+
     // Q = orth(e^A S) for a random sketch S.
     let mut q: Vec<Vec<f64>> = Vec::with_capacity(sketch_size);
     for _ in 0..sketch_size {
-        let s = probe_vector(rng, params.kind, n);
-        let mut y = lanczos_expv(a, &s, t)?;
+        probe_vector_in(rng, params.kind, n, &mut probe);
+        lanczos_expv_in(a, &probe, t, &mut ws, &mut y)?;
         orthogonalize_against(&mut y, &q);
         orthogonalize_against(&mut y, &q);
         if normalize(&mut y) > 1e-12 {
-            q.push(y);
+            q.push(y.clone());
         }
     }
 
     // Exact part: tr(Qᵀ e^A Q) = Σ qᵢᵀ e^A qᵢ.
     let mut exact_part = 0.0;
     for qi in &q {
-        let eq = lanczos_expv(a, qi, t)?;
-        exact_part += dot(qi, &eq);
+        lanczos_expv_in(a, qi, t, &mut ws, &mut y)?;
+        exact_part += dot(qi, &y);
     }
 
     // Residual part: Hutchinson on (I − QQᵀ) e^A (I − QQᵀ).
     let mut resid = 0.0;
     for _ in 0..hutch_probes {
-        let mut g = probe_vector(rng, params.kind, n);
-        orthogonalize_against(&mut g, &q);
-        if g.iter().all(|&x| x == 0.0) {
+        probe_vector_in(rng, params.kind, n, &mut probe);
+        orthogonalize_against(&mut probe, &q);
+        if probe.iter().all(|&x| x == 0.0) {
             continue;
         }
-        resid += slq_quadratic_form(a, &g, t)?;
+        resid += slq_quadratic_form_in(a, &probe, t, &mut ws)?;
     }
     if hutch_probes > 0 {
         resid /= hutch_probes as f64;
@@ -167,6 +241,8 @@ mod tests {
     use super::*;
     use crate::connectivity::natural_connectivity_exact;
     use crate::eig::sparse_symmetric_eigenvalues;
+    use crate::matvec::EdgeOverlay;
+    use crate::sparse::CsrMatrix;
     use crate::util::logsumexp;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -228,6 +304,49 @@ mod tests {
         }
         assert!(err_pp <= err_h * 1.5, "Hutch++ mean error {err_pp} vs Hutchinson {err_h}");
         assert!(err_pp / 6.0 / exact < 0.05);
+    }
+
+    #[test]
+    fn batched_sweep_matches_sequential_bitwise() {
+        let a = random_graph(90, 180, 71);
+        let params = TraceParams { probes: 23, lanczos_steps: 10, ..Default::default() };
+        let est = PairedTraceEstimator::new(90, &params, &mut StdRng::seed_from_u64(5));
+        let batched = est.trace_exp(&a).unwrap();
+        let sequential = est.trace_exp_unbatched(&a).unwrap();
+        assert_eq!(batched.to_bits(), sequential.to_bits(), "{batched} vs {sequential}");
+    }
+
+    #[test]
+    fn overlay_trace_matches_materialized_bitwise() {
+        let a = random_graph(60, 110, 13);
+        let (mut u, mut v) = (0u32, 1u32);
+        'outer: for i in 0..60u32 {
+            for j in (i + 1)..60u32 {
+                if !a.has_edge(i, j) {
+                    u = i;
+                    v = j;
+                    break 'outer;
+                }
+            }
+        }
+        let est =
+            PairedTraceEstimator::new(60, &TraceParams::default(), &mut StdRng::seed_from_u64(3));
+        let materialized = est.trace_exp(&a.with_added_unit_edges(&[(u, v)])).unwrap();
+        let overlay = est.trace_exp(&EdgeOverlay::new(&a, &[(u, v)])).unwrap();
+        assert_eq!(overlay.to_bits(), materialized.to_bits(), "{overlay} vs {materialized}");
+    }
+
+    #[test]
+    fn workspace_reuse_across_matrices_is_stable() {
+        let params = TraceParams { probes: 12, lanczos_steps: 8, ..Default::default() };
+        let est = PairedTraceEstimator::new(40, &params, &mut StdRng::seed_from_u64(8));
+        let mut ws = LanczosWorkspace::new();
+        for seed in 0..4 {
+            let a = random_graph(40, 80, 100 + seed);
+            let fresh = est.trace_exp(&a).unwrap();
+            let reused = est.trace_exp_in(&a, &mut ws).unwrap();
+            assert_eq!(fresh.to_bits(), reused.to_bits());
+        }
     }
 
     #[test]

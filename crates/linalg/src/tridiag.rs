@@ -11,6 +11,25 @@ use crate::error::LinalgError;
 /// Maximum QL iterations per eigenvalue before giving up.
 const MAX_QL_ITERS: usize = 128;
 
+/// `√(a² + b²)` without the libm `hypot` call on the common path.
+///
+/// The QL rotation loop evaluates this once per rotation and `hypot`'s
+/// extra-precision dance dominates small-matrix eigensolves (the SLQ
+/// quadrature runs one 10×10 solve per probe per candidate edge — millions
+/// of calls per precompute). Lanczos/Householder tridiagonals have entries
+/// bounded by the matrix norm, so the squares can neither overflow nor
+/// wholly underflow; the guard still routes pathological magnitudes to
+/// `f64::hypot` so the routine stays total.
+#[inline]
+fn rot_norm(a: f64, b: f64) -> f64 {
+    let r2 = a * a + b * b;
+    if (1e-280..=1e280).contains(&r2) {
+        r2.sqrt()
+    } else {
+        a.hypot(b)
+    }
+}
+
 /// Runs implicit-shift QL on the tridiagonal matrix with diagonal `d` and
 /// subdiagonal `e` (`e[i]` couples rows `i` and `i + 1`; `e[n-1]` is ignored).
 ///
@@ -68,7 +87,7 @@ pub fn tridiag_ql_implicit<F: FnMut(usize, f64, f64)>(
 
             // Form the implicit Wilkinson-like shift.
             let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
-            let mut r = g.hypot(1.0);
+            let mut r = rot_norm(g, 1.0);
             g = d[m] - d[l] + e[l] / (g + r.copysign(g));
             let mut s = 1.0;
             let mut c = 1.0;
@@ -78,7 +97,7 @@ pub fn tridiag_ql_implicit<F: FnMut(usize, f64, f64)>(
             for i in (l..m).rev() {
                 let f = s * e[i];
                 let b = c * e[i];
-                r = f.hypot(g);
+                r = rot_norm(f, g);
                 e[i + 1] = r;
                 if r == 0.0 {
                     // Deflation by underflow: recover and retry.
@@ -87,8 +106,13 @@ pub fn tridiag_ql_implicit<F: FnMut(usize, f64, f64)>(
                     underflow = true;
                     break;
                 }
-                s = f / r;
-                c = g / r;
+                // One reciprocal instead of two divisions; the ≤1-ulp
+                // perturbation of (s, c) keeps the rotation orthogonal to
+                // working precision (backward stable, like LAPACK's dlartg
+                // family).
+                let inv = 1.0 / r;
+                s = f * inv;
+                c = g * inv;
                 g = d[i + 1] - p;
                 r = (d[i] - g) * s + 2.0 * c * b;
                 p = s * r;
@@ -128,26 +152,63 @@ pub fn tridiag_eigen_first_row(
     diag: &[f64],
     offdiag: &[f64],
 ) -> Result<Vec<(f64, f64)>, LinalgError> {
+    let mut d = Vec::new();
+    let mut e = Vec::new();
+    let mut row = Vec::new();
+    tridiag_eigen_first_row_in(diag, offdiag, &mut d, &mut e, &mut row)?;
+    Ok(d.into_iter().zip(row).collect())
+}
+
+/// Allocation-free variant of [`tridiag_eigen_first_row`] writing into
+/// caller-owned buffers (cleared and refilled; no reallocation once their
+/// capacity covers `diag.len()`).
+///
+/// On success `d` holds the eigenvalues ascending and `row` the matching
+/// first-row eigenvector components; `e` is scratch. The `(θ_j, z_{0j})`
+/// pairing — including the order of equal eigenvalues — is identical to the
+/// allocating version (both sorts are stable), so quadrature sums built from
+/// either are bit-identical.
+pub fn tridiag_eigen_first_row_in(
+    diag: &[f64],
+    offdiag: &[f64],
+    d: &mut Vec<f64>,
+    e: &mut Vec<f64>,
+    row: &mut Vec<f64>,
+) -> Result<(), LinalgError> {
     let n = diag.len();
-    let mut d = diag.to_vec();
-    let mut e = vec![0.0; n];
+    d.clear();
+    d.extend_from_slice(diag);
+    e.clear();
+    e.resize(n, 0.0);
     let m = offdiag.len().min(n.saturating_sub(1));
     e[..m].copy_from_slice(&offdiag[..m]);
 
     // Row 0 of the accumulated rotation product, started from the identity.
-    let mut row = vec![0.0; n];
+    row.clear();
+    row.resize(n, 0.0);
     if n > 0 {
         row[0] = 1.0;
     }
-    tridiag_ql_implicit(&mut d, &mut e, |i, s, c| {
+    tridiag_ql_implicit(d, e, |i, s, c| {
         let f = row[i + 1];
         row[i + 1] = s * row[i] + c * f;
         row[i] = c * row[i] - s * f;
     })?;
 
-    let mut pairs: Vec<(f64, f64)> = d.into_iter().zip(row).collect();
-    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("eigenvalues are finite"));
-    Ok(pairs)
+    // Stable in-place insertion co-sort by eigenvalue (n is a Lanczos step
+    // count, ~10, so O(n²) is cheaper than any allocating sort).
+    for i in 1..n {
+        let (dv, rv) = (d[i], row[i]);
+        let mut j = i;
+        while j > 0 && d[j - 1].partial_cmp(&dv).expect("eigenvalues are finite").is_gt() {
+            d[j] = d[j - 1];
+            row[j] = row[j - 1];
+            j -= 1;
+        }
+        d[j] = dv;
+        row[j] = rv;
+    }
+    Ok(())
 }
 
 /// Full eigendecomposition of a symmetric tridiagonal matrix.

@@ -2,8 +2,9 @@
 
 use ct_linalg::{
     algebraic_connectivity, algebraic_connectivity_exact, bessel_i, chebyshev_expv,
-    full_symmetric_eigenvalues, jacobi_eigenvalues, lanczos_expv, logsumexp,
-    tridiag::tridiag_eigenvalues, CsrMatrix, DenseMatrix,
+    full_symmetric_eigenvalues, jacobi_eigenvalues, lanczos_expv, logsumexp, slq_quadratic_form,
+    slq_quadratic_form_in, tridiag::tridiag_eigenvalues, CsrMatrix, DenseMatrix, EdgeOverlay,
+    LanczosWorkspace, MatVec,
 };
 use proptest::prelude::*;
 
@@ -81,6 +82,70 @@ proptest! {
         for i in 0..n {
             let want = 2.0 * ex[i] - 0.5 * ey[i];
             prop_assert!((ec[i] - want).abs() < 1e-6 * (1.0 + want.abs()));
+        }
+    }
+
+    #[test]
+    fn slq_workspace_variant_is_bit_identical(g in graph_strategy(16), seed in 0u64..100) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = g.n();
+        // One workspace reused across several solves must reproduce the
+        // allocating path bit-for-bit, including after breakdown lanes.
+        let mut ws = LanczosWorkspace::new();
+        for steps in [1usize, 3, 10] {
+            let v = ct_linalg::gaussian_vector(&mut rng, n);
+            let fresh = slq_quadratic_form(&g, &v, steps).unwrap();
+            let reused = slq_quadratic_form_in(&g, &v, steps, &mut ws).unwrap();
+            prop_assert_eq!(fresh.to_bits(), reused.to_bits(), "steps={}", steps);
+        }
+    }
+
+    #[test]
+    fn overlay_matvec_is_bit_identical_to_materialized_csr(
+        g in graph_strategy(16),
+        adds in proptest::collection::vec((0u32..16, 0u32..16), 0..6),
+        seed in 0u64..100,
+    ) {
+        use rand::SeedableRng;
+        let n = g.n();
+        let adds: Vec<(u32, u32)> =
+            adds.into_iter().filter(|&(u, v)| (u as usize) < n && (v as usize) < n).collect();
+        let overlay = EdgeOverlay::new(&g, &adds);
+        let materialized = g.with_added_unit_edges(&adds);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = ct_linalg::gaussian_vector(&mut rng, n);
+        let mut y_ov = vec![0.0; n];
+        let mut y_mat = vec![0.0; n];
+        overlay.matvec(&x, &mut y_ov);
+        materialized.matvec(&x, &mut y_mat);
+        for i in 0..n {
+            prop_assert_eq!(y_ov[i].to_bits(), y_mat[i].to_bits(), "row {}", i);
+        }
+        // And through a full SLQ solve (the Δ(e) code path).
+        let ov_q = slq_quadratic_form(&overlay, &x, 10).unwrap();
+        let mat_q = slq_quadratic_form(&materialized, &x, 10).unwrap();
+        prop_assert_eq!(ov_q.to_bits(), mat_q.to_bits());
+    }
+
+    #[test]
+    fn blocked_matvec_matches_scalar_lanes(
+        g in graph_strategy(14),
+        nrhs in 1usize..9,
+        seed in 0u64..100,
+    ) {
+        use rand::SeedableRng;
+        let n = g.n();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let xs = ct_linalg::gaussian_vector(&mut rng, n * nrhs);
+        let mut ys = vec![0.0; n * nrhs];
+        g.matvec_block(&xs, &mut ys, nrhs);
+        for j in 0..nrhs {
+            let x: Vec<f64> = (0..n).map(|i| xs[i * nrhs + j]).collect();
+            let y = g.matvec_alloc(&x);
+            for i in 0..n {
+                prop_assert_eq!(ys[i * nrhs + j].to_bits(), y[i].to_bits(), "lane {} row {}", j, i);
+            }
         }
     }
 

@@ -10,9 +10,31 @@
 //! Instead of criterion's full statistical machinery it takes `sample_size`
 //! timed samples of each benchmark (after one warm-up run) and prints
 //! min/median/mean per iteration. Under `--test` (what `cargo test --benches`
-//! passes) every benchmark runs exactly once so test runs stay fast.
+//! passes) every benchmark runs exactly once so test runs stay fast. Under
+//! `--quick` (mirroring criterion's flag) sample counts are capped at 3 so a
+//! CI smoke pass stays cheap.
+//!
+//! Every real (non-`--test`) run additionally appends its measurements to a
+//! JSON baseline at `target/experiments/bench_baseline.json`, keyed by
+//! benchmark label and merged across bench binaries, so successive PRs leave
+//! a perf trajectory behind (see ROADMAP "benches lack baselines").
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Samples cap under `--quick`.
+const QUICK_SAMPLES: usize = 3;
+
+/// One benchmark's recorded statistics, in nanoseconds per iteration.
+struct BenchRecord {
+    label: String,
+    min_ns: u128,
+    median_ns: u128,
+    mean_ns: u128,
+    samples: usize,
+}
+
+static REGISTRY: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
 
 /// Opaque-to-the-optimizer identity function.
 pub fn black_box<T>(x: T) -> T {
@@ -64,18 +86,28 @@ impl IntoBenchmarkId for String {
 /// The benchmark driver handed to `criterion_group!` target functions.
 pub struct Criterion {
     test_mode: bool,
+    quick_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         // `cargo test` runs harness-less bench binaries with `--test`;
-        // `cargo bench` passes `--bench`.
+        // `cargo bench` passes `--bench`. `--quick` caps sample counts.
         let test_mode = std::env::args().any(|a| a == "--test");
-        Criterion { test_mode }
+        let quick_mode = std::env::args().any(|a| a == "--quick");
+        Criterion { test_mode, quick_mode }
     }
 }
 
 impl Criterion {
+    fn effective_samples(&self, requested: usize) -> usize {
+        if self.quick_mode {
+            requested.min(QUICK_SAMPLES)
+        } else {
+            requested
+        }
+    }
+
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup { name: name.into(), sample_size: 20, c: self }
@@ -87,7 +119,7 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let label = id.into_id();
-        run_one(&label, 20, self.test_mode, f);
+        run_one(&label, self.effective_samples(20), self.test_mode, f);
         self
     }
 }
@@ -112,7 +144,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let label = format!("{}/{}", self.name, id.into_id());
-        run_one(&label, self.sample_size, self.c.test_mode, f);
+        run_one(&label, self.c.effective_samples(self.sample_size), self.c.test_mode, f);
         self
     }
 
@@ -127,7 +159,9 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let label = format!("{}/{}", self.name, id.into_id());
-        run_one(&label, self.sample_size, self.c.test_mode, |b| f(b, input));
+        run_one(&label, self.c.effective_samples(self.sample_size), self.c.test_mode, |b| {
+            f(b, input)
+        });
         self
     }
 
@@ -193,6 +227,91 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, test_mode: b
         fmt_duration(mean),
         b.samples.len()
     );
+    REGISTRY.lock().expect("bench registry poisoned").push(BenchRecord {
+        label: label.to_string(),
+        min_ns: min.as_nanos(),
+        median_ns: median.as_nanos(),
+        mean_ns: mean.as_nanos(),
+        samples: b.samples.len(),
+    });
+}
+
+/// Merges this run's measurements into
+/// `target/experiments/bench_baseline.json` (creating it if absent).
+/// Entries are keyed by benchmark label; a re-run of the same label
+/// overwrites its previous record, labels from other bench binaries are
+/// preserved. Called by [`criterion_main!`]; a no-op under `--test` (nothing
+/// was recorded) and on I/O errors (benches must not fail the build).
+pub fn write_baseline() {
+    let records = std::mem::take(&mut *REGISTRY.lock().expect("bench registry poisoned"));
+    if records.is_empty() {
+        return;
+    }
+    let dir = experiments_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join("bench_baseline.json");
+
+    // Previous entries (one `"label": {…}` object per line, the format
+    // written below); entries re-measured in this run are replaced.
+    let mut entries: Vec<(String, String)> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(&path) {
+        for line in existing.lines() {
+            let Some((label, stats)) = parse_baseline_line(line) else { continue };
+            entries.push((label, stats));
+        }
+    }
+    for r in records {
+        let stats = format!(
+            "{{ \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}, \"samples\": {} }}",
+            r.min_ns, r.median_ns, r.mean_ns, r.samples
+        );
+        if let Some(slot) = entries.iter_mut().find(|(l, _)| *l == r.label) {
+            slot.1 = stats;
+        } else {
+            entries.push((r.label, stats));
+        }
+    }
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut out = String::from("{\n");
+    for (i, (label, stats)) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        out.push_str(&format!("  \"{label}\": {stats}{comma}\n"));
+    }
+    out.push_str("}\n");
+    if std::fs::write(&path, out).is_ok() {
+        eprintln!("[baseline] {}", path.display());
+    }
+}
+
+/// `target/experiments` under the workspace root. Cargo runs bench binaries
+/// with the *package* directory as CWD, so walk up to the `Cargo.lock` that
+/// marks the workspace; fall back to a CWD-relative path outside a
+/// workspace.
+fn experiments_dir() -> std::path::PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_default();
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.join("target").join("experiments");
+        }
+        if !dir.pop() {
+            return std::path::PathBuf::from("target/experiments");
+        }
+    }
+}
+
+/// Parses one `  "label": { … },` line of the baseline file.
+fn parse_baseline_line(line: &str) -> Option<(String, String)> {
+    let trimmed = line.trim();
+    let rest = trimmed.strip_prefix('"')?;
+    let (label, rest) = rest.split_once("\":")?;
+    let stats = rest.trim().trim_end_matches(',').trim();
+    if !stats.starts_with('{') || !stats.ends_with('}') {
+        return None;
+    }
+    Some((label.to_string(), stats.to_string()))
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -219,12 +338,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the bench binary's `main`, mirroring criterion's macro.
+/// Declares the bench binary's `main`, mirroring criterion's macro, and
+/// flushes the JSON bench baseline after all groups have run.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_baseline();
         }
     };
 }
