@@ -4,8 +4,13 @@
 //! exp <id>            # one experiment: fig1, table2, ..., fig12
 //! exp all             # everything, full scale
 //! exp all --fast      # everything, reduced scale (smoke run)
+//! exp all --threads 4 # cap the parallel stages at 4 workers
 //! exp list            # available ids
 //! ```
+//!
+//! `--threads` only changes wall-clock time: every parallel stage in the
+//! workspace is deterministic under the worker count (see
+//! `ct_core::Parallelism`), so artifacts are reproducible regardless.
 
 use std::time::Instant;
 
@@ -15,15 +20,33 @@ use ct_bench::harness::ExperimentCtx;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
-    let ids: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let threads = parse_threads(&args).unwrap_or_else(|msg| {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    });
+    let mut skip_next = false;
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--threads" {
+                skip_next = true;
+            }
+            !a.starts_with("--")
+        })
+        .map(String::as_str)
+        .collect();
 
     if ids.is_empty() || ids[0] == "list" {
-        eprintln!("usage: exp <id>|all [--fast]");
+        eprintln!("usage: exp <id>|all [--fast] [--threads N]");
         eprintln!("ids: {}", experiments::all_ids().join(" "));
         std::process::exit(if ids.is_empty() { 2 } else { 0 });
     }
 
-    let mut ctx = ExperimentCtx::new(fast);
+    let mut ctx = ExperimentCtx::with_threads(fast, threads);
     let to_run: Vec<&str> = if ids[0] == "all" { experiments::all_ids().to_vec() } else { ids };
 
     let t0 = Instant::now();
@@ -38,4 +61,19 @@ fn main() {
         eprintln!("[done] {id} in {:.1}s", t.elapsed().as_secs_f64());
     }
     eprintln!("\nall requested experiments done in {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+/// Extracts `--threads N` / `--threads=N` (0 = all cores, the default).
+fn parse_threads(args: &[String]) -> Result<usize, String> {
+    for (i, a) in args.iter().enumerate() {
+        let value = if a == "--threads" {
+            args.get(i + 1).cloned().ok_or("--threads needs a value".to_string())?
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            v.to_string()
+        } else {
+            continue;
+        };
+        return value.parse().map_err(|_| format!("invalid --threads value: {value}"));
+    }
+    Ok(0)
 }

@@ -2,7 +2,7 @@
 //! edges that do not form a bus route — quantified by the road mileage
 //! needed to stitch them together.
 
-use ct_core::{connectivity_first_edges, stitch_edges_into_route};
+use ct_core::{connectivity_first_edges_with_threads, stitch_edges_into_route};
 
 use crate::harness::{f, ExperimentCtx, OutputSink};
 
@@ -16,11 +16,14 @@ pub fn run(ctx: &mut ExperimentCtx) {
     let pool = if ctx.fast { 60 } else { 150 };
     let mut rows = Vec::new();
     let mut json = serde_json::Map::new();
-    let tau = ctx.base_params().tau_m;
+    let params = ctx.base_params();
+    let tau = params.tau_m;
+    // Honor `exp --threads N` (picks are invariant under the count).
+    let threads = params.parallelism.worker_threads();
     for name in ctx.main_city_names() {
         ctx.prepare(name);
         let bundle = ctx.bundle(name);
-        let picks = connectivity_first_edges(&bundle.pre, l, pool);
+        let picks = connectivity_first_edges_with_threads(&bundle.pre, l, pool, threads);
         let stitched = stitch_edges_into_route(&bundle.city, &bundle.pre.candidates, &picks);
         let violations = stitched.gaps_violating_tau(tau);
         rows.push(vec![

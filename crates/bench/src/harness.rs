@@ -22,13 +22,23 @@ pub struct CityBundle {
 pub struct ExperimentCtx {
     /// Reduced scales for smoke runs.
     pub fast: bool,
+    /// Worker threads for the parallel stages (`0` = all cores). Thread
+    /// count never changes experiment outputs — only wall-clock time
+    /// (see `ct_core::Parallelism`).
+    threads: usize,
     bundles: HashMap<&'static str, CityBundle>,
 }
 
 impl ExperimentCtx {
     /// Creates a context; `fast` trims city sizes, iteration counts, grids.
     pub fn new(fast: bool) -> Self {
-        ExperimentCtx { fast, bundles: HashMap::new() }
+        Self::with_threads(fast, 0)
+    }
+
+    /// [`ExperimentCtx::new`] with an explicit worker-thread count for the
+    /// parallel stages (the `exp --threads N` flag; `0` = all cores).
+    pub fn with_threads(fast: bool, threads: usize) -> Self {
+        ExperimentCtx { fast, threads, bundles: HashMap::new() }
     }
 
     /// The two headline cities (paper: Chicago and NYC).
@@ -42,8 +52,12 @@ impl ExperimentCtx {
     }
 
     /// Baseline parameters (paper §7.1.4 defaults; trimmed in fast mode).
+    /// Every planner and pre-computation built through this context —
+    /// all `PlannerMode` runs, the Δ(e) sweep, the baselines — inherits
+    /// the context's parallelism setting from here.
     pub fn base_params(&self) -> CtBusParams {
         let mut p = CtBusParams::paper_defaults();
+        p.parallelism.threads = self.threads;
         if self.fast {
             p.sn = 1500;
             p.it_max = 10_000;

@@ -7,6 +7,8 @@
 //! mileage. [`connectivity_first_edges`] reproduces the greedy selection and
 //! [`stitch_edges_into_route`] quantifies the stitching overhead.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use ct_data::City;
 use ct_graph::shortest_path;
 use ct_linalg::{CsrMatrix, EdgeOverlay, LanczosWorkspace};
@@ -16,7 +18,7 @@ use crate::candidates::CandidateSet;
 use crate::precompute::Precomputed;
 
 /// Greedily selects `l` candidate edges maximizing the marginal natural
-/// connectivity gain (the \[22\] baseline).
+/// connectivity gain (the \[22\] baseline), using all available cores.
 ///
 /// Marginal gains are re-estimated after every pick with the shared
 /// paired-probe estimator. To keep the cubic-ish greedy tractable the
@@ -24,6 +26,26 @@ use crate::precompute::Precomputed;
 /// individual Δ(e) — the greedy's picks always live in that head, so this
 /// pruning does not change results in practice (DESIGN.md §3).
 pub fn connectivity_first_edges(pre: &Precomputed, l: usize, pool_size: usize) -> Vec<u32> {
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    connectivity_first_edges_with_threads(pre, l, pool_size, threads)
+}
+
+/// [`connectivity_first_edges`] with an explicit worker count.
+///
+/// Each greedy round scans the pool in parallel: workers pull pool
+/// positions off an atomic work-stealing counter and score each candidate
+/// through a thread-local overlay of the round's matrix plus a
+/// [`LanczosWorkspace`] (no per-candidate CSR rebuild; bit-identical to
+/// materializing). Every gain is a pure function of the frozen probes, and
+/// the round's argmax resolves ties toward the lower pool position — the
+/// same winner a sequential scan picks — so the selection is invariant
+/// under the worker count (enforced by tests).
+pub fn connectivity_first_edges_with_threads(
+    pre: &Precomputed,
+    l: usize,
+    pool_size: usize,
+    threads: usize,
+) -> Vec<u32> {
     let pool: Vec<u32> = pre
         .llambda
         .iter_desc()
@@ -31,37 +53,84 @@ pub fn connectivity_first_edges(pre: &Precomputed, l: usize, pool_size: usize) -
         .take(pool_size.max(l * 4))
         .collect();
     let mut chosen: Vec<u32> = Vec::with_capacity(l);
-    let mut chosen_pairs: Vec<(u32, u32)> = Vec::new();
     let mut current: CsrMatrix = pre.base_adj.clone();
     let mut current_trace = pre.base_trace;
-    let mut ws = LanczosWorkspace::new();
+    let threads = threads.clamp(1, pool.len().max(1));
 
     for _ in 0..l {
-        // Candidates are scored through an overlay of the round's matrix
-        // (no per-candidate CSR rebuild; bit-identical to materializing).
-        let mut overlay = EdgeOverlay::empty(&current);
-        let mut best: Option<(u32, f64)> = None;
-        for &id in &pool {
-            if chosen.contains(&id) {
-                continue;
+        // One shared work-stealing cursor per round; each worker owns its
+        // overlay + workspace and reports its local best.
+        let next = AtomicUsize::new(0);
+        let partials: Vec<Option<(usize, u32, f64)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let (next, current, pool, chosen) = (&next, &current, &pool, &chosen);
+                    s.spawn(move || {
+                        let mut ws = LanczosWorkspace::new();
+                        let mut overlay = EdgeOverlay::empty(current);
+                        round_argmax(
+                            pre,
+                            pool,
+                            chosen,
+                            current_trace,
+                            &mut overlay,
+                            &mut ws,
+                            || next.fetch_add(1, Ordering::Relaxed),
+                        )
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("greedy worker does not panic")).collect()
+        });
+        // Deterministic reduction: max gain, ties to lower pool position —
+        // the same winner a sequential first-wins scan picks.
+        let best = partials.into_iter().flatten().reduce(|a, b| {
+            if b.2 > a.2 || (b.2 == a.2 && b.0 < a.0) {
+                b
+            } else {
+                a
             }
-            let e = pre.candidates.edge(id);
-            overlay.set_edges(&[(e.u, e.v)]);
-            let Ok(tr) = pre.estimator.trace_exp_in(&overlay, &mut ws) else { continue };
-            let gain = (tr.max(f64::MIN_POSITIVE) / current_trace).ln();
-            if best.is_none_or(|(_, g)| gain > g) {
-                best = Some((id, gain));
-            }
-        }
-        let Some((id, _)) = best else { break };
+        });
+        let Some((_, id, _)) = best else { break };
         let e = pre.candidates.edge(id);
         chosen.push(id);
-        chosen_pairs.push((e.u, e.v));
         current = current.with_added_unit_edges(&[(e.u, e.v)]);
         current_trace =
             pre.estimator.trace_exp(&current).unwrap_or(current_trace).max(f64::MIN_POSITIVE);
     }
     chosen
+}
+
+/// Scans the pool positions delivered by `next_pos` (a shared atomic
+/// cursor) and returns this worker's best `(pool position, candidate id,
+/// gain)` — strict-greater comparison, so the reduction's lower-position
+/// tie-break reproduces a sequential first-wins scan exactly.
+#[allow(clippy::too_many_arguments)]
+fn round_argmax(
+    pre: &Precomputed,
+    pool: &[u32],
+    chosen: &[u32],
+    current_trace: f64,
+    overlay: &mut EdgeOverlay<'_>,
+    ws: &mut LanczosWorkspace,
+    mut next_pos: impl FnMut() -> usize,
+) -> Option<(usize, u32, f64)> {
+    let mut best: Option<(usize, u32, f64)> = None;
+    loop {
+        let pos = next_pos();
+        let Some(&id) = pool.get(pos) else { break };
+        if chosen.contains(&id) {
+            continue;
+        }
+        let e = pre.candidates.edge(id);
+        overlay.set_edges(&[(e.u, e.v)]);
+        let Ok(tr) = pre.estimator.trace_exp_in(overlay, ws) else { continue };
+        let gain = (tr.max(f64::MIN_POSITIVE) / current_trace).ln();
+        if best.is_none_or(|(_, _, g)| gain > g) {
+            best = Some((pos, id, gain));
+        }
+    }
+    best
 }
 
 /// A set of discrete edges forced into a single route.
@@ -202,6 +271,19 @@ mod tests {
         let top_new =
             pre.llambda.iter_desc().find(|&id| !pre.candidates.edge(id).existing).unwrap();
         assert_eq!(picks[0], top_new);
+    }
+
+    #[test]
+    fn greedy_invariant_under_thread_count() {
+        // Every marginal gain is a pure function of the frozen probes and
+        // the round's matrix, and the reduction tie-breaks to the lower
+        // pool position, so the picks cannot depend on the worker count.
+        let (_, pre) = setup();
+        let reference = connectivity_first_edges_with_threads(&pre, 4, 40, 1);
+        for threads in [2, 5] {
+            let parallel = connectivity_first_edges_with_threads(&pre, 4, 40, threads);
+            assert_eq!(parallel, reference, "threads={threads}");
+        }
     }
 
     #[test]

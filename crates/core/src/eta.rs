@@ -1,12 +1,19 @@
 //! The Expansion-based Traversal Algorithm (paper Algorithm 1) and its
 //! variants.
 //!
-//! Candidate paths live in a max-priority queue keyed by their objective
-//! upper bound `O↑`. Each iteration polls the most promising path, extends
-//! it at both ends (best-neighbor by default, all-neighbors in the ETA-AN
-//! ablation), verifies feasibility (circle-free, turn budget, length ≤ k),
-//! updates the incumbent, and re-inserts survivors after the Algorithm 2
-//! incremental bound update and domination check.
+//! Candidate paths live in a max-priority frontier keyed by their
+//! objective upper bound `O↑`. The engine (see `expand.rs`) drains the
+//! frontier in **epochs** of up to [`crate::Parallelism::batch`] entries:
+//! each drained path is extended at both ends (best-neighbor by default,
+//! all-neighbors in the ETA-AN ablation), verified for feasibility
+//! (circle-free, turn budget, length ≤ k), and re-scored — in parallel,
+//! since each expansion is a pure function of the path and the frozen
+//! probes — then the results are merged back in drain order: incumbent
+//! updates, the Algorithm 2 incremental bound gate, and the domination
+//! check. With `batch = 1` this is exactly the paper's sequential
+//! poll-one-expand-one loop; larger batches preserve best-first order up
+//! to the batch boundary. Results are bit-identical under any thread
+//! count (enforced by tests against [`Planner::run_sequential`]).
 //!
 //! Variants (paper §7):
 //!
@@ -19,25 +26,22 @@
 //! | `EtaNoDomination`  | linear Δ(e)   | best      | no         | top-sn  |
 //! | `VkTsp`            | (w = 1)       | best      | yes        | top-sn, new edges only |
 //!
-//! Deviations from the pseudo-code, documented here and in DESIGN.md:
-//! deflections sharper than π/2 reject the extension outright (the paper
-//! saturates the turn counter, which keeps the kinked path as a result;
-//! rejecting is strictly cleaner for route quality), and one-way loops are
-//! not closed (strict simple paths).
+//! Deviations from the pseudo-code, documented here and in
+//! `docs/ALGORITHMS.md`: deflections sharper than π/2 reject the extension
+//! outright (the paper saturates the turn counter, which keeps the kinked
+//! path as a result; rejecting is strictly cleaner for route quality), and
+//! one-way loops are not closed (strict simple paths).
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
 use std::time::Instant;
 
 use ct_data::{City, DemandModel};
-use ct_spatial::{turn_angle, TurnClass};
 use serde::{Deserialize, Serialize};
 
+use crate::expand::{with_executor, ExpandCtx, Frontier, ModeConfig, WorkItem};
 use crate::params::CtBusParams;
 use crate::plan::RoutePlan;
 use crate::precompute::Precomputed;
-use crate::ranked::{IncrementalBound, RankedList};
-use crate::scorer::ConnScorer;
+use crate::ranked::RankedList;
 
 /// Which planner variant to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -56,18 +60,19 @@ pub enum PlannerMode {
     VkTsp,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct ModeConfig {
-    online_scoring: bool,
-    all_neighbors: bool,
-    domination: bool,
-    seed_all: bool,
-    new_edges_only: bool,
-    w_override: Option<f64>,
-}
-
 impl PlannerMode {
-    fn config(self) -> ModeConfig {
+    /// Every variant, in the order the paper introduces them (used by the
+    /// experiment harness and the exhaustiveness tests).
+    pub const ALL: [PlannerMode; 6] = [
+        PlannerMode::Eta,
+        PlannerMode::EtaPre,
+        PlannerMode::EtaAll,
+        PlannerMode::EtaAllNeighbors,
+        PlannerMode::EtaNoDomination,
+        PlannerMode::VkTsp,
+    ];
+
+    pub(crate) fn config(self) -> ModeConfig {
         let base = ModeConfig {
             online_scoring: false,
             all_neighbors: false,
@@ -90,6 +95,11 @@ impl PlannerMode {
 }
 
 /// Outcome of one planner run.
+///
+/// Everything except [`RunResult::runtime_secs`] is a deterministic
+/// function of the city, the parameters, and the mode — wall-clock time is
+/// the only field allowed to differ between a parallel and a sequential
+/// run of the same plan.
 #[derive(Debug, Clone)]
 pub struct RunResult {
     /// The best route found (empty if no feasible route exists).
@@ -105,77 +115,22 @@ pub struct RunResult {
     pub evaluations: u64,
 }
 
-#[derive(Debug, Clone)]
-struct CandPath {
-    stops: Vec<u32>,
-    edges: Vec<u32>,
-    demand_sum: f64,
-    /// Objective value; for linear scoring this is the running `Σ L_e[e]`,
-    /// for online scoring the latest full evaluation.
-    obj: f64,
-    tn: u32,
-    bound: IncrementalBound,
-    ub: f64,
-}
-
-impl CandPath {
-    fn front_stop(&self) -> u32 {
-        self.stops[0]
-    }
-
-    fn back_stop(&self) -> u32 {
-        *self.stops.last().expect("paths are never empty")
-    }
-
-    fn contains_stop(&self, s: u32) -> bool {
-        self.stops.contains(&s)
-    }
-
-    fn contains_edge(&self, e: u32) -> bool {
-        self.edges.contains(&e)
-    }
-
-    fn dt_key(&self) -> (u32, u32) {
-        let first = self.edges[0];
-        let last = *self.edges.last().expect("paths are never empty");
-        (first.min(last), first.max(last))
-    }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum End {
-    Front,
-    Back,
-}
-
-struct QEntry {
-    ub: f64,
-    seq: u64,
-    path: CandPath,
-}
-
-impl PartialEq for QEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.ub == other.ub && self.seq == other.seq
-    }
-}
-impl Eq for QEntry {}
-impl Ord for QEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Max-heap on ub; FIFO on ties for determinism.
-        self.ub
-            .partial_cmp(&other.ub)
-            .expect("bounds are not NaN")
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-impl PartialOrd for QEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 /// The CT-Bus planner: pre-computation plus Algorithm 1 in all variants.
+///
+/// ```
+/// use ct_data::{CityConfig, DemandModel};
+/// use ct_core::{CtBusParams, Planner, PlannerMode};
+///
+/// let city = CityConfig::small().seed(7).generate();
+/// let demand = DemandModel::from_city(&city);
+/// let planner = Planner::new(&city, &demand, CtBusParams::small_defaults());
+/// let result = planner.run(PlannerMode::EtaPre);
+/// assert!(!result.best.is_empty());
+/// assert!(result.best.num_edges() <= planner.params().k);
+/// // Thread count never changes the answer (see docs/ALGORITHMS.md):
+/// let reference = planner.run_sequential(PlannerMode::EtaPre);
+/// assert_eq!(result.best, reference.best);
+/// ```
 pub struct Planner<'a> {
     city: &'a City,
     params: CtBusParams,
@@ -205,20 +160,29 @@ impl<'a> Planner<'a> {
         &self.params
     }
 
-    /// Runs Algorithm 1 in the requested variant.
+    /// Runs Algorithm 1 in the requested variant, fanning the frontier
+    /// expansion out over [`crate::Parallelism::worker_threads`] workers.
     pub fn run(&self, mode: PlannerMode) -> RunResult {
+        self.run_with_threads(mode, self.params.parallelism.worker_threads())
+    }
+
+    /// The retained single-threaded reference: the same epoch-batched
+    /// algorithm as [`Planner::run`], executed inline. Parallel runs are
+    /// bit-identical to this under any thread count (everything in
+    /// [`RunResult`] except `runtime_secs`); tests and proptests enforce
+    /// the equality.
+    pub fn run_sequential(&self, mode: PlannerMode) -> RunResult {
+        self.run_with_threads(mode, 1)
+    }
+
+    /// [`Planner::run`] with an explicit worker count (exposed for the
+    /// thread-invariance tests and benches).
+    pub fn run_with_threads(&self, mode: PlannerMode, threads: usize) -> RunResult {
         let t0 = Instant::now();
         let cfg = mode.config();
         let w = cfg.w_override.unwrap_or(self.params.w);
-        let k = self.params.k;
         let cands = &self.pre.candidates;
-        let evaluations = std::cell::Cell::new(0u64);
-
-        let scorer = if cfg.online_scoring {
-            ConnScorer::online(&self.pre.estimator, &self.pre.base_adj, self.pre.base_trace)
-        } else {
-            ConnScorer::Linear { delta: &self.pre.delta }
-        };
+        let batch = self.params.parallelism.batch.max(1);
 
         // Per-run ranked list: L_d for online bounds, L_e(w) for linear.
         let le_values: Vec<f64> = if cfg.online_scoring {
@@ -237,29 +201,8 @@ impl<'a> Planner<'a> {
         let le_list = (!cfg.online_scoring).then(|| RankedList::new(&le_values));
         let bound_list: &RankedList = le_list.as_ref().unwrap_or(&self.pre.ld);
 
-        let ub_of = |bound: &IncrementalBound| -> f64 {
-            if cfg.online_scoring {
-                w * bound.ub / self.pre.d_max
-                    + (1.0 - w) * self.pre.conn_path_ub / self.pre.lambda_max
-            } else {
-                bound.ub
-            }
-        };
-
         // Candidate admissibility under the mode.
         let admissible = |id: u32| -> bool { !cfg.new_edges_only || !cands.edge(id).existing };
-
-        // Path objective evaluation. Linear paths carry their objective
-        // incrementally; online paths are re-estimated in full.
-        let eval_full = |edges: &[u32], demand_sum: f64| -> f64 {
-            evaluations.set(evaluations.get() + 1);
-            if cfg.online_scoring {
-                w * demand_sum / self.pre.d_max
-                    + (1.0 - w) * scorer.increment(edges, cands) / self.pre.lambda_max
-            } else {
-                edges.iter().map(|&e| le_values[e as usize]).sum()
-            }
-        };
 
         // ---- Initialization (Algorithm 1 lines 19–27). ----
         let seed_ids: Vec<u32> = if cfg.seed_all {
@@ -268,298 +211,52 @@ impl<'a> Planner<'a> {
             bound_list.iter_desc().filter(|&id| admissible(id)).take(self.params.sn).collect()
         };
 
-        let mut o_max = f64::NEG_INFINITY;
-        let mut best: Option<CandPath> = None;
-        let mut q: BinaryHeap<QEntry> = BinaryHeap::new();
-        let mut seq = 0u64;
-        for &id in &seed_ids {
-            let e = cands.edge(id);
-            let obj = eval_full(&[id], e.demand);
-            let bound = IncrementalBound::for_seed(bound_list, k, id);
-            let path = CandPath {
-                stops: vec![e.u, e.v],
-                edges: vec![id],
-                demand_sum: e.demand,
-                obj,
-                tn: 0,
-                bound,
-                ub: 0.0,
+        let mk_ctx =
+            || ExpandCtx::new(self.city, &self.pre, &self.params, cfg, w, &le_values, bound_list);
+        let (frontier, best_plan) = with_executor(threads.max(1), &mk_ctx, |executor| {
+            let mut frontier = Frontier::new(&cfg, &self.params);
+
+            // Seed evaluation fans out like expansion; merge in seed order.
+            let seed_items: Vec<WorkItem> = seed_ids.iter().map(|&id| WorkItem::Seed(id)).collect();
+            for out in executor.map(seed_items) {
+                frontier.evaluations += out.evals;
+                for path in out.paths {
+                    frontier.push_seed(path);
+                }
+            }
+            frontier.finish_seeding();
+
+            // ---- Main epoch loop (lines 3–16, batch-synchronous). ----
+            loop {
+                let items = frontier.drain_epoch(batch);
+                if items.is_empty() {
+                    break;
+                }
+                for out in executor.map(items) {
+                    frontier.evaluations += out.evals;
+                    for path in out.paths {
+                        frontier.absorb(path);
+                    }
+                }
+            }
+            frontier.finish();
+
+            // Report the objective under the *configured* weight, even when
+            // the search used an override (vk-TSP searches with w = 1 but
+            // Table 6 compares all methods under the shared objective).
+            let best_plan = match &frontier.best {
+                Some(cp) => executor.ctx().plan_from(cp, self.params.w),
+                None => RoutePlan::empty(),
             };
-            let mut path = path;
-            path.ub = ub_of(&path.bound);
-            if obj > o_max {
-                o_max = obj;
-                best = Some(path.clone());
-            }
-            q.push(QEntry { ub: path.ub, seq, path });
-            seq += 1;
-        }
+            (frontier, best_plan)
+        });
 
-        // ---- Main loop (lines 3–16). ----
-        let mut dt: HashMap<(u32, u32), f64> = HashMap::new();
-        let mut it = 0u64;
-        let mut trace: Vec<(u64, f64)> = vec![(0, o_max.max(0.0))];
-
-        while let Some(entry) = q.pop() {
-            if entry.ub <= o_max || it >= self.params.it_max {
-                break;
-            }
-            it += 1;
-            if it.is_multiple_of(self.params.record_every) {
-                trace.push((it, o_max));
-            }
-            let cp = entry.path;
-
-            if cfg.all_neighbors {
-                // ETA-AN: enqueue every feasible single-edge extension.
-                for end in [End::Front, End::Back] {
-                    let anchor = match end {
-                        End::Front => cp.front_stop(),
-                        End::Back => cp.back_stop(),
-                    };
-                    for &e_id in cands.incident(anchor) {
-                        if !admissible(e_id) {
-                            continue;
-                        }
-                        let mut p = cp.clone();
-                        if !self.try_append(
-                            &mut p,
-                            e_id,
-                            end,
-                            bound_list,
-                            cfg.online_scoring,
-                            &le_values,
-                        ) {
-                            continue;
-                        }
-                        if cfg.online_scoring {
-                            p.obj = eval_full(&p.edges, p.demand_sum);
-                        } else {
-                            evaluations.set(evaluations.get() + 1);
-                        }
-                        p.ub = ub_of(&p.bound);
-                        if p.obj > o_max {
-                            o_max = p.obj;
-                            best = Some(p.clone());
-                        }
-                        self.further_expansion(
-                            p,
-                            o_max,
-                            &mut dt,
-                            &mut q,
-                            &mut seq,
-                            cfg.domination,
-                            k,
-                        );
-                    }
-                }
-            } else {
-                // Best-neighbor: pick the best feasible extension at each end
-                // (lines 8–12), then cp ← be + cp + ee (line 13).
-                let mut newp = cp.clone();
-                let mut extended = false;
-                for end in [End::Front, End::Back] {
-                    let anchor = match end {
-                        End::Front => newp.front_stop(),
-                        End::Back => newp.back_stop(),
-                    };
-                    let mut best_ext: Option<(u32, f64)> = None;
-                    for &e_id in cands.incident(anchor) {
-                        if !admissible(e_id) {
-                            continue;
-                        }
-                        if !self.extension_feasible(&newp, e_id, end) {
-                            continue;
-                        }
-                        let score = if cfg.online_scoring {
-                            let mut edges = newp.edges.clone();
-                            match end {
-                                End::Front => edges.insert(0, e_id),
-                                End::Back => edges.push(e_id),
-                            }
-                            eval_full(&edges, newp.demand_sum + cands.edge(e_id).demand)
-                        } else {
-                            evaluations.set(evaluations.get() + 1);
-                            newp.obj + le_values[e_id as usize]
-                        };
-                        if best_ext.is_none_or(|(_, s)| score > s) {
-                            best_ext = Some((e_id, score));
-                        }
-                    }
-                    if let Some((e_id, _)) = best_ext {
-                        if self.try_append(
-                            &mut newp,
-                            e_id,
-                            end,
-                            bound_list,
-                            cfg.online_scoring,
-                            &le_values,
-                        ) {
-                            extended = true;
-                        }
-                    }
-                }
-                if !extended {
-                    continue;
-                }
-                if cfg.online_scoring {
-                    newp.obj = eval_full(&newp.edges, newp.demand_sum);
-                }
-                newp.ub = ub_of(&newp.bound);
-                if newp.obj > o_max {
-                    o_max = newp.obj;
-                    best = Some(newp.clone());
-                }
-                self.further_expansion(newp, o_max, &mut dt, &mut q, &mut seq, cfg.domination, k);
-            }
-        }
-        trace.push((it, o_max.max(0.0)));
-
-        // Report the objective under the *configured* weight, even when the
-        // search used an override (vk-TSP searches with w = 1 but Table 6
-        // compares all methods under the shared objective).
-        let best_plan = match best {
-            Some(cp) => self.plan_from(&cp, self.params.w),
-            None => RoutePlan::empty(),
-        };
         RunResult {
             best: best_plan,
-            trace,
-            iterations: it,
+            trace: frontier.trace,
+            iterations: frontier.it,
             runtime_secs: t0.elapsed().as_secs_f64(),
-            evaluations: evaluations.get(),
-        }
-    }
-
-    /// Feasibility of appending candidate `e_id` at `end` (circle-free,
-    /// length, turn checks) without mutating the path.
-    fn extension_feasible(&self, path: &CandPath, e_id: u32, end: End) -> bool {
-        if path.edges.len() >= self.params.k || path.contains_edge(e_id) {
-            return false;
-        }
-        let e = self.pre.candidates.edge(e_id);
-        let anchor = match end {
-            End::Front => path.front_stop(),
-            End::Back => path.back_stop(),
-        };
-        if e.u != anchor && e.v != anchor {
-            return false;
-        }
-        let far = e.other(anchor);
-        if path.contains_stop(far) {
-            return false;
-        }
-        match self.turn_class_at(path, far, end) {
-            TurnClass::Sharp => false,
-            TurnClass::Turn => path.tn < self.params.tn_max,
-            TurnClass::Straight => true,
-        }
-    }
-
-    fn turn_class_at(&self, path: &CandPath, far: u32, end: End) -> TurnClass {
-        if path.stops.len() < 2 {
-            return TurnClass::Straight;
-        }
-        let transit = &self.city.transit;
-        let pos = |s: u32| transit.stop(s).pos;
-        let angle = match end {
-            End::Back => {
-                let n = path.stops.len();
-                turn_angle(&pos(path.stops[n - 2]), &pos(path.stops[n - 1]), &pos(far))
-            }
-            End::Front => turn_angle(&pos(far), &pos(path.stops[0]), &pos(path.stops[1])),
-        };
-        TurnClass::from_angle(angle)
-    }
-
-    /// Appends `e_id` to `path` at `end`; returns false (path unchanged in
-    /// any meaningful way) if the extension is infeasible.
-    fn try_append(
-        &self,
-        path: &mut CandPath,
-        e_id: u32,
-        end: End,
-        bound_list: &RankedList,
-        online: bool,
-        le_values: &[f64],
-    ) -> bool {
-        if !self.extension_feasible(path, e_id, end) {
-            return false;
-        }
-        let e = self.pre.candidates.edge(e_id);
-        let anchor = match end {
-            End::Front => path.front_stop(),
-            End::Back => path.back_stop(),
-        };
-        let far = e.other(anchor);
-        if self.turn_class_at(path, far, end) == TurnClass::Turn {
-            path.tn += 1;
-        }
-        match end {
-            End::Front => {
-                path.stops.insert(0, far);
-                path.edges.insert(0, e_id);
-            }
-            End::Back => {
-                path.stops.push(far);
-                path.edges.push(e_id);
-            }
-        }
-        path.demand_sum += e.demand;
-        if !online {
-            path.obj += le_values[e_id as usize];
-        }
-        path.bound.append(bound_list, e_id);
-        true
-    }
-
-    /// Lines 29–34: bound/turn/length gates, domination table, enqueue.
-    #[allow(clippy::too_many_arguments)]
-    fn further_expansion(
-        &self,
-        path: CandPath,
-        o_max: f64,
-        dt: &mut HashMap<(u32, u32), f64>,
-        q: &mut BinaryHeap<QEntry>,
-        seq: &mut u64,
-        domination: bool,
-        k: usize,
-    ) {
-        if path.tn >= self.params.tn_max || path.edges.len() >= k || path.ub <= o_max {
-            return;
-        }
-        if domination {
-            let key = path.dt_key();
-            let entry = dt.entry(key).or_insert(f64::NEG_INFINITY);
-            if path.obj <= *entry {
-                return;
-            }
-            *entry = path.obj;
-        }
-        q.push(QEntry { ub: path.ub, seq: *seq, path });
-        *seq += 1;
-    }
-
-    /// Converts the winning path into a reported plan, re-scoring its
-    /// connectivity with the SLQ estimator (the paper does the same for
-    /// ETA-Pre's final answer, Fig. 9).
-    fn plan_from(&self, cp: &CandPath, w: f64) -> RoutePlan {
-        let cands = &self.pre.candidates;
-        let online =
-            ConnScorer::online(&self.pre.estimator, &self.pre.base_adj, self.pre.base_trace);
-        let conn = online.increment(&cp.edges, cands);
-        let demand = cp.demand_sum;
-        let objective = self.pre.objective(w, demand, conn);
-        let length_m = cp.edges.iter().map(|&e| cands.edge(e).length_m).sum();
-        RoutePlan {
-            stops: cp.stops.clone(),
-            cand_edges: cp.edges.clone(),
-            new_stop_pairs: cands.new_stop_pairs(&cp.edges),
-            demand,
-            conn_increment: conn,
-            objective,
-            turns: cp.tn,
-            length_m,
+            evaluations: frontier.evaluations,
         }
     }
 }
@@ -679,6 +376,21 @@ mod tests {
         assert_eq!(a.best, b.best);
         assert_eq!(a.trace, b.trace);
         assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn batch_one_matches_paper_sequential_semantics() {
+        // batch = 1 is the paper's poll-one-expand-one loop; it must agree
+        // with itself across thread counts too (threads never matter).
+        let (city, demand, mut params) = planner_fixture();
+        params.parallelism.batch = 1;
+        let planner = Planner::new(&city, &demand, params);
+        let seq = planner.run_sequential(PlannerMode::EtaPre);
+        let par = planner.run_with_threads(PlannerMode::EtaPre, 3);
+        assert_eq!(seq.best, par.best);
+        assert_eq!(seq.trace, par.trace);
+        assert_eq!(seq.iterations, par.iterations);
+        assert_eq!(seq.evaluations, par.evaluations);
     }
 
     #[test]

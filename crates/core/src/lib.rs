@@ -23,7 +23,9 @@
 //! 4. [`eta`] runs the expansion-based traversal (Algorithm 1) in any of
 //!    its variants — online-Lanczos ETA, pre-computed ETA-Pre, and the
 //!    ablations ETA-ALL / ETA-AN / ETA-DT — plus the demand-first vk-TSP
-//!    baseline;
+//!    baseline. The frontier expansion fans out over a work-stealing
+//!    thread pool ([`Parallelism`]) while staying bit-identical to the
+//!    retained sequential reference [`eta::Planner::run_sequential`];
 //! 5. [`metrics`] scores plans with the paper's transfer-convenience
 //!    metrics (Table 6) and [`baselines`] implements the connectivity-first
 //!    comparison (Fig. 6);
@@ -36,6 +38,7 @@ pub mod baselines;
 pub mod bounds;
 pub mod candidates;
 pub mod eta;
+mod expand;
 pub mod metrics;
 pub mod multi;
 pub mod params;
@@ -50,16 +53,19 @@ pub use augment::{
     augment_connectivity, golden_thompson_edge_bound, AugmentEval, AugmentParams, AugmentResult,
     AugmentStats,
 };
-pub use baselines::{connectivity_first_edges, stitch_edges_into_route, StitchedRoute};
+pub use baselines::{
+    connectivity_first_edges, connectivity_first_edges_with_threads, stitch_edges_into_route,
+    StitchedRoute,
+};
 pub use bounds::{estrada_bound, general_bound, increment_bound, path_bound};
 pub use candidates::{CandidateEdge, CandidateSet};
 pub use eta::{Planner, PlannerMode, RunResult};
 pub use metrics::{apply_plan, evaluate_plan, PlanMetrics};
 pub use multi::plan_multiple;
-pub use params::CtBusParams;
+pub use params::{CtBusParams, Parallelism};
 pub use plan::RoutePlan;
 pub use precompute::{DeltaMethod, PrecomputeTimings, Precomputed};
 pub use ranked::RankedList;
 pub use rknn::{rknn_demand, route_service_distance, RknnDemand, RknnParams};
-pub use scorer::ConnScorer;
+pub use scorer::{online_increment_in, ConnScorer};
 pub use sites::{select_sites, SelectedSite, SiteParams, SiteSelection};

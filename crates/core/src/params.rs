@@ -3,7 +3,73 @@
 use ct_linalg::trace::TraceParams;
 use serde::{Deserialize, Serialize};
 
+/// Threading and batching configuration for the parallel stages (the Δ(e)
+/// pre-computation sweep and the ETA frontier expansion).
+///
+/// **Determinism contract:** results never depend on `threads` — every
+/// parallel stage in this workspace is a pure fan-out merged in a fixed
+/// order, so any thread count (including the auto setting) produces
+/// bit-identical output. `batch` *is* part of the algorithm: the planner
+/// drains up to `batch` frontier entries per epoch, so two runs agree only
+/// if their `batch` values agree (see `docs/ALGORITHMS.md`, "Determinism
+/// contract").
+///
+/// ```
+/// use ct_core::Parallelism;
+/// let p = Parallelism::default();
+/// assert_eq!(p.threads, 0); // 0 = use all available cores
+/// assert!(p.worker_threads() >= 1);
+/// assert_eq!(Parallelism::sequential().worker_threads(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Parallelism {
+    /// Worker threads for parallel stages; `0` means "use
+    /// [`std::thread::available_parallelism`]". Never affects results.
+    pub threads: usize,
+    /// Frontier entries drained per expansion epoch (§5's Algorithm 1 run
+    /// batch-synchronously). Larger batches expose more parallelism but
+    /// deviate further from strict best-first order; `1` reproduces the
+    /// paper's sequential poll-one-expand-one loop exactly. Affects
+    /// results; fixed per run regardless of thread count.
+    pub batch: usize,
+}
+
+impl Parallelism {
+    /// All available cores, default batch size.
+    pub fn auto() -> Self {
+        Parallelism { threads: 0, batch: 64 }
+    }
+
+    /// Single-threaded execution (same batch semantics, inline).
+    pub fn sequential() -> Self {
+        Parallelism { threads: 1, batch: 64 }
+    }
+
+    /// The resolved worker count (`threads`, or the machine's available
+    /// parallelism when `threads == 0`).
+    pub fn worker_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::auto()
+    }
+}
+
 /// All knobs of the CT-Bus problem and its solver.
+///
+/// ```
+/// let mut p = ct_core::CtBusParams::paper_defaults();
+/// p.k = 12;
+/// p.parallelism.threads = 2; // pin the parallel stages; results are unchanged
+/// assert!(p.validate().is_empty());
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CtBusParams {
     /// Maximum number of route edges `k` (paper default 30).
@@ -31,6 +97,11 @@ pub struct CtBusParams {
     /// New candidate edges whose road path exceeds `tau_m × this factor`
     /// are discarded as unrealistic bus hops.
     pub max_detour_factor: f64,
+    /// Threading/batching of the parallel stages (Δ(e) sweep, frontier
+    /// expansion). `threads` never affects results; `batch` does (see
+    /// [`Parallelism`]).
+    #[serde(default)]
+    pub parallelism: Parallelism,
 }
 
 impl CtBusParams {
@@ -48,6 +119,7 @@ impl CtBusParams {
             lanczos_steps: 10,
             probe_seed: 0xC7B5,
             max_detour_factor: 6.0,
+            parallelism: Parallelism::auto(),
         }
     }
 
@@ -65,6 +137,7 @@ impl CtBusParams {
             lanczos_steps: 8,
             probe_seed: 0xC7B5,
             max_detour_factor: 6.0,
+            parallelism: Parallelism { threads: 0, batch: 16 },
         }
     }
 
@@ -98,6 +171,9 @@ impl CtBusParams {
         if self.max_detour_factor < 1.0 {
             problems.push("max_detour_factor must be at least 1".into());
         }
+        if self.parallelism.batch == 0 {
+            problems.push("parallelism.batch must be at least 1".into());
+        }
         problems
     }
 }
@@ -127,6 +203,15 @@ mod tests {
         p.tau_m = -1.0;
         let problems = p.validate();
         assert_eq!(problems.len(), 3);
+    }
+
+    #[test]
+    fn parallelism_resolution_and_validation() {
+        assert!(Parallelism::auto().worker_threads() >= 1);
+        assert_eq!(Parallelism { threads: 3, batch: 8 }.worker_threads(), 3);
+        let mut p = CtBusParams::paper_defaults();
+        p.parallelism.batch = 0;
+        assert_eq!(p.validate().len(), 1);
     }
 
     #[test]

@@ -120,9 +120,13 @@ impl Precomputed {
 
         let t1 = Instant::now();
         let delta = match method {
-            DeltaMethod::PairedProbes => {
-                compute_deltas(&candidates, &base_adj, &estimator, base_trace)
-            }
+            DeltaMethod::PairedProbes => compute_deltas_with_threads(
+                &candidates,
+                &base_adj,
+                &estimator,
+                base_trace,
+                params.parallelism.worker_threads(),
+            ),
             DeltaMethod::Perturbation => compute_deltas_perturbation(
                 &candidates,
                 &base_adj,
@@ -228,6 +232,10 @@ impl Precomputed {
 /// a thread-local [`LanczosWorkspace`] — zero CSR rebuilds, zero steady-
 /// state allocations. Every Δ(e) is a pure function of the frozen probes,
 /// so the output is invariant under the worker count.
+///
+/// Uses all available cores; [`Precomputed::build_with`] routes the
+/// workspace-wide [`crate::Parallelism`] knob through
+/// [`compute_deltas_with_threads`] instead.
 pub fn compute_deltas(
     candidates: &CandidateSet,
     base: &CsrMatrix,

@@ -34,10 +34,12 @@ pub enum ConnScorer<'a> {
         /// `tr(e^A)` of the base network under the same probes.
         base_trace: f64,
         /// Reusable overlay view of the base adjacency plus Lanczos
-        /// scratch (boxed to keep the enum small). The ETA traversal is
-        /// single-threaded, so interior mutability keeps
-        /// [`ConnScorer::increment`] callable through `&self` while paths
-        /// are scored allocation-free in steady state.
+        /// scratch (boxed to keep the enum small). A `ConnScorer` value is
+        /// one scoring *context* — not shared across threads — so interior
+        /// mutability keeps [`ConnScorer::increment`] callable through
+        /// `&self` while paths are scored allocation-free in steady state.
+        /// The parallel ETA engine gives each worker its own scratch and
+        /// scores through [`online_increment_in`] directly.
         scratch: Box<RefCell<(EdgeOverlay<'a>, LanczosWorkspace)>>,
     },
     /// Linear surrogate from pre-computed per-edge increments.
@@ -77,15 +79,8 @@ impl<'a> ConnScorer<'a> {
                 if pairs.is_empty() {
                     return 0.0;
                 }
-                // The overlay view scores the path without rebuilding the
-                // CSR (bit-identical to materializing); overlay and
-                // workspace buffers are reused across paths.
                 let (overlay, ws) = &mut *scratch.borrow_mut();
-                overlay.set_edges(&pairs);
-                match est.trace_exp_in(overlay, ws) {
-                    Ok(tr) => (tr.max(f64::MIN_POSITIVE) / base_trace).ln(),
-                    Err(_) => 0.0,
-                }
+                online_increment_in(est, *base_trace, overlay, ws, &pairs)
             }
             ConnScorer::Linear { delta } => cand_ids.iter().map(|&id| delta[id as usize]).sum(),
         }
@@ -94,6 +89,34 @@ impl<'a> ConnScorer<'a> {
     /// Whether this scorer is the pre-computed linear surrogate.
     pub fn is_linear(&self) -> bool {
         matches!(self, ConnScorer::Linear { .. })
+    }
+}
+
+/// The online (paired-probe SLQ) connectivity increment for the new stop
+/// pairs `pairs`, scored through caller-owned scratch.
+///
+/// This is the workhorse behind both [`ConnScorer::Online`] and the
+/// parallel ETA engine's per-worker contexts: the overlay view scores the
+/// augmented network without rebuilding the CSR (bit-identical to
+/// materializing), and the overlay/workspace buffers are reused across
+/// paths, so steady-state scoring performs no heap allocations. The result
+/// is a pure function of `pairs` and the estimator's frozen probes —
+/// caller-owned scratch is what makes the engine's output independent of
+/// which worker scored which path.
+pub fn online_increment_in(
+    est: &ConnectivityEstimator,
+    base_trace: f64,
+    overlay: &mut EdgeOverlay<'_>,
+    ws: &mut LanczosWorkspace,
+    pairs: &[(u32, u32)],
+) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    overlay.set_edges(pairs);
+    match est.trace_exp_in(overlay, ws) {
+        Ok(tr) => (tr.max(f64::MIN_POSITIVE) / base_trace).ln(),
+        Err(_) => 0.0,
     }
 }
 

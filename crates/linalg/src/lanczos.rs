@@ -26,7 +26,7 @@
 //! it across thousands of solves, reaching a zero-allocation steady state.
 //!
 //! All kernels are generic over [`MatVec`], so they run unchanged on a
-//! materialized [`CsrMatrix`] or on a [`crate::matvec::EdgeOverlay`] view
+//! materialized [`CsrMatrix`](crate::sparse::CsrMatrix) or on a [`crate::matvec::EdgeOverlay`] view
 //! of `base + candidate edges`.
 //!
 //! [`slq_trace_batch_in`] walks *many* probe vectors through one matrix in
