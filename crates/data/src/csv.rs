@@ -37,6 +37,29 @@ pub fn split_record(line: &str) -> Vec<String> {
     fields
 }
 
+/// Quotes a field for CSV output when it needs it (contains a comma or a
+/// quote), doubling inner quotes per RFC 4180; returns it verbatim
+/// otherwise. Every exported GTFS field — ids included, since nothing stops
+/// a feed from putting a comma in a `stop_id` — must round-trip through
+/// this, or `write_dir` → `load_dir` corrupts the record.
+///
+/// Embedded CR/LF are normalized to a space: the reader is line-based (it
+/// cannot parse RFC 4180 multi-line records), so a newline inside a field
+/// would otherwise split the record and corrupt the file. This is the one
+/// lossy case; every other byte round-trips.
+pub fn quote(s: &str) -> String {
+    let s: std::borrow::Cow<'_, str> = if s.contains(['\r', '\n']) {
+        s.replace("\r\n", " ").replace(['\r', '\n'], " ").into()
+    } else {
+        s.into()
+    };
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.into_owned()
+    }
+}
+
 /// A parsed CSV header: case-sensitive column name → index.
 #[derive(Debug, Clone)]
 pub struct Header {
@@ -101,6 +124,25 @@ mod tests {
     #[test]
     fn unterminated_quote_swallows_rest() {
         assert_eq!(split_record(r#""a,b"#), vec!["a,b"]);
+    }
+
+    #[test]
+    fn quote_round_trips_adversarial_fields() {
+        for s in ["plain", "has,comma", "has\"quote", "\"starts", "a,\"b\",c", ""] {
+            let rec = format!("{},tail", quote(s));
+            assert_eq!(split_record(&rec), vec![s, "tail"], "field {s:?}");
+        }
+    }
+
+    #[test]
+    fn quote_normalizes_embedded_newlines() {
+        // The line-based reader cannot parse multi-line records, so CR/LF
+        // collapse to a space instead of splitting the record.
+        assert_eq!(quote("Main\nSt"), "Main St");
+        assert_eq!(quote("Main\r\nSt"), "Main St");
+        assert_eq!(quote("a,b\nc"), "\"a,b c\"");
+        let rec = format!("{},tail", quote("x\ny,z"));
+        assert_eq!(split_record(&rec), vec!["x y,z", "tail"]);
     }
 
     #[test]

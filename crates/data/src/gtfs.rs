@@ -23,7 +23,7 @@ use ct_graph::{shortest_path, RoadNetwork, TransitNetwork, TransitNetworkBuilder
 use ct_spatial::{GeoPoint, GridIndex, Projection};
 use serde::{Deserialize, Serialize};
 
-use crate::csv::{split_record, Header};
+use crate::csv::{quote, split_record, Header};
 
 /// One record of `stops.txt`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -142,6 +142,7 @@ impl From<std::io::Error> for GtfsError {
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct GtfsImportStats {
     /// Stops imported (deduplicated by snapped road node per stop id).
+    /// Counts only stops actually used by a surviving route piece.
     pub stops: usize,
     /// Routes imported.
     pub routes: usize,
@@ -149,7 +150,12 @@ pub struct GtfsImportStats {
     pub dropped_routes: usize,
     /// Consecutive stop pairs dropped because no road path connects them.
     pub dropped_hops: usize,
+    /// Stops from `stops.txt` left out of the network: unreferenced by any
+    /// route, farther than the snap radius from every road node, or
+    /// belonging to no surviving route piece.
+    pub dropped_stops: usize,
     /// Greatest snap distance between a GTFS stop and its road node, m.
+    /// Counts only used stops (see [`GtfsImportStats::stops`]).
     pub max_snap_m: f64,
 }
 
@@ -207,6 +213,16 @@ impl GtfsFeed {
     /// representative-trip heuristic), returning
     /// `(route_id, [stop ids in sequence])` in `routes.txt` order.
     pub fn route_stop_sequences(&self) -> Result<Vec<(String, Vec<String>)>, GtfsError> {
+        // Validate every stop_times record — not only the representative
+        // trips' — so a dangling stop in any trip is caught (first bad
+        // record in file order wins).
+        let stop_ids: std::collections::HashSet<&str> =
+            self.stops.iter().map(|s| s.id.as_str()).collect();
+        for st in &self.stop_times {
+            if !stop_ids.contains(st.stop_id.as_str()) {
+                return Err(GtfsError::DanglingReference { kind: "stop", id: st.stop_id.clone() });
+            }
+        }
         // Group stop_times by trip.
         let mut by_trip: HashMap<&str, Vec<&GtfsStopTime>> = HashMap::new();
         for st in &self.stop_times {
@@ -232,21 +248,10 @@ impl GtfsFeed {
                 *cur = times;
             }
         }
-        let stop_ids: std::collections::HashSet<&str> =
-            self.stops.iter().map(|s| s.id.as_str()).collect();
         let mut out = Vec::new();
         for route in &self.routes {
             let Some(times) = best.get(route.id.as_str()) else { continue };
-            let mut seq = Vec::with_capacity(times.len());
-            for st in times.iter() {
-                if !stop_ids.contains(st.stop_id.as_str()) {
-                    return Err(GtfsError::DanglingReference {
-                        kind: "stop",
-                        id: st.stop_id.clone(),
-                    });
-                }
-                seq.push(st.stop_id.clone());
-            }
+            let seq = times.iter().map(|st| st.stop_id.clone()).collect();
             out.push((route.id.clone(), seq));
         }
         Ok(out)
@@ -256,11 +261,39 @@ impl GtfsFeed {
     /// their nearest road node (via `projection`) and realizing each
     /// consecutive stop pair as the road shortest path.
     ///
-    /// Robustness rules (each counted in the stats): stops snapping to the
-    /// same road node merge; consecutive stops with no connecting road path
-    /// split the route at that hop; routes left with fewer than two stops
-    /// are dropped. Returns [`GtfsError::EmptyFeed`] if nothing survives.
+    /// Robustness rules (each counted in the stats): stops unreferenced by
+    /// any route, beyond [`crate::ingest::DEFAULT_MAX_SNAP_M`] of every road
+    /// node, or left in no surviving route piece are dropped; stops snapping
+    /// to the same road node merge; consecutive stops with no connecting
+    /// road path split the route at that hop; routes left with fewer than
+    /// two stops are dropped. Returns [`GtfsError::EmptyFeed`] if nothing
+    /// survives.
+    ///
+    /// This is a one-shot convenience over [`crate::ingest::GtfsIngest`] —
+    /// it builds the snap index and hop-path cache, imports, and discards
+    /// them. When importing several feeds against the same road network (or
+    /// tuning the snap radius / thread count), hold a `GtfsIngest` instead
+    /// so the index and the city-wide corridor cache are reused.
     pub fn into_transit(
+        &self,
+        road: &RoadNetwork,
+        projection: &Projection,
+    ) -> Result<(TransitNetwork, GtfsImportStats), GtfsError> {
+        crate::ingest::GtfsIngest::new(road).import(self, projection)
+    }
+
+    /// The pre-refactor importer, retained as the equivalence reference for
+    /// tests and the `gtfs_ingest` bench.
+    ///
+    /// Differences from [`GtfsFeed::into_transit`], all deliberate: it
+    /// rebuilds the snap `GridIndex` on every call, memoizes Dijkstra per
+    /// route only (shared corridors re-run), snaps with no radius cap (a
+    /// stop 50 km away resolves to a border node), and adds **every** stop
+    /// in `stops.txt` to the network — including orphans no route
+    /// references, which inflate the Laplacian dimension. The orphan-stop
+    /// and snap-radius regression tests assert these bugs against this
+    /// function and their absence in the new pipeline.
+    pub fn into_transit_reference(
         &self,
         road: &RoadNetwork,
         projection: &Projection,
@@ -394,11 +427,19 @@ impl GtfsFeed {
         Ok(())
     }
 
-    /// Renders `stops.txt`.
+    /// Renders `stops.txt`. All fields — ids included — are quoted as
+    /// needed so adversarial ids survive a `write_dir` → `load_dir` round
+    /// trip.
     pub fn stops_txt(&self) -> String {
         let mut out = String::from("stop_id,stop_name,stop_lat,stop_lon\n");
         for s in &self.stops {
-            out.push_str(&format!("{},{},{:.6},{:.6}\n", s.id, quote(&s.name), s.lat, s.lon));
+            out.push_str(&format!(
+                "{},{},{:.6},{:.6}\n",
+                quote(&s.id),
+                quote(&s.name),
+                s.lat,
+                s.lon
+            ));
         }
         out
     }
@@ -407,7 +448,7 @@ impl GtfsFeed {
     pub fn routes_txt(&self) -> String {
         let mut out = String::from("route_id,route_short_name,route_type\n");
         for r in &self.routes {
-            out.push_str(&format!("{},{},3\n", r.id, quote(&r.short_name)));
+            out.push_str(&format!("{},{},3\n", quote(&r.id), quote(&r.short_name)));
         }
         out
     }
@@ -416,7 +457,7 @@ impl GtfsFeed {
     pub fn trips_txt(&self) -> String {
         let mut out = String::from("route_id,service_id,trip_id\n");
         for t in &self.trips {
-            out.push_str(&format!("{},always,{}\n", t.route_id, t.id));
+            out.push_str(&format!("{},always,{}\n", quote(&t.route_id), quote(&t.id)));
         }
         out
     }
@@ -428,17 +469,14 @@ impl GtfsFeed {
         let mut out = String::from("trip_id,arrival_time,departure_time,stop_id,stop_sequence\n");
         for st in &self.stop_times {
             let t = hms(8 * 3600 + st.sequence as u64 * 60);
-            out.push_str(&format!("{},{t},{t},{},{}\n", st.trip_id, st.stop_id, st.sequence));
+            out.push_str(&format!(
+                "{},{t},{t},{},{}\n",
+                quote(&st.trip_id),
+                quote(&st.stop_id),
+                st.sequence
+            ));
         }
         out
-    }
-}
-
-fn quote(s: &str) -> String {
-    if s.contains(',') || s.contains('"') {
-        format!("\"{}\"", s.replace('"', "\"\""))
-    } else {
-        s.to_string()
     }
 }
 
@@ -446,7 +484,7 @@ fn hms(total_secs: u64) -> String {
     format!("{:02}:{:02}:{:02}", total_secs / 3600, (total_secs % 3600) / 60, total_secs % 60)
 }
 
-fn parse_stops<R: BufRead>(reader: R) -> Result<Vec<GtfsStop>, GtfsError> {
+pub(crate) fn parse_stops<R: BufRead>(reader: R) -> Result<Vec<GtfsStop>, GtfsError> {
     const FILE: &str = "stops.txt";
     let mut lines = reader.lines();
     let header = Header::parse(
@@ -494,7 +532,7 @@ fn parse_stops<R: BufRead>(reader: R) -> Result<Vec<GtfsStop>, GtfsError> {
     Ok(out)
 }
 
-fn parse_routes<R: BufRead>(reader: R) -> Result<Vec<GtfsRoute>, GtfsError> {
+pub(crate) fn parse_routes<R: BufRead>(reader: R) -> Result<Vec<GtfsRoute>, GtfsError> {
     const FILE: &str = "routes.txt";
     let mut lines = reader.lines();
     let header = Header::parse(
@@ -529,7 +567,7 @@ fn parse_routes<R: BufRead>(reader: R) -> Result<Vec<GtfsRoute>, GtfsError> {
     Ok(out)
 }
 
-fn parse_trips<R: BufRead>(reader: R) -> Result<Vec<GtfsTrip>, GtfsError> {
+pub(crate) fn parse_trips<R: BufRead>(reader: R) -> Result<Vec<GtfsTrip>, GtfsError> {
     const FILE: &str = "trips.txt";
     let mut lines = reader.lines();
     let header = Header::parse(
@@ -564,42 +602,137 @@ fn parse_trips<R: BufRead>(reader: R) -> Result<Vec<GtfsTrip>, GtfsError> {
     Ok(out)
 }
 
-fn parse_stop_times<R: BufRead>(reader: R) -> Result<Vec<GtfsStopTime>, GtfsError> {
-    const FILE: &str = "stop_times.txt";
-    let mut lines = reader.lines();
-    let header = Header::parse(
-        &lines.next().ok_or(GtfsError::MissingColumn { file: FILE, column: "trip_id" })??,
-    );
-    for col in ["trip_id", "stop_id", "stop_sequence"] {
-        if header.index(col).is_none() {
-            return Err(GtfsError::MissingColumn {
-                file: FILE,
-                column: match col {
-                    "trip_id" => "trip_id",
-                    "stop_id" => "stop_id",
-                    _ => "stop_sequence",
-                },
-            });
+/// One trip's worth of consecutive `stop_times.txt` records, as yielded by
+/// [`StopTimesReader`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TripGroup {
+    /// The `trip_id` shared by every record in the group.
+    pub trip_id: String,
+    /// `(stop_sequence, stop_id)` records in file order (callers sort by
+    /// sequence where ordering matters).
+    pub records: Vec<(u32, String)>,
+    /// 1-based line number of the group's first record (error reporting).
+    pub line: usize,
+}
+
+/// Streaming `stop_times.txt` reader: yields one [`TripGroup`] per
+/// consecutive run of records sharing a `trip_id`, without ever
+/// materializing the whole table.
+///
+/// **Memory contract:** at most one group — the trip currently being
+/// accumulated — is held at a time, so peak memory is O(largest trip)
+/// regardless of file size. This is what lets
+/// [`crate::ingest::GtfsIngest::import_dir`] ingest NYC-scale feeds whose
+/// `stop_times.txt` dwarfs every other table.
+///
+/// The reader assumes the file is grouped by `trip_id` (the GTFS best
+/// practice, true of virtually all published feeds); it does **not** merge
+/// a trip whose records are scattered across non-adjacent blocks — each run
+/// becomes its own group, and consumers that need whole trips must detect
+/// the reappearance (as `import_dir` does). The eager
+/// [`GtfsFeed::parse`]/[`GtfsFeed::load_dir`] path is a thin collect over
+/// this reader and handles unsorted feeds fine, since it regroups in
+/// memory.
+#[derive(Debug)]
+pub struct StopTimesReader<R: BufRead> {
+    lines: std::io::Lines<R>,
+    header: Header,
+    /// 1-based line number of the last line read.
+    line: usize,
+    pending: Option<TripGroup>,
+    done: bool,
+}
+
+impl<R: BufRead> StopTimesReader<R> {
+    /// Parses and validates the header; the records stream lazily through
+    /// the [`Iterator`] impl.
+    pub fn new(reader: R) -> Result<Self, GtfsError> {
+        const FILE: &str = "stop_times.txt";
+        let mut lines = reader.lines();
+        let header = Header::parse(
+            &lines.next().ok_or(GtfsError::MissingColumn { file: FILE, column: "trip_id" })??,
+        );
+        for col in ["trip_id", "stop_id", "stop_sequence"] {
+            if header.index(col).is_none() {
+                return Err(GtfsError::MissingColumn {
+                    file: FILE,
+                    column: match col {
+                        "trip_id" => "trip_id",
+                        "stop_id" => "stop_id",
+                        _ => "stop_sequence",
+                    },
+                });
+            }
+        }
+        Ok(StopTimesReader { lines, header, line: 1, pending: None, done: false })
+    }
+}
+
+impl<R: BufRead> Iterator for StopTimesReader<R> {
+    type Item = Result<TripGroup, GtfsError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        const FILE: &str = "stop_times.txt";
+        if self.done {
+            return None;
+        }
+        loop {
+            let Some(line) = self.lines.next() else {
+                self.done = true;
+                return self.pending.take().map(Ok);
+            };
+            self.line += 1;
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e.into()));
+                }
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let rec = split_record(&line);
+            let trip_id = self.header.get(&rec, "trip_id").unwrap_or("").to_string();
+            let stop_id = self.header.get(&rec, "stop_id").unwrap_or("").to_string();
+            let sequence: u32 =
+                match parse_field(&self.header, &rec, "stop_sequence", FILE, self.line) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
+                };
+            if trip_id.is_empty() || stop_id.is_empty() {
+                self.done = true;
+                return Some(Err(GtfsError::BadRecord {
+                    file: FILE,
+                    line: self.line,
+                    reason: "empty trip_id or stop_id".into(),
+                }));
+            }
+            match &mut self.pending {
+                Some(group) if group.trip_id == trip_id => group.records.push((sequence, stop_id)),
+                pending => {
+                    let next =
+                        TripGroup { trip_id, records: vec![(sequence, stop_id)], line: self.line };
+                    if let Some(finished) = pending.replace(next) {
+                        return Some(Ok(finished));
+                    }
+                }
+            }
         }
     }
+}
+
+/// Eager `stop_times.txt` parse: a thin collect over [`StopTimesReader`].
+fn parse_stop_times<R: BufRead>(reader: R) -> Result<Vec<GtfsStopTime>, GtfsError> {
     let mut out = Vec::new();
-    for (i, line) in lines.enumerate() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
+    for group in StopTimesReader::new(reader)? {
+        let group = group?;
+        for (sequence, stop_id) in group.records {
+            out.push(GtfsStopTime { trip_id: group.trip_id.clone(), stop_id, sequence });
         }
-        let rec = split_record(&line);
-        let trip_id = header.get(&rec, "trip_id").unwrap_or("").to_string();
-        let stop_id = header.get(&rec, "stop_id").unwrap_or("").to_string();
-        let sequence: u32 = parse_field(&header, &rec, "stop_sequence", FILE, i + 2)?;
-        if trip_id.is_empty() || stop_id.is_empty() {
-            return Err(GtfsError::BadRecord {
-                file: FILE,
-                line: i + 2,
-                reason: "empty trip_id or stop_id".into(),
-            });
-        }
-        out.push(GtfsStopTime { trip_id, stop_id, sequence });
     }
     Ok(out)
 }
@@ -708,7 +841,9 @@ mod tests {
     fn stops_on_same_node_merge() {
         let (road, proj) = grid();
         let mut feed = feed_for_grid(&proj, &road);
-        // A duplicate stop a few meters from A snaps to the same node.
+        // A duplicate stop a few meters from A snaps to the same node. The
+        // trip visits it right after A (same sequence, later in file order)
+        // so it is referenced — unreferenced stops are dropped outright.
         let near_a = proj.unproject(&Point::new(3.0, 4.0));
         feed.stops.push(GtfsStop {
             id: "A2".into(),
@@ -716,8 +851,14 @@ mod tests {
             lat: near_a.lat,
             lon: near_a.lon,
         });
+        feed.stop_times.push(GtfsStopTime {
+            trip_id: "t1".into(),
+            stop_id: "A2".into(),
+            sequence: 1,
+        });
         let (net, stats) = feed.into_transit(&road, &proj).expect("import");
         assert_eq!(net.num_stops(), 3, "duplicate stop not merged");
+        assert_eq!(stats.dropped_stops, 0, "merged stop is used, not dropped");
         assert!(stats.max_snap_m >= 5.0 - 1e-9);
     }
 
@@ -874,12 +1015,73 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
 
+        // A dangling stop in a NON-representative trip must be caught too:
+        // validation covers every stop_times record, not just the longest
+        // trip's (t2 is shorter than t1, so it never represents r1).
+        let mut feed = feed_for_grid(&proj, &road);
+        feed.trips.push(GtfsTrip { id: "t2".into(), route_id: "r1".into() });
+        feed.stop_times.push(GtfsStopTime {
+            trip_id: "t2".into(),
+            stop_id: "GHOST2".into(),
+            sequence: 1,
+        });
+        match feed.route_stop_sequences() {
+            Err(GtfsError::DanglingReference { kind: "stop", id }) => assert_eq!(id, "GHOST2"),
+            other => panic!("non-representative trip not validated: {other:?}"),
+        }
+
         let mut feed = feed_for_grid(&proj, &road);
         feed.trips.push(GtfsTrip { id: "tX".into(), route_id: "NO_ROUTE".into() });
         assert!(matches!(
             feed.route_stop_sequences(),
             Err(GtfsError::DanglingReference { kind: "route", .. })
         ));
+    }
+
+    #[test]
+    fn new_pipeline_matches_reference_on_grid_fixture() {
+        let (road, proj) = grid();
+        let feed = feed_for_grid(&proj, &road);
+        let (net, stats) = feed.into_transit(&road, &proj).expect("import");
+        let (reference, ref_stats) = feed.into_transit_reference(&road, &proj).expect("reference");
+        assert_eq!(net.stops(), reference.stops());
+        assert_eq!(net.edges(), reference.edges());
+        assert_eq!(net.routes(), reference.routes());
+        assert_eq!(stats.stops, ref_stats.stops);
+        assert_eq!(stats.routes, ref_stats.routes);
+        assert_eq!(stats.max_snap_m, ref_stats.max_snap_m);
+    }
+
+    #[test]
+    fn adversarial_ids_survive_export_round_trip() {
+        let stops = vec![
+            GtfsStop { id: "plain".into(), name: "Plain".into(), lat: 41.5, lon: -87.5 },
+            GtfsStop { id: "has,comma".into(), name: "A, B".into(), lat: 41.5, lon: -87.5 },
+            GtfsStop { id: "has\"quote".into(), name: "say \"hi\"".into(), lat: 41.5, lon: -87.5 },
+        ];
+        let routes = vec![GtfsRoute { id: "r,1".into(), short_name: "10,\"X\"".into() }];
+        let trips = vec![GtfsTrip { id: "t\"1\",a".into(), route_id: "r,1".into() }];
+        let stop_times = (0..3)
+            .map(|i| GtfsStopTime {
+                trip_id: "t\"1\",a".into(),
+                stop_id: stops[i].id.clone(),
+                sequence: i as u32,
+            })
+            .collect();
+        let feed = GtfsFeed { stops, routes, trips, stop_times };
+        let reparsed = GtfsFeed::parse(
+            feed.stops_txt().as_bytes(),
+            feed.routes_txt().as_bytes(),
+            feed.trips_txt().as_bytes(),
+            feed.stop_times_txt().as_bytes(),
+        )
+        .expect("reparse adversarial ids");
+        assert_eq!(reparsed.stops, feed.stops);
+        assert_eq!(reparsed.routes, feed.routes);
+        assert_eq!(reparsed.trips, feed.trips);
+        assert_eq!(reparsed.stop_times, feed.stop_times);
+        // And the reparse still resolves references.
+        assert_eq!(reparsed.route_stop_sequences().unwrap()[0].0, "r,1");
     }
 
     #[test]
@@ -958,6 +1160,156 @@ mod tests {
     fn load_dir_missing_file_is_io_error() {
         let dir = std::env::temp_dir().join("ctbus-gtfs-nonexistent");
         assert!(matches!(GtfsFeed::load_dir(&dir), Err(GtfsError::Io(_))));
+    }
+}
+
+#[cfg(test)]
+mod streaming_tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    const STOP_TIMES: &str = "trip_id,stop_id,stop_sequence\n\
+         t1,A,2\n\
+         t1,B,1\n\
+         t1,C,3\n\
+         t2,B,1\n\
+         t2,C,2\n\
+         t3,A,1\n";
+
+    #[test]
+    fn reader_groups_consecutive_records_by_trip() {
+        let groups: Vec<TripGroup> = StopTimesReader::new(STOP_TIMES.as_bytes())
+            .expect("header")
+            .collect::<Result<_, _>>()
+            .expect("groups");
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].trip_id, "t1");
+        // Records stay in file order; callers sort by sequence.
+        assert_eq!(
+            groups[0].records,
+            vec![(2, "A".to_string()), (1, "B".to_string()), (3, "C".to_string())]
+        );
+        assert_eq!(groups[0].line, 2);
+        assert_eq!(groups[1].trip_id, "t2");
+        assert_eq!(groups[1].line, 5);
+        assert_eq!(groups[2].trip_id, "t3");
+        assert_eq!(groups[2].records, vec![(1, "A".to_string())]);
+    }
+
+    #[test]
+    fn eager_parse_is_a_thin_collect_over_the_reader() {
+        let eager = parse_stop_times(STOP_TIMES.as_bytes()).expect("parse");
+        let streamed: Vec<GtfsStopTime> = StopTimesReader::new(STOP_TIMES.as_bytes())
+            .expect("header")
+            .map(|g| g.expect("group"))
+            .flat_map(|TripGroup { trip_id, records, .. }| {
+                records
+                    .into_iter()
+                    .map(move |(sequence, stop_id)| GtfsStopTime {
+                        trip_id: trip_id.clone(),
+                        stop_id,
+                        sequence,
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        assert_eq!(eager, streamed);
+    }
+
+    #[test]
+    fn reader_reports_errors_with_line_numbers() {
+        let bad = "trip_id,stop_id,stop_sequence\nt1,A,1\nt1,B,not_a_number\n";
+        let mut reader = StopTimesReader::new(bad.as_bytes()).expect("header");
+        match reader.next() {
+            Some(Err(GtfsError::BadRecord { file: "stop_times.txt", line: 3, reason })) => {
+                assert!(reason.contains("stop_sequence"), "{reason}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(reader.next().is_none(), "reader fuses after an error");
+
+        let empty_field = "trip_id,stop_id,stop_sequence\nt1,,1\n";
+        let mut reader = StopTimesReader::new(empty_field.as_bytes()).expect("header");
+        assert!(matches!(
+            reader.next(),
+            Some(Err(GtfsError::BadRecord { file: "stop_times.txt", line: 2, .. }))
+        ));
+
+        assert!(matches!(
+            StopTimesReader::new("trip_id,stop_id\n".as_bytes()),
+            Err(GtfsError::MissingColumn { file: "stop_times.txt", column: "stop_sequence" })
+        ));
+    }
+
+    /// A `BufRead` that serves one line at a time and counts how many lines
+    /// have been handed out — lets the test observe that the reader pulls
+    /// input incrementally instead of slurping the table.
+    struct LineMeter {
+        lines: Vec<Vec<u8>>,
+        idx: usize,
+        off: usize,
+        served: Rc<Cell<usize>>,
+    }
+
+    impl LineMeter {
+        fn new(text: &str, served: Rc<Cell<usize>>) -> Self {
+            let lines = text.split_inclusive('\n').map(|l| l.as_bytes().to_vec()).collect();
+            LineMeter { lines, idx: 0, off: 0, served }
+        }
+    }
+
+    impl std::io::Read for LineMeter {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            use std::io::BufRead;
+            let src = self.fill_buf()?;
+            let n = src.len().min(buf.len());
+            buf[..n].copy_from_slice(&src[..n]);
+            self.consume(n);
+            Ok(n)
+        }
+    }
+
+    impl std::io::BufRead for LineMeter {
+        fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+            if self.idx >= self.lines.len() {
+                return Ok(&[]);
+            }
+            if self.off == 0 {
+                self.served.set(self.served.get() + 1);
+            }
+            Ok(&self.lines[self.idx][self.off..])
+        }
+
+        fn consume(&mut self, amt: usize) {
+            if self.idx >= self.lines.len() {
+                return;
+            }
+            self.off += amt;
+            if self.off >= self.lines[self.idx].len() {
+                self.idx += 1;
+                self.off = 0;
+            }
+        }
+    }
+
+    #[test]
+    fn reader_consumes_input_lazily() {
+        let served = Rc::new(Cell::new(0usize));
+        let meter = LineMeter::new(STOP_TIMES, served.clone());
+        let mut reader = StopTimesReader::new(meter).expect("header");
+        // Header only so far (plus nothing speculative).
+        assert_eq!(served.get(), 1);
+        let g1 = reader.next().unwrap().unwrap();
+        assert_eq!(g1.trip_id, "t1");
+        // Yielding t1 required its 3 records plus exactly one lookahead
+        // line (the first t2 record) — the table was not slurped.
+        assert_eq!(served.get(), 5);
+        let g2 = reader.next().unwrap().unwrap();
+        assert_eq!(g2.trip_id, "t2");
+        assert_eq!(served.get(), 7);
+        assert_eq!(reader.next().unwrap().unwrap().trip_id, "t3");
+        assert!(reader.next().is_none());
     }
 }
 

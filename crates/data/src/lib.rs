@@ -25,6 +25,7 @@ pub mod export;
 pub mod generator;
 pub mod geojson;
 pub mod gtfs;
+pub mod ingest;
 pub mod loaders;
 pub mod trajectory;
 
@@ -33,6 +34,10 @@ pub use demand::DemandModel;
 pub use export::{city_summary_json, route_geometry_json};
 pub use generator::{CityConfig, CoastSide, GeographyMask};
 pub use geojson::GeoJsonExporter;
-pub use gtfs::{GtfsError, GtfsFeed, GtfsImportStats};
-pub use loaders::{load_city_json, load_trip_records_csv, save_city_json, TripRecord};
+pub use gtfs::{GtfsError, GtfsFeed, GtfsImportStats, StopTimesReader, TripGroup};
+pub use ingest::{GtfsIngest, HopCacheStats, HopPathCache, SnapIndex};
+pub use loaders::{
+    load_city_json, load_trip_records_csv, save_city_json, trips_to_trajectories,
+    trips_to_trajectories_with, TripRecord,
+};
 pub use trajectory::Trajectory;

@@ -8,11 +8,12 @@
 
 use std::io::{BufRead, Write};
 
-use ct_graph::{shortest_path, RoadNetwork};
-use ct_spatial::{GridIndex, Point};
+use ct_graph::{PathScratch, RoadNetwork};
+use ct_spatial::Point;
 use serde::{Deserialize, Serialize};
 
 use crate::city::City;
+use crate::ingest::SnapIndex;
 use crate::trajectory::Trajectory;
 
 /// A raw trip record: projected endpoints and reported travel distance.
@@ -74,16 +75,30 @@ pub fn trips_to_trajectories(
     trips: &[TripRecord],
     tolerance: f64,
 ) -> Vec<Trajectory> {
-    let index = GridIndex::build(250.0, road.positions());
+    let snap = SnapIndex::build(road).with_max_snap_m(f64::INFINITY);
+    trips_to_trajectories_with(road, &snap, trips, tolerance)
+}
+
+/// [`trips_to_trajectories`] against a caller-held [`SnapIndex`], so corpora
+/// loaded in several batches against one road network share the index (and
+/// its snap-radius policy) instead of rebuilding it per call.
+pub fn trips_to_trajectories_with(
+    road: &RoadNetwork,
+    snap: &SnapIndex,
+    trips: &[TripRecord],
+    tolerance: f64,
+) -> Vec<Trajectory> {
+    let mut scratch = PathScratch::new();
     let mut out = Vec::with_capacity(trips.len());
     for trip in trips {
-        let (Some(a), Some(b)) = (index.nearest(&trip.pickup), index.nearest(&trip.dropoff)) else {
+        let (Some((a, _)), Some((b, _))) = (snap.snap(&trip.pickup), snap.snap(&trip.dropoff))
+        else {
             continue;
         };
         if a == b {
             continue;
         }
-        let Some(path) = shortest_path(road, a, b) else { continue };
+        let Some(path) = scratch.shortest_path(road, a, b) else { continue };
         if trip.distance_m > 0.0 {
             let rel = (path.dist - trip.distance_m).abs() / trip.distance_m;
             if rel > tolerance {
@@ -183,6 +198,35 @@ mod tests {
         let trajs = trips_to_trajectories(&road, &trips, 0.05);
         assert_eq!(trajs.len(), 2);
         assert!(trajs.iter().all(|t| t.is_consistent(&road)));
+    }
+
+    #[test]
+    fn shared_snap_index_matches_per_call_expansion() {
+        let road = grid_road();
+        let trips = vec![
+            TripRecord {
+                pickup: Point::new(0.0, 0.0),
+                dropoff: Point::new(200.0, 0.0),
+                distance_m: 200.0,
+            },
+            TripRecord {
+                pickup: Point::new(0.0, 0.0),
+                dropoff: Point::new(0.0, 200.0),
+                distance_m: 0.0,
+            },
+        ];
+        let snap = SnapIndex::build(&road);
+        let shared = trips_to_trajectories_with(&road, &snap, &trips, 0.05);
+        assert_eq!(shared, trips_to_trajectories(&road, &trips, 0.05));
+        // A bounded index drops trips whose endpoints are too far away.
+        let tight = SnapIndex::build(&road).with_max_snap_m(10.0);
+        let far = vec![TripRecord {
+            pickup: Point::new(5_000.0, 5_000.0),
+            dropoff: Point::new(0.0, 0.0),
+            distance_m: 0.0,
+        }];
+        assert!(trips_to_trajectories_with(&road, &tight, &far, 0.05).is_empty());
+        assert_eq!(trips_to_trajectories(&road, &far, 0.05).len(), 1);
     }
 
     #[test]

@@ -77,3 +77,71 @@ fn trip_loader_rejects_out_of_tolerance_distances() {
     let loose = ct_data::loaders::trips_to_trajectories(&city.road, &[trip], 0.30);
     assert_eq!(loose.len(), 1);
 }
+
+/// Characters that stress the CSV writer: separators, quotes, and the
+/// doubling escape. Whitespace is excluded at the edges below (the reader
+/// trims fields, so edge whitespace cannot round-trip by design).
+const ID_CHARS: &[char] = &['a', 'B', '3', ',', '"', '\'', ';', ':', '_', '-', '.', '/', ' ', '€'];
+
+fn id_from(indices: &[usize]) -> String {
+    let s: String = indices.iter().map(|&i| ID_CHARS[i % ID_CHARS.len()]).collect();
+    let t = s.trim();
+    if t.is_empty() {
+        "x".into()
+    } else {
+        t.to_string()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn adversarial_ids_round_trip_through_gtfs_text(
+        raw in proptest::collection::vec(
+            proptest::collection::vec(0usize..14, 1..12),
+            4..9,
+        ),
+        route_raw in proptest::collection::vec(0usize..14, 1..12),
+        trip_raw in proptest::collection::vec(0usize..14, 1..12),
+    ) {
+        use ct_data::gtfs::{GtfsFeed, GtfsRoute, GtfsStop, GtfsStopTime, GtfsTrip};
+        let stop_ids: Vec<String> = raw.iter().map(|r| id_from(r)).collect();
+        let route_id = id_from(&route_raw);
+        let trip_id = id_from(&trip_raw);
+        let feed = GtfsFeed {
+            stops: stop_ids
+                .iter()
+                .enumerate()
+                .map(|(i, id)| GtfsStop {
+                    id: id.clone(),
+                    name: format!("name \"{i}\", unit"),
+                    lat: 41.5,
+                    lon: -87.5,
+                })
+                .collect(),
+            routes: vec![GtfsRoute { id: route_id.clone(), short_name: route_id.clone() }],
+            trips: vec![GtfsTrip { id: trip_id.clone(), route_id: route_id.clone() }],
+            stop_times: stop_ids
+                .iter()
+                .enumerate()
+                .map(|(i, id)| GtfsStopTime {
+                    trip_id: trip_id.clone(),
+                    stop_id: id.clone(),
+                    sequence: i as u32,
+                })
+                .collect(),
+        };
+        let reparsed = GtfsFeed::parse(
+            feed.stops_txt().as_bytes(),
+            feed.routes_txt().as_bytes(),
+            feed.trips_txt().as_bytes(),
+            feed.stop_times_txt().as_bytes(),
+        )
+        .expect("adversarial ids must reparse");
+        prop_assert_eq!(&reparsed.stops, &feed.stops);
+        prop_assert_eq!(&reparsed.routes, &feed.routes);
+        prop_assert_eq!(&reparsed.trips, &feed.trips);
+        prop_assert_eq!(&reparsed.stop_times, &feed.stop_times);
+    }
+}

@@ -209,46 +209,145 @@ pub fn shortest_path<G: WeightedGraph + ?Sized>(
     source: u32,
     target: u32,
 ) -> Option<PathResult> {
-    let n = g.node_count();
-    let mut dist = vec![f64::INFINITY; n];
-    // parent[v] = (previous node, edge id used to reach v)
-    let mut parent: Vec<Option<(u32, u32)>> = vec![None; n];
-    let mut heap = BinaryHeap::new();
-    dist[source as usize] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, node: source });
+    PathScratch::new().shortest_path(g, source, target)
+}
 
-    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
-        if u == target {
-            break;
+/// Reusable workspace for point-to-point Dijkstra queries.
+///
+/// [`shortest_path`] allocates (and zeroes) O(n) distance/parent arrays per
+/// call; batch workloads — realizing thousands of GTFS hops over one road
+/// network — pay that per hop. A `PathScratch` keeps the arrays across
+/// calls and resets only the entries the previous search touched, so each
+/// query costs O(settled region), not O(n). Results are bit-identical to
+/// [`shortest_path`] (same heap, same tie-breaks).
+#[derive(Debug, Default)]
+pub struct PathScratch {
+    dist: Vec<f64>,
+    parent: Vec<Option<(u32, u32)>>,
+    touched: Vec<u32>,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl PathScratch {
+    /// Creates an empty workspace; arrays grow lazily to the graph size.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Shortest path from `source` to `target` with early exit; `None` if
+    /// unreachable. Equivalent to [`shortest_path`], reusing this scratch.
+    pub fn shortest_path<G: WeightedGraph + ?Sized>(
+        &mut self,
+        g: &G,
+        source: u32,
+        target: u32,
+    ) -> Option<PathResult> {
+        let n = g.node_count();
+        if self.dist.len() < n {
+            self.dist.resize(n, f64::INFINITY);
+            self.parent.resize(n, None);
         }
-        if d > dist[u as usize] {
-            continue;
-        }
-        g.for_each_neighbor(u, &mut |v, e, w| {
-            let nd = d + w;
-            if nd < dist[v as usize] {
-                dist[v as usize] = nd;
-                parent[v as usize] = Some((u, e));
-                heap.push(HeapEntry { dist: nd, node: v });
+        let (dist, parent, touched, heap) =
+            (&mut self.dist, &mut self.parent, &mut self.touched, &mut self.heap);
+        dist[source as usize] = 0.0;
+        touched.push(source);
+        heap.push(HeapEntry { dist: 0.0, node: source });
+
+        while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+            if u == target {
+                break;
             }
-        });
-    }
+            if d > dist[u as usize] {
+                continue;
+            }
+            g.for_each_neighbor(u, &mut |v, e, w| {
+                let nd = d + w;
+                if nd < dist[v as usize] {
+                    if dist[v as usize] == f64::INFINITY {
+                        touched.push(v);
+                    }
+                    dist[v as usize] = nd;
+                    parent[v as usize] = Some((u, e));
+                    heap.push(HeapEntry { dist: nd, node: v });
+                }
+            });
+        }
 
-    if source != target && parent[target as usize].is_none() {
-        return None;
+        let result = if source != target && parent[target as usize].is_none() {
+            None
+        } else {
+            let mut nodes = vec![target];
+            let mut edges = Vec::new();
+            let mut cur = target;
+            while cur != source {
+                let (p, e) = parent[cur as usize].expect("parent chain is complete");
+                edges.push(e);
+                nodes.push(p);
+                cur = p;
+            }
+            nodes.reverse();
+            edges.reverse();
+            Some(PathResult { dist: dist[target as usize], nodes, edges })
+        };
+
+        for &t in touched.iter() {
+            dist[t as usize] = f64::INFINITY;
+            parent[t as usize] = None;
+        }
+        touched.clear();
+        heap.clear();
+        result
     }
-    let mut nodes = vec![target];
-    let mut edges = Vec::new();
-    let mut cur = target;
-    while cur != source {
-        let (p, e) = parent[cur as usize].expect("parent chain is complete");
-        edges.push(e);
-        nodes.push(p);
-        cur = p;
+}
+
+/// Shortest paths for a batch of `(source, target)` pairs, fanned out over
+/// `threads` workers (`0` = use all available cores).
+///
+/// Each pair is an independent early-exit Dijkstra through a per-worker
+/// [`PathScratch`]; workers pull pairs off an atomic counter and results
+/// are merged back by input index, so the output is bit-identical to
+/// calling [`shortest_path`] per pair in order, under any thread count.
+/// This is the entry point the GTFS importer uses to realize all unique
+/// stop-pair corridors of a feed at once.
+pub fn shortest_paths_batch<G: WeightedGraph + Sync + ?Sized>(
+    g: &G,
+    pairs: &[(u32, u32)],
+    threads: usize,
+) -> Vec<Option<PathResult>> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        threads
     }
-    nodes.reverse();
-    edges.reverse();
-    Some(PathResult { dist: dist[target as usize], nodes, edges })
+    .min(pairs.len().max(1));
+    if threads <= 1 {
+        let mut scratch = PathScratch::new();
+        return pairs.iter().map(|&(s, t)| scratch.shortest_path(g, s, t)).collect();
+    }
+    let counter = std::sync::atomic::AtomicUsize::new(0);
+    let mut out: Vec<Option<PathResult>> = Vec::new();
+    out.resize_with(pairs.len(), || None);
+    let chunks: Vec<Vec<(usize, Option<PathResult>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut scratch = PathScratch::new();
+                    let mut found = Vec::new();
+                    loop {
+                        let i = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(&(s, t)) = pairs.get(i) else { break };
+                        found.push((i, scratch.shortest_path(g, s, t)));
+                    }
+                    found
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("batch worker panicked")).collect()
+    });
+    for (i, r) in chunks.into_iter().flatten() {
+        out[i] = r;
+    }
+    out
 }
 
 #[cfg(test)]
@@ -390,6 +489,67 @@ mod tests {
         let g = RoadNetwork::new(positions, vec![]);
         let (_, parent) = dijkstra_tree(&g, 0);
         assert!(reconstruct_path(0, 1, &parent).is_none());
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_queries() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let n = 30usize;
+        let mut edges = Vec::new();
+        for i in 0..n as u32 - 1 {
+            edges.push(RoadEdge { u: i, v: i + 1, length: rng.gen_range(1.0..10.0) });
+        }
+        for _ in 0..40 {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            if u != v {
+                edges.push(RoadEdge { u, v, length: rng.gen_range(1.0..10.0) });
+            }
+        }
+        let positions = (0..n).map(|i| Point::new(i as f64, 0.0)).collect();
+        let g = RoadNetwork::new(positions, edges);
+        let mut scratch = PathScratch::new();
+        for _ in 0..50 {
+            let s = rng.gen_range(0..n as u32);
+            let t = rng.gen_range(0..n as u32);
+            assert_eq!(scratch.shortest_path(&g, s, t), shortest_path(&g, s, t), "{s}->{t}");
+        }
+    }
+
+    #[test]
+    fn scratch_resets_after_unreachable_query() {
+        let positions = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(2.0, 0.0)];
+        let g = RoadNetwork::new(positions, vec![RoadEdge { u: 0, v: 1, length: 1.0 }]);
+        let mut scratch = PathScratch::new();
+        assert!(scratch.shortest_path(&g, 0, 2).is_none());
+        // A later reachable query must not see stale state.
+        let p = scratch.shortest_path(&g, 0, 1).unwrap();
+        assert_eq!(p.dist, 1.0);
+        assert!(scratch.shortest_path(&g, 2, 0).is_none());
+    }
+
+    #[test]
+    fn batch_matches_per_pair_under_any_thread_count() {
+        let g = diamond();
+        let pairs =
+            vec![(0u32, 3u32), (3, 0), (1, 2), (2, 2), (0, 1), (0, 3), (2, 1), (3, 1), (1, 0)];
+        let reference: Vec<Option<PathResult>> =
+            pairs.iter().map(|&(s, t)| shortest_path(&g, s, t)).collect();
+        for threads in [0, 1, 2, 5, 16] {
+            assert_eq!(shortest_paths_batch(&g, &pairs, threads), reference, "threads={threads}");
+        }
+        assert!(shortest_paths_batch(&g, &[], 4).is_empty());
+    }
+
+    #[test]
+    fn batch_reports_unreachable_pairs() {
+        let positions = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(2.0, 0.0)];
+        let g = RoadNetwork::new(positions, vec![RoadEdge { u: 0, v: 1, length: 1.0 }]);
+        let out = shortest_paths_batch(&g, &[(0, 2), (0, 1), (2, 0)], 2);
+        assert!(out[0].is_none());
+        assert_eq!(out[1].as_ref().unwrap().dist, 1.0);
+        assert!(out[2].is_none());
     }
 
     #[test]

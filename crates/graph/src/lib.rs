@@ -25,7 +25,8 @@ pub mod transit;
 
 pub use bfs::{bfs_hops, connected_components, largest_component};
 pub use dijkstra::{
-    dijkstra_all, dijkstra_bounded, dijkstra_tree, reconstruct_path, shortest_path, PathResult,
+    dijkstra_all, dijkstra_bounded, dijkstra_tree, reconstruct_path, shortest_path,
+    shortest_paths_batch, PathResult, PathScratch,
 };
 pub use mincut::{edge_connectivity, global_min_cut, min_cut_of, MinCut};
 pub use road::{RoadEdge, RoadNetwork};

@@ -98,12 +98,39 @@ impl GridIndex {
     /// The nearest indexed point to `center`, or `None` if the index is empty.
     ///
     /// Expands the search ring outward so it remains fast even when the
-    /// nearest point is several cells away.
+    /// nearest point is several cells away. Always resolves on a non-empty
+    /// index, however far the query is — use [`GridIndex::nearest_within`]
+    /// when a distance cap matters (e.g. snapping stops to a road network).
     pub fn nearest(&self, center: &Point) -> Option<u32> {
-        if self.points.is_empty() {
+        self.nearest_within(center, f64::INFINITY)
+    }
+
+    /// The nearest indexed point to `center` at most `max_dist` meters away
+    /// (inclusive), or `None` if no point qualifies.
+    ///
+    /// Unlike [`GridIndex::nearest`], the ring expansion is capped by
+    /// `max_dist`, so far-away queries return `None` in O(max_dist / cell)²
+    /// work instead of resolving to an arbitrary border point.
+    pub fn nearest_within(&self, center: &Point, max_dist: f64) -> Option<u32> {
+        if self.points.is_empty() || max_dist < 0.0 {
             return None;
         }
+        // Any point within max_dist lies in a cell whose Chebyshev ring
+        // distance from the center cell is at most ceil(max_dist / cell) + 1.
+        let ring_cap = if max_dist.is_finite() {
+            ((max_dist / self.cell).ceil() as i64).min(i32::MAX as i64 - 2) as i32 + 1
+        } else {
+            i32::MAX - 2
+        };
         let (cx, cy) = self.key(center);
+        // Beyond the farthest occupied cell there is nothing left to scan.
+        let max_ring = 2
+            + (self
+                .cells
+                .keys()
+                .map(|&(x, y)| (x - cx).abs().max((y - cy).abs()))
+                .max()
+                .unwrap_or(0));
         let mut best: Option<(f64, u32)> = None;
         let mut ring = 0i32;
         loop {
@@ -133,18 +160,12 @@ impl GridIndex {
                 }
             }
             ring += 1;
-            let max_ring = 2
-                + (self
-                    .cells
-                    .keys()
-                    .map(|&(x, y)| (x - cx).abs().max((y - cy).abs()))
-                    .max()
-                    .unwrap_or(0));
-            if ring > max_ring {
+            if ring > ring_cap || ring > max_ring {
                 break;
             }
         }
-        best.map(|(_, id)| id)
+        let max2 = if max_dist.is_finite() { max_dist * max_dist } else { f64::INFINITY };
+        best.filter(|&(d2, _)| d2 <= max2).map(|(_, id)| id)
     }
 }
 
@@ -203,6 +224,37 @@ mod tests {
         let g = GridIndex::build(25.0, &cross());
         // Query point is dozens of cells away from all data.
         assert_eq!(g.nearest(&Point::new(5000.0, 4000.0)), Some(5));
+    }
+
+    #[test]
+    fn nearest_within_enforces_the_radius() {
+        let g = GridIndex::build(25.0, &cross());
+        // Nearest to this query is point 1 at 10.0 m.
+        let q = Point::new(90.0, 0.0);
+        assert_eq!(g.nearest_within(&q, 10.0), Some(1)); // inclusive
+        assert_eq!(g.nearest_within(&q, 9.999), None);
+        // Far query: nearest() resolves, nearest_within() refuses.
+        let far = Point::new(5000.0, 4000.0);
+        assert_eq!(g.nearest(&far), Some(5));
+        assert_eq!(g.nearest_within(&far, 1000.0), None);
+        assert_eq!(g.nearest_within(&far, f64::INFINITY), Some(5));
+    }
+
+    #[test]
+    fn nearest_within_matches_nearest_when_radius_covers() {
+        let pts = cross();
+        let g = GridIndex::build(40.0, &pts);
+        for q in [Point::new(3.0, -7.0), Point::new(120.0, 80.0), Point::new(-90.0, 10.0)] {
+            let id = g.nearest(&q).unwrap();
+            let d = pts[id as usize].dist(&q);
+            assert_eq!(g.nearest_within(&q, d + 1e-9), Some(id));
+        }
+    }
+
+    #[test]
+    fn nearest_within_negative_radius_is_none() {
+        let g = GridIndex::build(25.0, &cross());
+        assert_eq!(g.nearest_within(&Point::new(0.0, 0.0), -1.0), None);
     }
 
     #[test]

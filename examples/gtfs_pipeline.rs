@@ -33,15 +33,23 @@ fn main() {
 
     // 2. Re-import: snap stops to the road network, stitch hops from road
     //    shortest paths — exactly what a real downloaded feed goes through.
-    let loaded = GtfsFeed::load_dir(&dir).expect("load GTFS feed");
-    let (transit, stats) = loaded.into_transit(&city.road, &proj).expect("import feed");
+    //    `GtfsIngest` streams `stop_times.txt` (never materializing the
+    //    table), shares one snap index, and realizes each unique corridor
+    //    with exactly one Dijkstra, city-wide.
+    let mut ingest = ct_bus::data::GtfsIngest::new(&city.road);
+    let (transit, stats) = ingest.import_dir(&dir, &proj).expect("import feed");
+    let cache = ingest.cache().stats();
     println!(
-        "imported: {} stops / {} edges / {} routes (max snap {:.1} m, {} dropped hops)",
+        "imported: {} stops / {} edges / {} routes (max snap {:.1} m, {} dropped hops, \
+         {} dropped stops; {} corridor Dijkstras, {} cache hits)",
         transit.num_stops(),
         transit.num_edges(),
         transit.num_routes(),
         stats.max_snap_m,
-        stats.dropped_hops
+        stats.dropped_hops,
+        stats.dropped_stops,
+        cache.dijkstra_runs,
+        cache.hits
     );
 
     // 3. Plan over the imported network.

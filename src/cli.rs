@@ -383,12 +383,14 @@ impl Cli {
                     .map_err(|e| UsageError(format!("cannot import {dir}: {e}")))?;
                 writeln!(
                     out,
-                    "imported {} stops / {} edges / {} routes (max snap {:.1} m, {} hops dropped)",
+                    "imported {} stops / {} edges / {} routes (max snap {:.1} m, {} hops \
+                     dropped, {} stops dropped)",
                     transit.num_stops(),
                     transit.num_edges(),
                     transit.num_routes(),
                     stats.max_snap_m,
-                    stats.dropped_hops
+                    stats.dropped_hops,
+                    stats.dropped_stops
                 )
                 .map_err(w)?;
                 city.transit = transit;
