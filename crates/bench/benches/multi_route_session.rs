@@ -1,0 +1,79 @@
+//! Criterion bench behind the incremental planning sessions (§6.3): the
+//! rebuild-per-round reference vs the commit-aware `PlanningSession`, on
+//! the medium city.
+//!
+//! Four labels land in `bench_baseline.json`:
+//!
+//! * `rebuild_per_round` — `plan_multiple_reference`, 3 rounds, each
+//!   rebuilding `Precomputed` from scratch;
+//! * `session` — `plan_multiple`, 3 rounds through one session (one cold
+//!   build, then commit-time incremental refreshes);
+//! * `cold_precompute_build` — a single `Precomputed::build`, the
+//!   yardstick: one session round must cost measurably less than this;
+//! * `session_commit_replan` — the per-round marginal (branch an already
+//!   warm session, commit a route, re-plan).
+//!
+//! Plan equality between the two drivers is asserted before measuring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ct_core::{
+    plan_multiple, plan_multiple_reference, CtBusParams, PlannerMode, PlanningSession, Precomputed,
+};
+use ct_data::{CityConfig, DemandModel};
+
+fn bench_multi_route_session(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multi_route");
+    group.sample_size(10);
+
+    let city = CityConfig::medium().generate();
+    let demand = DemandModel::from_city(&city);
+    let mut params = CtBusParams::small_defaults();
+    params.k = 10;
+    params.sn = 300;
+    params.it_max = 600;
+    let rounds = 3usize;
+    let mode = PlannerMode::EtaPre;
+
+    // The determinism contract the comparison rests on: same plans, bit
+    // for bit, from both drivers.
+    let reference = plan_multiple_reference(&city, &demand, params, rounds, mode);
+    assert_eq!(
+        plan_multiple(&city, &demand, params, rounds, mode),
+        reference,
+        "session diverged from the rebuild-per-round reference"
+    );
+    assert_eq!(reference.len(), rounds, "fixture must sustain all rounds");
+
+    group.bench_function(BenchmarkId::new("rebuild_per_round", "medium"), |b| {
+        b.iter(|| plan_multiple_reference(&city, &demand, params, rounds, mode))
+    });
+    group.bench_function(BenchmarkId::new("session", "medium"), |b| {
+        b.iter(|| plan_multiple(&city, &demand, params, rounds, mode))
+    });
+    group.bench_function(BenchmarkId::new("cold_precompute_build", "medium"), |b| {
+        b.iter(|| Precomputed::build(&city, &demand, &params))
+    });
+
+    // Per-round marginal: a warm session absorbs one more route and
+    // re-plans. `branch()` keeps each iteration independent; its own cost
+    // is recorded separately so the pure commit+replan marginal can be
+    // read off (commit_replan − branch), and because the cheap-fork claim
+    // deserves a number of its own.
+    let mut warm = PlanningSession::new(city.clone(), demand.clone(), params);
+    let first = warm.plan(mode);
+    assert!(!first.best.is_empty());
+    group
+        .bench_function(BenchmarkId::new("session_branch", "medium"), |b| b.iter(|| warm.branch()));
+    group.bench_function(BenchmarkId::new("session_commit_replan", "medium"), |b| {
+        b.iter(|| {
+            let mut s = warm.branch();
+            s.commit(&first.best);
+            s.plan(mode)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_multi_route_session);
+criterion_main!(benches);

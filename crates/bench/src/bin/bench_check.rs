@@ -1,0 +1,95 @@
+//! Bench-regression gate: compare a fresh `bench_baseline.json` against
+//! the committed one and fail on large slowdowns.
+//!
+//! ```sh
+//! cargo bench -p ct_bench -- --quick         # (per target) refresh target/experiments/…
+//! cargo run -p ct_bench --bin bench_check    # compare vs crates/bench/bench_baseline.json
+//! ```
+//!
+//! Usage: `bench_check [--max-ratio F] [current.json [committed.json]]`.
+//! Defaults: `target/experiments/bench_baseline.json` vs
+//! `crates/bench/bench_baseline.json`, ratio cap 2.0.
+//!
+//! Only labels present in **both** files are compared (median_ns). Labels
+//! missing on either side are listed but never fail the gate — new benches
+//! land before their baseline, old baselines may name retired cases.
+//! `--quick` numbers are noisy and CI hardware varies, hence the generous
+//! default cap: the gate catches step-function regressions (an accidental
+//! rebuild-per-round, a lost cache), not percent-level drift.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Per-label medians keyed by benchmark label.
+fn load_medians(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let value: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    let obj = value.as_object().ok_or_else(|| format!("{path}: expected a JSON object"))?;
+    let mut out = BTreeMap::new();
+    for (label, stats) in obj {
+        let median = stats
+            .get("median_ns")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("{path}: label {label} lacks median_ns"))?;
+        out.insert(label.clone(), median);
+    }
+    Ok(out)
+}
+
+fn run() -> Result<bool, String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut max_ratio = 2.0f64;
+    if let Some(i) = args.iter().position(|a| a == "--max-ratio") {
+        args.remove(i);
+        if i >= args.len() {
+            return Err("--max-ratio needs a value".into());
+        }
+        max_ratio = args.remove(i).parse().map_err(|e| format!("--max-ratio: bad value ({e})"))?;
+    }
+    let current_path =
+        args.first().cloned().unwrap_or_else(|| "target/experiments/bench_baseline.json".into());
+    let committed_path =
+        args.get(1).cloned().unwrap_or_else(|| "crates/bench/bench_baseline.json".into());
+
+    let current = load_medians(&current_path)?;
+    let committed = load_medians(&committed_path)?;
+
+    let mut failures = 0usize;
+    let mut compared = 0usize;
+    println!("{:<55} {:>12} {:>12} {:>7}", "label", "committed", "current", "ratio");
+    for (label, &base) in &committed {
+        let Some(&now) = current.get(label) else {
+            println!("{label:<55} {base:>12.0} {:>12} {:>7}", "-", "skip");
+            continue;
+        };
+        let ratio = if base > 0.0 { now / base } else { f64::INFINITY };
+        let failed = ratio > max_ratio;
+        let suffix = if failed { " FAIL" } else { "" };
+        println!("{label:<55} {base:>12.0} {now:>12.0} {ratio:>6.2}{suffix}");
+        compared += 1;
+        failures += usize::from(failed);
+    }
+    for label in current.keys().filter(|l| !committed.contains_key(*l)) {
+        println!("{label:<55} {:>12} (new — no committed baseline)", "-");
+    }
+    if compared == 0 {
+        return Err("no overlapping labels between current and committed baselines".into());
+    }
+    println!(
+        "\ncompared {compared} labels against {committed_path} (cap {max_ratio:.1}x): \
+         {failures} regression(s)"
+    );
+    Ok(failures == 0)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("bench_check: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

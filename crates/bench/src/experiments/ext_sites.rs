@@ -2,7 +2,7 @@
 //! cities — demand coverage and connectivity-linkability of greedily
 //! placed new stops, as the number of sites and the weight `w` vary.
 
-use ct_core::{select_sites, SiteParams};
+use ct_core::{PlanningSession, SiteParams};
 use ct_data::{CityConfig, DemandModel};
 
 use crate::harness::{ExperimentCtx, OutputSink};
@@ -22,6 +22,10 @@ pub fn run(ctx: &mut ExperimentCtx) {
         .generate();
     let demand = DemandModel::from_city(&city);
     let s = city.stats();
+    // One session holds the scenario state for the whole (k, w) grid; the
+    // (lazy) pre-computation is never built — site selection runs on the
+    // demand layer alone.
+    let session = PlanningSession::new(city.clone(), demand.clone(), ctx.base_params());
     sink.line(format!(
         "city: {} road nodes, {} stops on {} routes, |D| = {} (total demand {:.0})",
         s.road_nodes,
@@ -39,8 +43,7 @@ pub fn run(ctx: &mut ExperimentCtx) {
     for &k in &ks {
         let mut cells = vec![format!("{k}")];
         for &w in &ws {
-            let sel =
-                select_sites(&city, &demand, &SiteParams { num_sites: k, w, ..Default::default() });
+            let sel = session.select_sites(&SiteParams { num_sites: k, w, ..Default::default() });
             let mean_conn = if sel.sites.is_empty() {
                 0.0
             } else {

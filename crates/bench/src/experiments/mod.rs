@@ -4,6 +4,7 @@ pub mod ext_augment;
 pub mod ext_delta;
 pub mod ext_match;
 pub mod ext_measures;
+pub mod ext_multi;
 pub mod ext_rknn;
 pub mod ext_sites;
 pub mod ext_slq;
@@ -54,6 +55,7 @@ pub fn all_ids() -> &'static [&'static str] {
         "ext_measures",
         "ext_sites",
         "ext_rknn",
+        "ext_multi",
     ]
 }
 
@@ -82,6 +84,7 @@ pub fn run(id: &str, ctx: &mut ExperimentCtx) -> bool {
         "ext_match" => ext_match::run(ctx),
         "ext_augment" => ext_augment::run(ctx),
         "ext_measures" => ext_measures::run(ctx),
+        "ext_multi" => ext_multi::run(ctx),
         "ext_sites" => ext_sites::run(ctx),
         "ext_rknn" => ext_rknn::run(ctx),
         _ => return false,

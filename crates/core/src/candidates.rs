@@ -201,6 +201,80 @@ impl CandidateSet {
     pub fn pair_lookup(&self) -> HashMap<(u32, u32), u32> {
         self.edges.iter().enumerate().map(|(id, e)| ((e.u, e.v), id as u32)).collect()
     }
+
+    /// Promotes the given *new* candidate pairs to existing edges, in
+    /// place — the committed route's new hops have become transit edges.
+    ///
+    /// The pool is reordered exactly as a from-scratch
+    /// [`CandidateSet::build`] on the grown transit network would order it:
+    /// existing candidates keep their positions, the promoted pairs (in the
+    /// given order, which must be the route's first-occurrence hop order —
+    /// the order `TransitNetwork::with_route_added` appends edges in)
+    /// follow them, and the surviving new candidates keep their relative
+    /// order at the tail. Candidate *ids* therefore match a rebuild
+    /// bit-for-bit, which is what lets a committed planning session stay
+    /// exactly equivalent to the rebuild-per-round reference.
+    ///
+    /// # Panics
+    /// Panics if a pair is not a known new (non-existing) candidate.
+    pub fn promote_to_existing(&mut self, pairs: &[(u32, u32)]) {
+        if pairs.is_empty() {
+            return;
+        }
+        let slot_of: HashMap<(u32, u32), usize> =
+            pairs.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        assert_eq!(slot_of.len(), pairs.len(), "promoted pairs must be distinct");
+        let old = std::mem::take(&mut self.edges);
+        let mut reordered = Vec::with_capacity(old.len());
+        let mut promoted: Vec<Option<CandidateEdge>> = vec![None; pairs.len()];
+        let mut tail = Vec::with_capacity(old.len());
+        for mut e in old {
+            if e.existing {
+                reordered.push(e);
+            } else if let Some(&slot) = slot_of.get(&(e.u, e.v)) {
+                e.existing = true;
+                promoted[slot] = Some(e);
+            } else {
+                tail.push(e);
+            }
+        }
+        for p in promoted {
+            reordered.push(p.expect("promoted pair is a known new candidate"));
+        }
+        self.num_new = tail.len();
+        reordered.append(&mut tail);
+        self.edges = reordered;
+
+        // Incidence lists follow the new id order (same construction as
+        // `build`, so they too match a rebuild).
+        for list in &mut self.by_stop {
+            list.clear();
+        }
+        for (id, e) in self.edges.iter().enumerate() {
+            self.by_stop[e.u as usize].push(id as u32);
+            self.by_stop[e.v as usize].push(id as u32);
+        }
+    }
+
+    /// Re-derives each candidate's demand from `demand`, in place, for
+    /// candidates whose road path touches a covered edge (`covered[e]`).
+    ///
+    /// The value is recomputed as the full [`DemandModel::path_weight`] sum
+    /// — not decremented — so it is bit-identical to what a from-scratch
+    /// build under the updated demand model would store. Untouched
+    /// candidates keep their stored value, which equals the fresh sum
+    /// because none of their edges changed weight. Returns how many
+    /// candidates were refreshed.
+    pub fn refresh_demand(&mut self, demand: &DemandModel, covered: &[bool]) -> usize {
+        let mut touched = 0;
+        for e in &mut self.edges {
+            if e.road_edges.iter().any(|&r| covered[r as usize]) {
+                e.demand = demand.path_weight(&e.road_edges);
+                touched += 1;
+            }
+        }
+        touched
+    }
 }
 
 #[cfg(test)]

@@ -178,86 +178,95 @@ impl<'a> Planner<'a> {
     /// [`Planner::run`] with an explicit worker count (exposed for the
     /// thread-invariance tests and benches).
     pub fn run_with_threads(&self, mode: PlannerMode, threads: usize) -> RunResult {
-        let t0 = Instant::now();
-        let cfg = mode.config();
-        let w = cfg.w_override.unwrap_or(self.params.w);
-        let cands = &self.pre.candidates;
-        let batch = self.params.parallelism.batch.max(1);
+        execute_plan(self.city, &self.params, &self.pre, mode, threads)
+    }
+}
 
-        // Per-run ranked list: L_d for online bounds, L_e(w) for linear.
-        let le_values: Vec<f64> = if cfg.online_scoring {
-            Vec::new()
-        } else {
-            cands
-                .edges()
-                .iter()
-                .enumerate()
-                .map(|(i, e)| {
-                    w * e.demand / self.pre.d_max
-                        + (1.0 - w) * self.pre.delta[i] / self.pre.lambda_max
-                })
-                .collect()
-        };
-        let le_list = (!cfg.online_scoring).then(|| RankedList::new(&le_values));
-        let bound_list: &RankedList = le_list.as_ref().unwrap_or(&self.pre.ld);
+/// Runs Algorithm 1 against a *borrowed* pre-computation — the engine
+/// behind both [`Planner`] (which owns its `Precomputed`) and
+/// [`crate::PlanningSession`] (which keeps one alive across commits).
+pub(crate) fn execute_plan(
+    city: &City,
+    params: &CtBusParams,
+    pre: &Precomputed,
+    mode: PlannerMode,
+    threads: usize,
+) -> RunResult {
+    let t0 = Instant::now();
+    let cfg = mode.config();
+    let w = cfg.w_override.unwrap_or(params.w);
+    let cands = &pre.candidates;
+    let batch = params.parallelism.batch.max(1);
 
-        // Candidate admissibility under the mode.
-        let admissible = |id: u32| -> bool { !cfg.new_edges_only || !cands.edge(id).existing };
+    // Per-run ranked list: L_d for online bounds, L_e(w) for linear.
+    let le_values: Vec<f64> = if cfg.online_scoring {
+        Vec::new()
+    } else {
+        cands
+            .edges()
+            .iter()
+            .enumerate()
+            .map(|(i, e)| w * e.demand / pre.d_max + (1.0 - w) * pre.delta[i] / pre.lambda_max)
+            .collect()
+    };
+    let le_list = (!cfg.online_scoring).then(|| RankedList::new(&le_values));
+    let bound_list: &RankedList = le_list.as_ref().unwrap_or(&pre.ld);
 
-        // ---- Initialization (Algorithm 1 lines 19–27). ----
-        let seed_ids: Vec<u32> = if cfg.seed_all {
-            (0..cands.len() as u32).filter(|&id| admissible(id)).collect()
-        } else {
-            bound_list.iter_desc().filter(|&id| admissible(id)).take(self.params.sn).collect()
-        };
+    // Candidate admissibility under the mode.
+    let admissible = |id: u32| -> bool { !cfg.new_edges_only || !cands.edge(id).existing };
 
-        let mk_ctx =
-            || ExpandCtx::new(self.city, &self.pre, &self.params, cfg, w, &le_values, bound_list);
-        let (frontier, best_plan) = with_executor(threads.max(1), &mk_ctx, |executor| {
-            let mut frontier = Frontier::new(&cfg, &self.params);
+    // ---- Initialization (Algorithm 1 lines 19–27). ----
+    let seed_ids: Vec<u32> = if cfg.seed_all {
+        (0..cands.len() as u32).filter(|&id| admissible(id)).collect()
+    } else {
+        bound_list.iter_desc().filter(|&id| admissible(id)).take(params.sn).collect()
+    };
 
-            // Seed evaluation fans out like expansion; merge in seed order.
-            let seed_items: Vec<WorkItem> = seed_ids.iter().map(|&id| WorkItem::Seed(id)).collect();
-            for out in executor.map(seed_items) {
+    let mk_ctx = || ExpandCtx::new(city, pre, params, cfg, w, &le_values, bound_list);
+    let (frontier, best_plan) = with_executor(threads.max(1), &mk_ctx, |executor| {
+        let mut frontier = Frontier::new(&cfg, params);
+
+        // Seed evaluation fans out like expansion; merge in seed order.
+        let seed_items: Vec<WorkItem> = seed_ids.iter().map(|&id| WorkItem::Seed(id)).collect();
+        for out in executor.map(seed_items) {
+            frontier.evaluations += out.evals;
+            for path in out.paths {
+                frontier.push_seed(path);
+            }
+        }
+        frontier.finish_seeding();
+
+        // ---- Main epoch loop (lines 3–16, batch-synchronous). ----
+        loop {
+            let items = frontier.drain_epoch(batch);
+            if items.is_empty() {
+                break;
+            }
+            for out in executor.map(items) {
                 frontier.evaluations += out.evals;
                 for path in out.paths {
-                    frontier.push_seed(path);
+                    frontier.absorb(path);
                 }
             }
-            frontier.finish_seeding();
-
-            // ---- Main epoch loop (lines 3–16, batch-synchronous). ----
-            loop {
-                let items = frontier.drain_epoch(batch);
-                if items.is_empty() {
-                    break;
-                }
-                for out in executor.map(items) {
-                    frontier.evaluations += out.evals;
-                    for path in out.paths {
-                        frontier.absorb(path);
-                    }
-                }
-            }
-            frontier.finish();
-
-            // Report the objective under the *configured* weight, even when
-            // the search used an override (vk-TSP searches with w = 1 but
-            // Table 6 compares all methods under the shared objective).
-            let best_plan = match &frontier.best {
-                Some(cp) => executor.ctx().plan_from(cp, self.params.w),
-                None => RoutePlan::empty(),
-            };
-            (frontier, best_plan)
-        });
-
-        RunResult {
-            best: best_plan,
-            trace: frontier.trace,
-            iterations: frontier.it,
-            runtime_secs: t0.elapsed().as_secs_f64(),
-            evaluations: frontier.evaluations,
         }
+        frontier.finish();
+
+        // Report the objective under the *configured* weight, even when
+        // the search used an override (vk-TSP searches with w = 1 but
+        // Table 6 compares all methods under the shared objective).
+        let best_plan = match &frontier.best {
+            Some(cp) => executor.ctx().plan_from(cp, params.w),
+            None => RoutePlan::empty(),
+        };
+        (frontier, best_plan)
+    });
+
+    RunResult {
+        best: best_plan,
+        trace: frontier.trace,
+        iterations: frontier.it,
+        runtime_secs: t0.elapsed().as_secs_f64(),
+        evaluations: frontier.evaluations,
     }
 }
 

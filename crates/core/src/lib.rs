@@ -29,9 +29,15 @@
 //! 5. [`metrics`] scores plans with the paper's transfer-convenience
 //!    metrics (Table 6) and [`baselines`] implements the connectivity-first
 //!    comparison (Fig. 6);
-//! 6. [`multi`] chains plans into multi-route planning (§6.3), and
-//!    [`sites`] implements the paper's §8 future-work direction — stop
-//!    site selection for cities without sophisticated transit.
+//! 6. [`session`] is the long-lived scenario engine: a
+//!    [`PlanningSession`] owns the evolving city/demand/pre-computation,
+//!    absorbs committed routes incrementally (bit-identical to a
+//!    from-scratch rebuild), and forks cheap what-if branches. [`multi`]
+//!    chains plans into multi-route planning (§6.3) through it (the
+//!    rebuild-per-round oracle is retained as
+//!    [`multi::plan_multiple_reference`]), and [`sites`] implements the
+//!    paper's §8 future-work direction — stop site selection for cities
+//!    without sophisticated transit.
 
 pub mod augment;
 pub mod baselines;
@@ -47,6 +53,7 @@ pub mod precompute;
 pub mod ranked;
 pub mod rknn;
 pub mod scorer;
+pub mod session;
 pub mod sites;
 
 pub use augment::{
@@ -61,11 +68,12 @@ pub use bounds::{estrada_bound, general_bound, increment_bound, path_bound};
 pub use candidates::{CandidateEdge, CandidateSet};
 pub use eta::{Planner, PlannerMode, RunResult};
 pub use metrics::{apply_plan, evaluate_plan, PlanMetrics};
-pub use multi::plan_multiple;
+pub use multi::{plan_multiple, plan_multiple_reference};
 pub use params::{CtBusParams, Parallelism};
 pub use plan::RoutePlan;
 pub use precompute::{DeltaMethod, PrecomputeTimings, Precomputed};
 pub use ranked::RankedList;
 pub use rknn::{rknn_demand, route_service_distance, RknnDemand, RknnParams};
 pub use scorer::{online_increment_in, ConnScorer};
+pub use session::{CommitSummary, PlanningSession};
 pub use sites::{select_sites, SelectedSite, SiteParams, SiteSelection};

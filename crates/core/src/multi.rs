@@ -3,6 +3,15 @@
 //! After planning a route, the transit network absorbs its new edges and
 //! the demand already served (the road edges the route covers) is zeroed,
 //! so the next route seeks *uncovered* demand elsewhere. Repeat `n` times.
+//!
+//! [`plan_multiple`] drives the rounds through a
+//! [`crate::PlanningSession`]: round `r + 1` reuses round `r`'s candidate
+//! pool, probes, and workspaces, re-sweeping Δ(e) on the absorbed
+//! adjacency instead of rebuilding the whole [`crate::Precomputed`].
+//! [`plan_multiple_reference`] is the retained rebuild-per-round oracle;
+//! the two are bit-identical for every round, every mode, and every thread
+//! count (enforced by the tests here and the proptests in
+//! `tests/session_equivalence.rs`).
 
 use ct_data::{City, DemandModel};
 
@@ -10,6 +19,7 @@ use crate::eta::{Planner, PlannerMode};
 use crate::metrics::apply_plan;
 use crate::params::CtBusParams;
 use crate::plan::RoutePlan;
+use crate::session::PlanningSession;
 
 /// Plans up to `n` routes sequentially; stops early when no feasible or
 /// useful (positive-objective) route remains.
@@ -20,7 +30,38 @@ pub fn plan_multiple(
     n: usize,
     mode: PlannerMode,
 ) -> Vec<RoutePlan> {
+    let mut session = PlanningSession::new(city.clone(), demand.clone(), params);
+    let mut plans: Vec<RoutePlan> = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Commit lazily — only when another round will consume the evolved
+        // state — so the final round never pays a refresh nobody reads.
+        if let Some(prev) = plans.last() {
+            session.commit(prev);
+        }
+        let result = session.plan(mode);
+        if result.best.is_empty() || result.best.objective <= 0.0 {
+            break;
+        }
+        plans.push(result.best);
+    }
+    plans
+}
+
+/// The pre-session reference: rebuilds the full pre-computation from
+/// scratch every round. Kept as the equivalence oracle for
+/// [`plan_multiple`] (same output, bit for bit) and as the baseline leg of
+/// the `multi_route_session` bench.
+#[doc(hidden)]
+pub fn plan_multiple_reference(
+    city: &City,
+    demand: &DemandModel,
+    params: CtBusParams,
+    n: usize,
+    mode: PlannerMode,
+) -> Vec<RoutePlan> {
     let mut plans = Vec::with_capacity(n);
+    // `City::clone` shares the road network and trajectories (`Arc`); only
+    // the evolving transit layer is ever replaced below.
     let mut current_city = city.clone();
     let mut current_demand = demand.clone();
 
@@ -39,10 +80,9 @@ pub fn plan_multiple(
         // Zero out served demand (paper: set covered edges' demand to zero).
         let covered: Vec<u32> =
             plan.cand_edges.iter().flat_map(|&id| cands.edge(id).road_edges.clone()).collect();
-        let road = current_city.road.clone();
-        current_demand.zero_edges(&road, &covered);
+        current_demand.zero_edges(&covered);
 
-        current_city = City { transit: new_transit, ..current_city };
+        current_city.transit = new_transit;
         plans.push(plan);
     }
     plans
@@ -92,6 +132,22 @@ mod tests {
                 plans[1].demand,
                 plans[0].demand
             );
+        }
+    }
+
+    #[test]
+    fn session_path_matches_rebuild_reference() {
+        // The headline contract, on a concrete city (the proptest in
+        // tests/session_equivalence.rs covers generated ones).
+        let city = CityConfig::small().seed(57).generate();
+        let demand = DemandModel::from_city(&city);
+        let mut params = CtBusParams::small_defaults();
+        params.k = 6;
+        params.it_max = 1_200;
+        for mode in [PlannerMode::EtaPre, PlannerMode::VkTsp] {
+            let session = plan_multiple(&city, &demand, params, 3, mode);
+            let reference = plan_multiple_reference(&city, &demand, params, 3, mode);
+            assert_eq!(session, reference, "{mode:?} diverged from the rebuild reference");
         }
     }
 }

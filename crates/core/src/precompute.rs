@@ -59,6 +59,11 @@ pub struct PrecomputeTimings {
 }
 
 /// Everything the planners consume.
+///
+/// `Clone` is intentionally cheap-ish (vectors and the CSR matrix are
+/// copied, nothing is recomputed) so a [`crate::PlanningSession`] can fork
+/// what-if branches without redoing any numerical work.
+#[derive(Clone)]
 pub struct Precomputed {
     /// The candidate pool.
     pub candidates: CandidateSet,
@@ -116,7 +121,6 @@ impl Precomputed {
             .trace_exp(&base_adj)
             .expect("base trace estimation succeeds")
             .max(f64::MIN_POSITIVE);
-        let base_lambda = base_trace.ln() - (base_adj.n() as f64).ln();
 
         let t1 = Instant::now();
         let delta = match method {
@@ -135,6 +139,38 @@ impl Precomputed {
             ),
         };
         let connectivity_secs = t1.elapsed().as_secs_f64();
+
+        Self::assemble(
+            candidates,
+            delta,
+            base_adj,
+            base_trace,
+            estimator,
+            params,
+            PrecomputeTimings { shortest_path_secs, connectivity_secs },
+        )
+    }
+
+    /// Assembles the parameter-dependent tail of the pre-computation — the
+    /// ranked lists, the Eq. 12 normalizers, `L_e`, the spectrum head, and
+    /// the Lemma 4 path bound — from an already-computed candidate pool and
+    /// Δ(e) sweep.
+    ///
+    /// This is the single code path shared by [`Precomputed::build_with`]
+    /// (cold start) and [`crate::PlanningSession::commit`] (incremental
+    /// refresh): both feed it the same ingredients, so a committed session's
+    /// artifacts are bit-identical to a from-scratch rebuild by
+    /// construction.
+    pub(crate) fn assemble(
+        candidates: CandidateSet,
+        delta: Vec<f64>,
+        base_adj: CsrMatrix,
+        base_trace: f64,
+        estimator: ConnectivityEstimator,
+        params: &CtBusParams,
+        timings: PrecomputeTimings,
+    ) -> Precomputed {
+        let base_lambda = base_trace.ln() - (base_adj.n() as f64).ln();
 
         let ld = RankedList::new(&candidates.demand_values());
         let llambda = RankedList::new(&delta);
@@ -174,7 +210,7 @@ impl Precomputed {
             conn_path_ub,
             estimator,
             base_adj,
-            timings: PrecomputeTimings { shortest_path_secs, connectivity_secs },
+            timings,
         }
     }
 
@@ -256,6 +292,31 @@ pub fn compute_deltas_with_threads(
     base_trace: f64,
     threads: usize,
 ) -> Vec<f64> {
+    let mut workspaces: Vec<LanczosWorkspace> =
+        (0..threads.max(1)).map(|_| LanczosWorkspace::new()).collect();
+    compute_deltas_in(candidates, base, estimator, base_trace, &mut workspaces)
+}
+
+/// [`compute_deltas`] over caller-owned [`LanczosWorkspace`]s: one worker
+/// thread per workspace, each reusing its workspace's buffers across
+/// candidates *and across calls*.
+///
+/// Long-lived planning sessions hold their workspace pool across commits,
+/// so a re-sweep after absorbing a route performs no steady-state heap
+/// allocations at all. Output is identical to [`compute_deltas`] for any
+/// pool size (every Δ(e) is a pure function of the frozen probes).
+///
+/// # Panics
+/// Panics if `workspaces` is empty — zero workers would silently return
+/// all-zero deltas.
+pub fn compute_deltas_in(
+    candidates: &CandidateSet,
+    base: &CsrMatrix,
+    estimator: &ConnectivityEstimator,
+    base_trace: f64,
+    workspaces: &mut [LanczosWorkspace],
+) -> Vec<f64> {
+    assert!(!workspaces.is_empty(), "compute_deltas_in needs at least one workspace");
     let n = candidates.len();
     let mut delta = vec![0.0f64; n];
     let ids: Vec<u32> = (0..n as u32).filter(|&i| !candidates.edge(i).existing).collect();
@@ -263,15 +324,16 @@ pub fn compute_deltas_with_threads(
         return delta;
     }
 
-    let threads = threads.max(1).min(ids.len());
+    let threads = workspaces.len().min(ids.len());
     let next = AtomicUsize::new(0);
     let ids = &ids;
     let next = &next;
     let results: Vec<Vec<(u32, f64)>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
+        let handles: Vec<_> = workspaces
+            .iter_mut()
+            .take(threads)
+            .map(|ws| {
                 s.spawn(move || {
-                    let mut ws = LanczosWorkspace::new();
                     let mut overlay = EdgeOverlay::empty(base);
                     let mut out = Vec::with_capacity(ids.len() / threads + 1);
                     loop {
@@ -279,7 +341,7 @@ pub fn compute_deltas_with_threads(
                         let Some(&id) = ids.get(idx) else { break };
                         let e = candidates.edge(id);
                         overlay.set_edges(&[(e.u, e.v)]);
-                        let inc = match estimator.trace_exp_in(&overlay, &mut ws) {
+                        let inc = match estimator.trace_exp_in(&overlay, ws) {
                             Ok(tr) => (tr.max(f64::MIN_POSITIVE) / base_trace).ln(),
                             Err(_) => 0.0,
                         };
@@ -372,7 +434,7 @@ pub fn compute_deltas_reference(
 /// and systematically *underestimates* slightly (all omitted terms are
 /// positive for adjacency matrices); a conservative, noise-free surrogate.
 /// One Lanczos column solve per endpoint stop covers all incident edges.
-fn compute_deltas_perturbation(
+pub(crate) fn compute_deltas_perturbation(
     candidates: &CandidateSet,
     base: &CsrMatrix,
     base_trace: f64,

@@ -148,7 +148,7 @@ pub fn rknn_demand(city: &City, candidate_stops: &[Point], params: &RknnParams) 
     let grid = GridIndex::build(params.max_walk_m.max(1.0), &stop_positions);
 
     let mut out = RknnDemand::default();
-    for traj in &city.trajectories {
+    for traj in city.trajectories.iter() {
         let (Some(o), Some(d)) = (traj.origin(), traj.destination()) else { continue };
         let origin = road.position(o);
         let dest = road.position(d);

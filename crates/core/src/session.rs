@@ -1,0 +1,463 @@
+//! Long-lived planning sessions: copy-on-write city state plus
+//! commit-aware pre-computation.
+//!
+//! The paper's multi-route planning (§6.3) and site selection (§8) are
+//! *iterated* applications of Algorithm 1, and a serving deployment asks
+//! the same questions over and over against an evolving network. Treating
+//! every round as a cold start — re-enumerating candidates (one road
+//! Dijkstra tree per stop), re-estimating every Δ(e), re-ranking — is the
+//! exact rebuild a long-lived engine cannot afford.
+//!
+//! A [`PlanningSession`] owns the evolving scenario state (city, demand,
+//! candidates, [`Precomputed`]) and exposes three operations:
+//!
+//! * [`PlanningSession::plan`] — run any [`PlannerMode`] against the
+//!   current state (same engine as [`crate::Planner`]);
+//! * [`PlanningSession::commit`] — absorb a planned route: the transit
+//!   network grows (roads and trajectories stay `Arc`-shared, never
+//!   copied), served demand is zeroed, the winning route's edges are
+//!   materialized into the base adjacency **in place**
+//!   ([`ct_linalg::CsrMatrix::absorb_unit_edges`]), the candidate pool is
+//!   promoted/refreshed in place, and the Δ(e) sweep re-runs on the
+//!   absorbed matrix through the session's persistent Lanczos workspace
+//!   pool — skipping candidate re-enumeration and all road Dijkstras;
+//! * [`PlanningSession::branch`] — fork a what-if twin sharing the
+//!   heavyweight immutable layers.
+//!
+//! **Equivalence contract.** After any sequence of commits, every artifact
+//! a planner consumes is bit-identical to a from-scratch
+//! [`Precomputed::build_with`] on the evolved city and demand: candidate
+//! ids and values, Δ(e), ranked lists, normalizers, spectrum head, bounds.
+//! Hence `plan → commit → plan → …` reproduces the retained
+//! rebuild-per-round reference [`crate::multi::plan_multiple_reference`]
+//! bit for bit (enforced by tests and proptests; see
+//! `docs/ALGORITHMS.md`). What the session *saves* is exactly the
+//! re-derivable work: candidate generation's shortest paths and all
+//! steady-state allocations of the sweep.
+
+use std::time::Instant;
+
+use ct_data::{City, DemandModel};
+use ct_linalg::LanczosWorkspace;
+
+use crate::eta::execute_plan;
+use crate::metrics::apply_plan;
+use crate::params::CtBusParams;
+use crate::plan::RoutePlan;
+use crate::precompute::{
+    compute_deltas_in, compute_deltas_perturbation, DeltaMethod, PrecomputeTimings, Precomputed,
+};
+use crate::sites::{select_sites, SiteParams, SiteSelection};
+use crate::{PlannerMode, RunResult};
+
+/// What one [`PlanningSession::commit`] did (bookkeeping + profiling).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommitSummary {
+    /// New transit edges materialized (the route's promoted stop pairs).
+    pub new_edges: usize,
+    /// Road edges whose demand was zeroed (the route's covered corridor).
+    pub covered_road_edges: usize,
+    /// Candidates whose demand was re-derived (their road path touched the
+    /// covered corridor).
+    pub refreshed_candidates: usize,
+    /// Wall-clock seconds of the incremental refresh (trace + Δ-sweep +
+    /// re-ranking) — the per-round cost a cold rebuild would dwarf with
+    /// its candidate-generation shortest paths on top.
+    pub refresh_secs: f64,
+}
+
+/// A long-lived scenario engine over one evolving city (see the module
+/// docs for the commit/equivalence contract).
+///
+/// ```
+/// use ct_core::{CtBusParams, PlannerMode, PlanningSession};
+/// use ct_data::{CityConfig, DemandModel};
+///
+/// let city = CityConfig::small().seed(9).generate();
+/// let demand = DemandModel::from_city(&city);
+/// let mut session = PlanningSession::new(city, demand, CtBusParams::small_defaults());
+///
+/// let first = session.plan(PlannerMode::EtaPre);
+/// let summary = session.commit(&first.best);
+/// assert_eq!(summary.new_edges, first.best.num_new_edges());
+///
+/// // What-if fork: explore an alternative without disturbing the main line.
+/// let mut branch = session.branch();
+/// let alt = branch.plan(PlannerMode::VkTsp);
+/// branch.commit(&alt.best);
+/// assert_eq!(branch.commits(), 2);
+/// assert_eq!(session.commits(), 1); // the main line never saw the branch
+/// ```
+pub struct PlanningSession {
+    city: City,
+    demand: DemandModel,
+    params: CtBusParams,
+    method: DeltaMethod,
+    /// Built lazily on first use so demand-only work (e.g. site selection)
+    /// never pays for a Δ-sweep.
+    pre: Option<Precomputed>,
+    /// Persistent Lanczos workspace pool for commit-time Δ re-sweeps.
+    workspaces: Vec<LanczosWorkspace>,
+    commits: usize,
+}
+
+impl PlanningSession {
+    /// Opens a session over an owned city and demand model.
+    ///
+    /// Cheap: the pre-computation is built lazily by the first
+    /// [`PlanningSession::plan`] / [`PlanningSession::commit`] /
+    /// [`PlanningSession::precomputed`] call.
+    ///
+    /// # Panics
+    /// Panics if `params` fail [`CtBusParams::validate`].
+    pub fn new(city: City, demand: DemandModel, params: CtBusParams) -> PlanningSession {
+        assert!(params.validate().is_empty(), "invalid params: {:?}", params.validate());
+        PlanningSession {
+            city,
+            demand,
+            params,
+            method: DeltaMethod::default(),
+            pre: None,
+            workspaces: Vec::new(),
+            commits: 0,
+        }
+    }
+
+    /// Overrides the Δ(e) method (builder style; default
+    /// [`DeltaMethod::PairedProbes`]).
+    pub fn with_method(mut self, method: DeltaMethod) -> PlanningSession {
+        self.method = method;
+        self
+    }
+
+    /// The current (evolved) city. Its road network and trajectories are
+    /// the same `Arc`s the session was opened with — commits never copy
+    /// them (pointer-identity is part of the test suite).
+    pub fn city(&self) -> &City {
+        &self.city
+    }
+
+    /// The current demand model (served corridors zeroed by commits).
+    pub fn demand(&self) -> &DemandModel {
+        &self.demand
+    }
+
+    /// The parameters in force.
+    pub fn params(&self) -> &CtBusParams {
+        &self.params
+    }
+
+    /// Number of routes committed so far.
+    pub fn commits(&self) -> usize {
+        self.commits
+    }
+
+    /// The pre-computation for the current state, building it on first
+    /// call.
+    pub fn precomputed(&mut self) -> &Precomputed {
+        self.ensure_precomputed();
+        self.pre.as_ref().expect("ensured above")
+    }
+
+    fn ensure_precomputed(&mut self) {
+        if self.pre.is_none() {
+            self.pre =
+                Some(Precomputed::build_with(&self.city, &self.demand, &self.params, self.method));
+        }
+    }
+
+    /// Runs Algorithm 1 against the current state (same engine and
+    /// determinism contract as [`crate::Planner::run`]).
+    pub fn plan(&mut self, mode: PlannerMode) -> RunResult {
+        self.plan_with_threads(mode, self.params.parallelism.worker_threads())
+    }
+
+    /// [`PlanningSession::plan`] with an explicit worker count (exposed
+    /// for the thread-invariance tests and benches).
+    pub fn plan_with_threads(&mut self, mode: PlannerMode, threads: usize) -> RunResult {
+        self.ensure_precomputed();
+        let pre = self.pre.as_ref().expect("ensured above");
+        execute_plan(&self.city, &self.params, pre, mode, threads)
+    }
+
+    /// Commits a planned route: the scenario state absorbs it and the
+    /// pre-computation is refreshed incrementally (see the module docs).
+    /// The plan must come from this session's current state (its candidate
+    /// ids index the session's pool). Empty plans are a no-op.
+    pub fn commit(&mut self, plan: &RoutePlan) -> CommitSummary {
+        if plan.is_empty() {
+            return CommitSummary {
+                new_edges: 0,
+                covered_road_edges: 0,
+                refreshed_candidates: 0,
+                refresh_secs: 0.0,
+            };
+        }
+        self.ensure_precomputed();
+        let mut pre = self.pre.take().expect("ensured above");
+        let cands = &pre.candidates;
+
+        // 1. Grow the transit layer (no road/trajectory copies: the transit
+        //    field is replaced in place on the owned city).
+        let new_transit = apply_plan(&self.city.transit, plan, cands);
+
+        // 2. Zero the served demand (§6.3) and remember which road edges
+        //    changed, to refresh exactly the candidates that price them.
+        let covered: Vec<u32> =
+            plan.cand_edges.iter().flat_map(|&id| cands.edge(id).road_edges.clone()).collect();
+        let mut covered_mask = vec![false; self.demand.num_edges()];
+        let mut covered_road_edges = 0;
+        for &e in &covered {
+            if !std::mem::replace(&mut covered_mask[e as usize], true) {
+                covered_road_edges += 1;
+            }
+        }
+        self.demand.zero_edges(&covered);
+        self.city.transit = new_transit;
+
+        // 3. Refresh the pre-computation in place. The promoted pairs are
+        //    the route's new hops in first-occurrence order — the order
+        //    `with_route_added` appended them, hence the order a rebuild's
+        //    candidate scan would encounter them in.
+        let t0 = Instant::now();
+        pre.candidates.promote_to_existing(&plan.new_stop_pairs);
+        let refreshed_candidates = pre.candidates.refresh_demand(&self.demand, &covered_mask);
+        pre.base_adj.absorb_unit_edges(&plan.new_stop_pairs);
+
+        let base_trace = pre
+            .estimator
+            .trace_exp(&pre.base_adj)
+            .expect("base trace estimation succeeds")
+            .max(f64::MIN_POSITIVE);
+        let delta = match self.method {
+            DeltaMethod::PairedProbes => {
+                let threads = self.params.parallelism.worker_threads().max(1);
+                if self.workspaces.len() < threads {
+                    self.workspaces.resize_with(threads, LanczosWorkspace::new);
+                }
+                compute_deltas_in(
+                    &pre.candidates,
+                    &pre.base_adj,
+                    &pre.estimator,
+                    base_trace,
+                    &mut self.workspaces[..threads],
+                )
+            }
+            DeltaMethod::Perturbation => compute_deltas_perturbation(
+                &pre.candidates,
+                &pre.base_adj,
+                base_trace,
+                self.params.lanczos_steps.max(12),
+            ),
+        };
+        let refresh_secs = t0.elapsed().as_secs_f64();
+
+        let Precomputed { candidates, base_adj, estimator, .. } = pre;
+        self.pre = Some(Precomputed::assemble(
+            candidates,
+            delta,
+            base_adj,
+            base_trace,
+            estimator,
+            &self.params,
+            PrecomputeTimings { shortest_path_secs: 0.0, connectivity_secs: refresh_secs },
+        ));
+        self.commits += 1;
+
+        CommitSummary {
+            new_edges: plan.num_new_edges(),
+            covered_road_edges,
+            refreshed_candidates,
+            refresh_secs,
+        }
+    }
+
+    /// Forks a what-if twin: the branch evolves independently, but shares
+    /// the road network and trajectory corpus (`Arc`) with this session,
+    /// and starts from a *copy* — not a rebuild — of the current
+    /// pre-computation.
+    pub fn branch(&self) -> PlanningSession {
+        PlanningSession {
+            city: self.city.clone(),
+            demand: self.demand.clone(),
+            params: self.params,
+            method: self.method,
+            pre: self.pre.clone(),
+            workspaces: Vec::new(),
+            commits: self.commits,
+        }
+    }
+
+    /// Stop-site selection (§8) against the session's *current* state:
+    /// after committing routes, the zeroed demand steers new sites toward
+    /// still-unserved corridors. Never builds the pre-computation (site
+    /// selection does not use it).
+    pub fn select_sites(&self, params: &SiteParams) -> SiteSelection {
+        select_sites(&self.city, &self.demand, params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Planner;
+    use ct_data::CityConfig;
+    use std::sync::Arc;
+
+    fn setup() -> (City, DemandModel, CtBusParams) {
+        let city = CityConfig::small().seed(61).generate();
+        let demand = DemandModel::from_city(&city);
+        let mut params = CtBusParams::small_defaults();
+        params.k = 6;
+        params.it_max = 1_200;
+        (city, demand, params)
+    }
+
+    /// Field-by-field equality of two pre-computations (timings excluded —
+    /// they are wall-clock, everything else must be bit-identical).
+    fn assert_pre_identical(a: &Precomputed, b: &Precomputed, what: &str) {
+        assert_eq!(a.candidates.edges(), b.candidates.edges(), "{what}: candidates");
+        assert_eq!(a.delta, b.delta, "{what}: delta");
+        assert_eq!(a.d_max, b.d_max, "{what}: d_max");
+        assert_eq!(a.lambda_max, b.lambda_max, "{what}: lambda_max");
+        assert_eq!(a.base_lambda, b.base_lambda, "{what}: base_lambda");
+        assert_eq!(a.base_trace, b.base_trace, "{what}: base_trace");
+        assert_eq!(a.top_eigs, b.top_eigs, "{what}: top_eigs");
+        assert_eq!(a.conn_path_ub, b.conn_path_ub, "{what}: conn_path_ub");
+        assert_eq!(a.base_adj, b.base_adj, "{what}: base_adj");
+        for id in 0..a.candidates.len() as u32 {
+            assert_eq!(a.le.value(id), b.le.value(id), "{what}: le[{id}]");
+            assert_eq!(a.ld.value(id), b.ld.value(id), "{what}: ld[{id}]");
+            assert_eq!(a.llambda.value(id), b.llambda.value(id), "{what}: llambda[{id}]");
+        }
+    }
+
+    #[test]
+    fn commit_matches_fresh_build_bit_for_bit() {
+        // The heart of the equivalence contract: after a commit, every
+        // artifact equals a from-scratch build on the evolved state.
+        let (city, demand, params) = setup();
+        let mut session = PlanningSession::new(city, demand, params);
+        for round in 0..2 {
+            let result = session.plan(PlannerMode::EtaPre);
+            if result.best.is_empty() || result.best.objective <= 0.0 {
+                break;
+            }
+            session.commit(&result.best);
+            let fresh = Precomputed::build(session.city(), session.demand(), session.params());
+            assert_pre_identical(session.precomputed(), &fresh, &format!("round {round}"));
+        }
+        assert!(session.commits() >= 1, "no route committed");
+    }
+
+    #[test]
+    fn commit_never_copies_roads_or_trajectories() {
+        let (city, demand, params) = setup();
+        let road = Arc::clone(&city.road);
+        let trajectories = Arc::clone(&city.trajectories);
+        let mut session = PlanningSession::new(city, demand, params);
+        for _ in 0..2 {
+            let result = session.plan(PlannerMode::EtaPre);
+            if result.best.is_empty() || result.best.objective <= 0.0 {
+                break;
+            }
+            session.commit(&result.best);
+        }
+        assert!(session.commits() >= 1);
+        assert!(Arc::ptr_eq(&road, &session.city().road), "a commit deep-copied the road network");
+        assert!(
+            Arc::ptr_eq(&trajectories, &session.city().trajectories),
+            "a commit deep-copied the trajectory corpus"
+        );
+    }
+
+    #[test]
+    fn branch_is_independent_but_shares_immutable_layers() {
+        let (city, demand, params) = setup();
+        let mut session = PlanningSession::new(city, demand, params);
+        let first = session.plan(PlannerMode::EtaPre);
+        assert!(!first.best.is_empty());
+
+        let mut branch = session.branch();
+        assert!(Arc::ptr_eq(&session.city().road, &branch.city().road));
+        assert!(Arc::ptr_eq(&session.city().trajectories, &branch.city().trajectories));
+
+        // Committing on the branch must not disturb the main session.
+        branch.commit(&first.best);
+        assert_eq!(branch.commits(), session.commits() + 1);
+        assert_eq!(branch.city().transit.num_routes(), session.city().transit.num_routes() + 1);
+        let replay = session.plan(PlannerMode::EtaPre);
+        assert_eq!(replay.best, first.best, "main session state drifted after branch commit");
+    }
+
+    #[test]
+    fn session_plan_equals_planner() {
+        // Round 1 (no commits) must be exactly a cold Planner run.
+        let (city, demand, params) = setup();
+        let planner = Planner::new(&city, &demand, params);
+        let reference = planner.run(PlannerMode::EtaPre);
+        let mut session = PlanningSession::new(city, demand, params);
+        let got = session.plan(PlannerMode::EtaPre);
+        assert_eq!(got.best, reference.best);
+        assert_eq!(got.trace, reference.trace);
+        assert_eq!(got.iterations, reference.iterations);
+        assert_eq!(got.evaluations, reference.evaluations);
+    }
+
+    #[test]
+    fn empty_commit_is_noop() {
+        let (city, demand, params) = setup();
+        let mut session = PlanningSession::new(city, demand, params);
+        let summary = session.commit(&RoutePlan::empty());
+        assert_eq!(summary.new_edges, 0);
+        assert_eq!(session.commits(), 0);
+        assert!(session.pre.is_none(), "empty commit must not trigger a build");
+    }
+
+    #[test]
+    fn commit_summary_counts_are_consistent() {
+        let (city, demand, params) = setup();
+        let mut session = PlanningSession::new(city, demand, params);
+        let result = session.plan(PlannerMode::EtaPre);
+        assert!(!result.best.is_empty());
+        let transit_edges_before = session.city().transit.num_edges();
+        // Resolve the route's road geometry against the *pre-commit* pool:
+        // committing reorders candidate ids (promotion moves new edges into
+        // the existing section).
+        let corridors: Vec<Vec<u32>> = result
+            .best
+            .cand_edges
+            .iter()
+            .map(|&id| session.precomputed().candidates.edge(id).road_edges.clone())
+            .collect();
+        let summary = session.commit(&result.best);
+        assert_eq!(summary.new_edges, result.best.num_new_edges());
+        assert_eq!(session.city().transit.num_edges(), transit_edges_before + summary.new_edges);
+        assert!(summary.covered_road_edges > 0);
+        // Every plan edge's own candidate touches the covered corridor.
+        assert!(summary.refreshed_candidates >= result.best.num_edges());
+        // The served corridor no longer carries demand.
+        let zeroed: f64 = corridors.iter().map(|c| session.demand().path_weight(c)).sum();
+        assert_eq!(zeroed, 0.0, "committed corridor still carries demand");
+    }
+
+    #[test]
+    fn select_sites_reflects_committed_demand() {
+        // After committing a route, its corridor is zeroed, so the covered
+        // demand a site selection can reach never increases.
+        let (city, demand, params) = setup();
+        let mut session = PlanningSession::new(city, demand, params);
+        let sp = SiteParams { num_sites: 3, ..Default::default() };
+        let before = session.select_sites(&sp);
+        let result = session.plan(PlannerMode::EtaPre);
+        assert!(!result.best.is_empty());
+        session.commit(&result.best);
+        let after = session.select_sites(&sp);
+        assert!(
+            after.covered_demand <= before.covered_demand + 1e-9,
+            "zeroed demand increased site coverage: {} -> {}",
+            before.covered_demand,
+            after.covered_demand
+        );
+    }
+}

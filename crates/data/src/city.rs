@@ -1,21 +1,33 @@
 //! A complete dataset: road network + transit network + trajectories.
 
+use std::sync::Arc;
+
 use ct_graph::{RoadNetwork, TransitNetwork};
 use serde::{Deserialize, Serialize};
 
 use crate::trajectory::Trajectory;
 
 /// Everything CT-Bus needs about one city.
+///
+/// The struct is **copy-on-write friendly**: the road network and the
+/// trajectory corpus — the two heavyweight, effectively immutable layers —
+/// sit behind [`Arc`]s, so `City::clone` shares them and only the (small,
+/// evolving) transit network is deep-copied. Long-lived scenario engines
+/// (`ct_core`'s planning sessions) rely on this: committing a planned route
+/// replaces `transit` without ever duplicating roads or trajectories.
+/// Thanks to deref coercion, read access is unchanged (`&city.road` still
+/// yields a `&RoadNetwork`); the rare mutation of a shared layer goes
+/// through [`Arc::make_mut`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct City {
     /// Human-readable dataset name (e.g. `"chicago-like"`).
     pub name: String,
-    /// The road network `G`.
-    pub road: RoadNetwork,
-    /// The transit network `Gr`.
+    /// The road network `G` (shared, never deep-copied by `clone`).
+    pub road: Arc<RoadNetwork>,
+    /// The transit network `Gr` (the evolving layer; deep-copied).
     pub transit: TransitNetwork,
-    /// The trajectory corpus `D`.
-    pub trajectories: Vec<Trajectory>,
+    /// The trajectory corpus `D` (shared, never deep-copied by `clone`).
+    pub trajectories: Arc<Vec<Trajectory>>,
 }
 
 /// Dataset statistics in the shape of the paper's Table 5.
@@ -38,6 +50,33 @@ pub struct CityStats {
 }
 
 impl City {
+    /// Assembles a city, wrapping the shared layers in their [`Arc`]s.
+    pub fn new(
+        name: impl Into<String>,
+        road: RoadNetwork,
+        transit: TransitNetwork,
+        trajectories: Vec<Trajectory>,
+    ) -> City {
+        City {
+            name: name.into(),
+            road: Arc::new(road),
+            transit,
+            trajectories: Arc::new(trajectories),
+        }
+    }
+
+    /// A copy of this city with the transit network replaced — the
+    /// copy-on-write "commit" primitive: roads and trajectories are shared
+    /// with `self`, never cloned.
+    pub fn with_transit(&self, transit: TransitNetwork) -> City {
+        City {
+            name: self.name.clone(),
+            road: Arc::clone(&self.road),
+            transit,
+            trajectories: Arc::clone(&self.trajectories),
+        }
+    }
+
     /// Table 5-style statistics.
     pub fn stats(&self) -> CityStats {
         CityStats {
@@ -97,12 +136,7 @@ mod tests {
         let s0 = b.add_stop(0, positions[0]);
         let s1 = b.add_stop(2, positions[2]);
         b.add_route(&[s0, s1], |_, _| (200.0, vec![0, 1]));
-        City {
-            name: "tiny".into(),
-            road,
-            transit: b.build(),
-            trajectories: vec![Trajectory::new(vec![0, 1, 2], vec![0, 1])],
-        }
+        City::new("tiny", road, b.build(), vec![Trajectory::new(vec![0, 1, 2], vec![0, 1])])
     }
 
     #[test]
@@ -125,9 +159,22 @@ mod tests {
     #[test]
     fn broken_trajectory_is_reported() {
         let mut c = tiny_city();
-        c.trajectories.push(Trajectory { nodes: vec![0, 3], edges: vec![0] });
+        Arc::make_mut(&mut c.trajectories).push(Trajectory { nodes: vec![0, 3], edges: vec![0] });
         let problems = c.validate();
         assert_eq!(problems.len(), 1);
         assert!(problems[0].contains("trajectory"));
+    }
+
+    #[test]
+    fn clone_shares_road_and_trajectories() {
+        // The copy-on-write contract: cloning a city must not deep-copy
+        // the heavyweight shared layers.
+        let a = tiny_city();
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.road, &b.road), "clone deep-copied the road network");
+        assert!(Arc::ptr_eq(&a.trajectories, &b.trajectories), "clone deep-copied trajectories");
+        let c = a.with_transit(a.transit.clone());
+        assert!(Arc::ptr_eq(&a.road, &c.road));
+        assert!(Arc::ptr_eq(&a.trajectories, &c.trajectories));
     }
 }

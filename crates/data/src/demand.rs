@@ -78,13 +78,14 @@ impl DemandModel {
     /// Zeroes the demand on the given road edges.
     ///
     /// Used by multi-route planning (§6.3): edges covered by an
-    /// already-planned route should not attract the next one.
-    pub fn zero_edges(&mut self, road: &RoadNetwork, road_edges: &[u32]) {
+    /// already-planned route should not attract the next one. Demand is
+    /// self-contained, so zeroing needs no road network — callers no longer
+    /// have to clone (or even hold) one to update a shared model.
+    pub fn zero_edges(&mut self, road_edges: &[u32]) {
         for &e in road_edges {
             self.counts[e as usize] = 0;
             self.weights[e as usize] = 0.0;
         }
-        let _ = road; // signature keeps road handy for future re-weighting
     }
 }
 
@@ -130,7 +131,7 @@ mod tests {
         let road = line_road();
         let trajs = vec![Trajectory::new(vec![0, 1, 2, 3], vec![0, 1, 2])];
         let mut d = DemandModel::new(&road, &trajs);
-        d.zero_edges(&road, &[1]);
+        d.zero_edges(&[1]);
         assert_eq!(d.count(1), 0);
         assert_eq!(d.weight(1), 0.0);
         assert_eq!(d.count(0), 1);

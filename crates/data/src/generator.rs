@@ -368,7 +368,7 @@ impl CityConfig {
         let transit = self.generate_transit(&road, &hotspots, &mut rng);
         let trajectories = self.generate_trajectories(&road, &hotspots, &mut rng);
 
-        City { name: self.name.clone(), road, transit, trajectories }
+        City::new(self.name.clone(), road, transit, trajectories)
     }
 
     fn generate_road(&self, rng: &mut StdRng) -> RoadNetwork {

@@ -92,14 +92,18 @@ type HopPath = Option<(f64, Vec<u32>)>;
 /// Counters for [`HopPathCache`]: how much corridor reuse saved.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HopCacheStats {
-    /// Dijkstra runs performed — exactly one per unique corridor ever
-    /// requested.
+    /// Dijkstra runs performed — one per unique corridor requested while it
+    /// is resident (an evicted corridor re-runs on its next request; with
+    /// an unbounded cache this is exactly one per unique corridor, ever).
     pub dijkstra_runs: usize,
     /// Corridor requests answered from the cache (within a batch, across
     /// routes, or across imports).
     pub hits: usize,
     /// Unique corridors with no connecting road path.
     pub unroutable: usize,
+    /// Corridors dropped by the entry cap (see
+    /// [`HopPathCache::with_max_entries`]); `0` when unbounded.
+    pub evictions: usize,
 }
 
 /// A city-wide cache of realized hop paths, keyed by canonical (unordered)
@@ -109,20 +113,60 @@ pub struct HopCacheStats {
 /// shared between routes — the common case in any real network — re-ran
 /// it once per route. This cache is shared across all routes of all
 /// imports it lives through: each unique corridor costs exactly one
-/// Dijkstra, ever (asserted by `HopCacheStats::dijkstra_runs`).
+/// Dijkstra while resident (asserted by `HopCacheStats::dijkstra_runs`).
+///
+/// By default the cache is unbounded. Long-lived servers importing many
+/// feeds should cap it with [`HopPathCache::with_max_entries`]: beyond the
+/// cap the **oldest-realized** corridor is dropped first (FIFO — corridor
+/// popularity is dominated by feed locality, so age is a good proxy), and
+/// every drop is counted in [`HopCacheStats::evictions`].
 #[derive(Debug, Clone, Default)]
 pub struct HopPathCache {
     /// Canonical pair → realized path. Geometry is stored in the
     /// orientation of the corridor's first request (matching what the
     /// pre-refactor importer put on the first transit edge using it).
     paths: HashMap<(u32, u32), HopPath>,
+    /// Realization order of resident corridors (front = oldest), used for
+    /// eviction when bounded.
+    order: std::collections::VecDeque<(u32, u32)>,
+    /// Entry cap; `0` = unbounded.
+    max_entries: usize,
     stats: HopCacheStats,
 }
 
 impl HopPathCache {
-    /// Creates an empty cache.
+    /// Creates an empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Caps the cache at `max_entries` corridors (builder style; `0` =
+    /// unbounded). The cap is enforced at the **start** of each
+    /// [`HopPathCache::realize`] batch — never mid-batch — so corridors the
+    /// current batch realized stay resident until their caller has read
+    /// them; a single batch may therefore transiently exceed the cap by
+    /// its own working-set size. Evicted corridors re-run Dijkstra on
+    /// their next request.
+    pub fn with_max_entries(mut self, max_entries: usize) -> Self {
+        self.max_entries = max_entries;
+        self.enforce_cap();
+        self
+    }
+
+    /// The configured entry cap (`0` = unbounded).
+    pub fn max_entries(&self) -> usize {
+        self.max_entries
+    }
+
+    fn enforce_cap(&mut self) {
+        if self.max_entries == 0 {
+            return;
+        }
+        while self.paths.len() > self.max_entries {
+            let oldest = self.order.pop_front().expect("order tracks every resident corridor");
+            self.paths.remove(&oldest);
+            self.stats.evictions += 1;
+        }
     }
 
     fn key(a: u32, b: u32) -> (u32, u32) {
@@ -160,6 +204,9 @@ impl HopPathCache {
     /// merged by corridor key, so the cache contents are invariant under
     /// thread count.
     pub fn realize(&mut self, road: &RoadNetwork, wanted: &[(u32, u32)], threads: usize) {
+        // Trim *before* realizing, so this batch's corridors stay resident
+        // for the caller that asked for them (see `with_max_entries`).
+        self.enforce_cap();
         let mut missing: Vec<(u32, u32)> = Vec::new();
         let mut queued: HashSet<(u32, u32)> = HashSet::new();
         for &(a, b) in wanted {
@@ -183,7 +230,9 @@ impl HopPathCache {
                     None
                 }
             };
-            self.paths.insert(Self::key(a, b), stored);
+            if self.paths.insert(Self::key(a, b), stored).is_none() {
+                self.order.push_back(Self::key(a, b));
+            }
         }
     }
 }
@@ -227,6 +276,15 @@ impl<'a> GtfsIngest<'a> {
     /// Overrides the snap radius (builder style).
     pub fn with_max_snap_m(mut self, max_snap_m: f64) -> Self {
         self.snap = self.snap.with_max_snap_m(max_snap_m);
+        self
+    }
+
+    /// Caps the hop-path cache at `max_entries` corridors (builder style;
+    /// `0` = unbounded, the default). Long-lived servers importing many
+    /// feeds should set this so the cache cannot grow without bound; see
+    /// [`HopPathCache::with_max_entries`] for the eviction policy.
+    pub fn with_cache_cap(mut self, max_entries: usize) -> Self {
+        self.cache = self.cache.with_max_entries(max_entries);
         self
     }
 
@@ -573,6 +631,73 @@ mod tests {
         assert_eq!(cache.stats().hits, 4);
         assert!(cache.path(0, 1).is_some());
         assert_eq!(cache.path(0, 1).unwrap().0, 100.0);
+    }
+
+    #[test]
+    fn hop_cache_cap_evicts_oldest_corridor_first() {
+        let road = grid_road(3, 3);
+        let mut cache = HopPathCache::new().with_max_entries(2);
+        assert_eq!(cache.max_entries(), 2);
+        cache.realize(&road, &[(0, 1), (1, 2), (2, 5)], 1);
+        // The cap pins the current batch: all three stay resident for the
+        // caller that requested them; nothing is evicted yet.
+        assert_eq!(cache.unique_corridors(), 3);
+        assert_eq!(cache.stats().evictions, 0);
+
+        // The next batch trims to the cap first — the oldest, (0,1), goes
+        // — and then re-realizes it: an eviction-induced Dijkstra re-run.
+        let runs = cache.stats().dijkstra_runs;
+        cache.realize(&road, &[(0, 1)], 1);
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().dijkstra_runs, runs + 1);
+        assert!(cache.contains(0, 1) && cache.contains(1, 2) && cache.contains(2, 5));
+        assert_eq!(cache.path(0, 1).unwrap().0, 100.0);
+
+        // Next trim drops (1,2) — strictly oldest-first — and the resident
+        // (2,5) answers from the cache.
+        let hits = cache.stats().hits;
+        cache.realize(&road, &[(2, 5)], 1);
+        assert_eq!(cache.stats().evictions, 2);
+        assert!(!cache.contains(1, 2), "oldest corridor must go first");
+        assert_eq!(cache.stats().hits, hits + 1);
+        assert_eq!(cache.unique_corridors(), 2);
+    }
+
+    #[test]
+    fn uncapped_cache_never_evicts() {
+        let road = grid_road(3, 3);
+        let mut cache = HopPathCache::new();
+        let wanted: Vec<(u32, u32)> = (0..8).map(|i| (i, i + 1)).collect();
+        cache.realize(&road, &wanted, 1);
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.unique_corridors(), 8);
+    }
+
+    #[test]
+    fn ingest_cache_cap_is_plumbed_and_survives_imports() {
+        let city = crate::CityConfig::small().seed(31).generate();
+        let proj = Projection::new(GeoPoint::new(41.85, -87.65));
+        let feed = GtfsFeed::from_transit(&city.transit, &proj);
+        let mut capped = GtfsIngest::new(&city.road).with_cache_cap(4);
+        let (net, _) = capped.import(&feed, &proj).expect("capped import");
+        // The cap bounds residency *between* batches, never correctness:
+        // output matches the unbounded pipeline.
+        let (reference, _) = GtfsIngest::new(&city.road).import(&feed, &proj).expect("import");
+        assert_net_identical(&net, &reference);
+        let corridors = capped.cache().unique_corridors();
+        assert!(corridors > 4, "fixture too small to exercise the cap");
+
+        // A re-import trims to the cap first, then re-realizes what the
+        // feed needs: evictions are surfaced and the evicted corridors
+        // cost fresh Dijkstras — the price of bounded memory.
+        let runs = capped.cache().stats().dijkstra_runs;
+        let (net2, _) = capped.import(&feed, &proj).expect("re-import");
+        assert_net_identical(&net2, &reference);
+        assert_eq!(capped.cache().stats().evictions, corridors - 4);
+        assert!(capped.cache().stats().dijkstra_runs > runs, "evicted corridors must re-run");
+        // Steady state: residency returns to the feed's working set, not
+        // the sum over imports.
+        assert_eq!(capped.cache().unique_corridors(), corridors);
     }
 
     #[test]

@@ -17,6 +17,28 @@ pub trait WeightedGraph {
     fn for_each_neighbor(&self, u: u32, f: &mut dyn FnMut(u32, u32, f64));
 }
 
+// Forwarding impls so shared handles (`&G`, `Arc<G>`) traverse like the
+// graph itself — `ct_data::City` keeps its road network behind an `Arc`.
+impl<G: WeightedGraph + ?Sized> WeightedGraph for &G {
+    fn node_count(&self) -> usize {
+        (**self).node_count()
+    }
+
+    fn for_each_neighbor(&self, u: u32, f: &mut dyn FnMut(u32, u32, f64)) {
+        (**self).for_each_neighbor(u, f);
+    }
+}
+
+impl<G: WeightedGraph + ?Sized> WeightedGraph for std::sync::Arc<G> {
+    fn node_count(&self) -> usize {
+        (**self).node_count()
+    }
+
+    fn for_each_neighbor(&self, u: u32, f: &mut dyn FnMut(u32, u32, f64)) {
+        (**self).for_each_neighbor(u, f);
+    }
+}
+
 impl WeightedGraph for RoadNetwork {
     fn node_count(&self) -> usize {
         self.num_nodes()

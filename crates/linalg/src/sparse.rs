@@ -84,6 +84,70 @@ impl CsrMatrix {
         CsrMatrix::from_undirected_edges(self.n, &edges)
     }
 
+    /// Materializes additional undirected unit edges into this matrix **in
+    /// place**.
+    ///
+    /// For a 0/1 adjacency matrix the result is bit-identical to the
+    /// from-scratch rebuild `*self = self.with_added_unit_edges(new_edges)`
+    /// — same `row_ptr`/`col_idx`/`vals` arrays — but instead of
+    /// re-assembling every row from an edge list, each row's existing
+    /// entries are shifted once (back to front) and the new entries merged
+    /// in sorted column order. Self-loops, duplicates, and pairs already
+    /// present are dropped, exactly like the rebuild. This is the "commit"
+    /// primitive of long-lived planning sessions: promoting a scored
+    /// [`crate::EdgeOverlay`] into the base matrix without rebuilding `A`.
+    pub fn absorb_unit_edges(&mut self, new_edges: &[(u32, u32)]) {
+        let n = self.n as u32;
+        let mut add: Vec<(u32, u32)> = Vec::with_capacity(2 * new_edges.len());
+        for &(u, v) in new_edges {
+            assert!((u < n) && (v < n), "edge ({u},{v}) out of bounds for n={n}");
+            if u == v || self.has_edge(u, v) {
+                continue;
+            }
+            add.push((u, v));
+            add.push((v, u));
+        }
+        add.sort_unstable();
+        add.dedup();
+        if add.is_empty() {
+            return;
+        }
+
+        let total = self.col_idx.len() + add.len();
+        self.col_idx.resize(total, 0);
+        self.vals.resize(total, 0.0);
+        // Merge rows back to front: `write` is one past the next slot, so
+        // every surviving entry moves at most once and never overwrites an
+        // unread one (`write >= hi` holds while adds remain unplaced).
+        let mut write = total;
+        let mut a = add.len();
+        for i in (0..self.n).rev() {
+            let lo = self.row_ptr[i];
+            let mut k = self.row_ptr[i + 1];
+            self.row_ptr[i + 1] = write;
+            loop {
+                let take_add = a > 0
+                    && add[a - 1].0 as usize == i
+                    && (k == lo || add[a - 1].1 > self.col_idx[k - 1]);
+                if take_add {
+                    a -= 1;
+                    write -= 1;
+                    self.col_idx[write] = add[a].1;
+                    self.vals[write] = 1.0;
+                } else if k > lo {
+                    k -= 1;
+                    write -= 1;
+                    self.col_idx[write] = self.col_idx[k];
+                    self.vals[write] = self.vals[k];
+                } else {
+                    break;
+                }
+            }
+        }
+        debug_assert_eq!(a, 0, "all overlay entries placed");
+        debug_assert_eq!(write, self.row_ptr[0]);
+    }
+
     /// Matrix dimension `n`.
     pub fn n(&self) -> usize {
         self.n
@@ -259,6 +323,61 @@ mod tests {
         assert!(b.has_edge(0, 1));
         // Original is untouched.
         assert!(!a.has_edge(2, 3));
+    }
+
+    #[test]
+    fn absorb_unit_edges_is_bit_identical_to_rebuild() {
+        // Random-ish graphs over several densities: absorbing must produce
+        // the exact arrays a from-scratch rebuild produces.
+        for (n, seed) in [(6usize, 1u64), (17, 2), (40, 3), (40, 4)] {
+            let mut edges = Vec::new();
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 33) as u32
+            };
+            for _ in 0..(n * 2) {
+                let (u, v) = (next() % n as u32, next() % n as u32);
+                if u != v {
+                    edges.push((u, v));
+                }
+            }
+            let base = CsrMatrix::from_undirected_edges(n, &edges);
+            let mut adds = Vec::new();
+            for _ in 0..5 {
+                let (u, v) = (next() % n as u32, next() % n as u32);
+                adds.push((u, v)); // may be present, absent, or a self-loop
+            }
+            let mut absorbed = base.clone();
+            absorbed.absorb_unit_edges(&adds);
+            assert_eq!(absorbed, base.with_added_unit_edges(&adds), "n={n} seed={seed}");
+        }
+    }
+
+    #[test]
+    fn absorb_no_new_edges_is_identity() {
+        let a = triangle();
+        let mut b = a.clone();
+        b.absorb_unit_edges(&[]);
+        assert_eq!(a, b);
+        b.absorb_unit_edges(&[(0, 1), (2, 2)]); // present + self-loop
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn absorb_into_empty_rows() {
+        let mut a = CsrMatrix::from_undirected_edges(4, &[(1, 2)]);
+        a.absorb_unit_edges(&[(0, 3), (3, 0), (0, 3)]);
+        assert_eq!(a, CsrMatrix::from_undirected_edges(4, &[(1, 2), (0, 3)]));
+        assert!(a.has_edge(0, 3));
+        assert_eq!(a.num_undirected_edges(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn absorb_out_of_bounds_panics() {
+        let mut a = triangle();
+        a.absorb_unit_edges(&[(0, 9)]);
     }
 
     #[test]

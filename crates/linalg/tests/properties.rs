@@ -46,6 +46,24 @@ proptest! {
     }
 
     #[test]
+    fn absorb_unit_edges_matches_rebuild(
+        g in graph_strategy(24),
+        pairs in proptest::collection::vec((0u32..24, 0u32..24), 0..12),
+    ) {
+        // In-place absorption must equal the from-scratch rebuild exactly,
+        // including arbitrary mixes of new / present / self-loop pairs.
+        let n = g.n() as u32;
+        let adds: Vec<(u32, u32)> = pairs.into_iter().map(|(u, v)| (u % n, v % n)).collect();
+        let mut absorbed = g.clone();
+        absorbed.absorb_unit_edges(&adds);
+        prop_assert_eq!(&absorbed, &g.with_added_unit_edges(&adds));
+        // And absorbing is idempotent: the edges are now present.
+        let again = absorbed.clone();
+        absorbed.absorb_unit_edges(&adds);
+        prop_assert_eq!(&absorbed, &again);
+    }
+
+    #[test]
     fn spectrum_preserves_trace_and_frobenius(g in graph_strategy(20)) {
         let eigs = full_symmetric_eigenvalues(g.to_dense()).unwrap();
         let tr: f64 = eigs.iter().sum();

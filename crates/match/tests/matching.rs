@@ -191,7 +191,7 @@ proptest! {
         let city = CityConfig::small().trajectories(5).seed(seed).generate();
         let mut rng = StdRng::seed_from_u64(seed);
         let cfg = GpsSimConfig { noise_sigma_m: sigma, ..Default::default() };
-        for truth in &city.trajectories {
+        for truth in city.trajectories.iter() {
             let trace = simulate_trace(&city.road, truth, &cfg, &mut rng);
             for w in trace.samples.windows(2) {
                 prop_assert!(w[0].t < w[1].t);

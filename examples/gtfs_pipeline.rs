@@ -53,12 +53,9 @@ fn main() {
     );
 
     // 3. Plan over the imported network.
-    let imported_city = City {
-        name: "gtfs-import".into(),
-        road: city.road.clone(),
-        transit,
-        trajectories: city.trajectories.clone(),
-    };
+    // Copy-on-write: roads and trajectories are shared with `city`, only
+    // the freshly imported transit layer is new.
+    let imported_city = City { name: "gtfs-import".into(), ..city.with_transit(transit) };
     let demand = DemandModel::from_city(&imported_city);
     let params = CtBusParams { k: 10, w: 0.5, ..CtBusParams::small_defaults() };
     let planner = Planner::new(&imported_city, &demand, params);

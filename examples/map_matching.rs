@@ -42,7 +42,7 @@ fn main() {
     let mut f1_sum = 0.0;
     let mut mismatch_sum = 0.0;
     let mut scored = 0usize;
-    for truth in &city.trajectories {
+    for truth in city.trajectories.iter() {
         let trace = simulate_trace(&city.road, truth, &cfg, &mut rng);
         let result = matcher.match_trace(&trace);
         let stitched = stitch_route(&city.road, &result);

@@ -1,12 +1,14 @@
-//! Multi-route planning (paper §6.3): plan several routes back to back,
-//! folding each into the network and zeroing the demand it serves, so each
-//! new route chases *unserved* commuters.
+//! Multi-route planning (paper §6.3): plan several routes back to back
+//! through one long-lived `PlanningSession`, folding each into the network
+//! and zeroing the demand it serves, so each new route chases *unserved*
+//! commuters — then fork a what-if branch to compare an alternative
+//! without disturbing the main line.
 //!
 //! ```sh
 //! cargo run --release --example multi_route
 //! ```
 
-use ct_bus::core::{plan_multiple, CtBusParams, PlannerMode};
+use ct_bus::core::{CtBusParams, PlannerMode, PlanningSession};
 use ct_bus::data::{CityConfig, DemandModel};
 
 fn main() {
@@ -15,27 +17,48 @@ fn main() {
     println!("{}: {:?}", city.name, city.stats());
 
     let params = CtBusParams { k: 8, it_max: 6_000, ..CtBusParams::small_defaults() };
-    let plans = plan_multiple(&city, &demand, params, 4, PlannerMode::EtaPre);
+    let mut session = PlanningSession::new(city, demand, params);
 
-    println!("\nplanned {} routes:", plans.len());
     println!(
-        "{:>3} {:>6} {:>5} {:>10} {:>13} {:>9}",
-        "#", "edges", "new", "demand", "conn Oλ(μ)", "km"
+        "\n{:>3} {:>6} {:>5} {:>10} {:>13} {:>9} {:>10}",
+        "#", "edges", "new", "demand", "conn Oλ(μ)", "km", "refresh s"
     );
-    for (i, p) in plans.iter().enumerate() {
+    let mut what_if = None;
+    for i in 0..4 {
+        let result = session.plan(PlannerMode::EtaPre);
+        if result.best.is_empty() || result.best.objective <= 0.0 {
+            break;
+        }
+        if i == 1 {
+            // Cheap fork before the second commit: explore a demand-only
+            // alternative on the side (roads/trajectories stay shared).
+            let mut branch = session.branch();
+            let alt = branch.plan(PlannerMode::VkTsp);
+            what_if = Some((alt.best.demand, result.best.demand));
+        }
+        let p = result.best;
+        let summary = session.commit(&p);
         println!(
-            "{:>3} {:>6} {:>5} {:>10.0} {:>13.5} {:>9.2}",
+            "{:>3} {:>6} {:>5} {:>10.0} {:>13.5} {:>9.2} {:>10.3}",
             i + 1,
             p.num_edges(),
             p.num_new_edges(),
             p.demand,
             p.conn_increment,
-            p.length_m / 1000.0
+            p.length_m / 1000.0,
+            summary.refresh_secs
+        );
+    }
+    println!("\nplanned {} routes", session.commits());
+    if let Some((vk, eta)) = what_if {
+        println!(
+            "what-if branch at round 2: vk-TSP would have met {vk:.0} demand \
+             vs ETA-Pre's {eta:.0} (branch committed nothing to the main line)"
         );
     }
     println!(
-        "\nDemand per route shrinks as earlier routes absorb the hottest \
-         corridors; connectivity increments stay positive because each route \
-         keeps adding new links."
+        "Demand per route shrinks as earlier routes absorb the hottest \
+         corridors; each commit refreshes the pre-computation incrementally \
+         instead of rebuilding it (\"refresh s\" ≪ a cold build)."
     );
 }

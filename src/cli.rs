@@ -8,9 +8,11 @@
 //! * `plan --city city.json [--k N] [--w F] [--tau M] [--tn N] [--mode M]
 //!   [--geojson out.geojson]` — plan one route and report it;
 //! * `multi --city city.json --routes N [...]` — sequential multi-route
-//!   planning (paper §6.3);
-//! * `sites --city city.json [--n N] [--w F]` — new-stop site selection
-//!   (paper §8 future work);
+//!   planning (paper §6.3) through one long-lived `PlanningSession`
+//!   (commit-aware pre-computation, no per-round rebuild);
+//! * `sites --city city.json [--n N] [--w F] [--routes N]` — new-stop site
+//!   selection (paper §8 future work); with `--routes N` the session first
+//!   plans and commits N routes so selection targets unserved demand;
 //! * `augment --city city.json [--k N] [--no-bound true]` — k-edge
 //!   connectivity augmentation with Golden–Thompson pruning (paper §8);
 //! * `gtfs-export --city city.json --out dir` / `gtfs-import --gtfs dir
@@ -21,8 +23,8 @@
 use std::collections::HashMap;
 
 use crate::core::{
-    augment_connectivity, evaluate_plan, plan_multiple, select_sites, AugmentParams, CtBusParams,
-    Planner, PlannerMode, SiteParams,
+    augment_connectivity, evaluate_plan, AugmentParams, CtBusParams, Planner, PlannerMode,
+    PlanningSession, SiteParams,
 };
 use crate::data::{
     load_city_json, save_city_json, City, CityConfig, DemandModel, GeoJsonExporter, GtfsFeed,
@@ -59,7 +61,7 @@ USAGE:
   ctbus plan     --city city.json [--k N] [--w F] [--tau M] [--tn N]
                  [--mode eta|eta-pre|vk-tsp] [--geojson out.geojson]
   ctbus multi    --city city.json --routes N [--k N] [--w F]
-  ctbus sites    --city city.json [--n N] [--w F] [--walk M] [--gap M]
+  ctbus sites    --city city.json [--n N] [--w F] [--walk M] [--gap M] [--routes N]
   ctbus augment  --city city.json [--k N] [--pool N] [--no-bound true]
   ctbus gtfs-export --city city.json --out <dir>
   ctbus gtfs-import --gtfs <dir> --city city.json [--out city2.json]
@@ -255,23 +257,39 @@ impl Cli {
             "multi" => {
                 let city = self.load_city()?;
                 let params = self.params()?;
+                let mode = self.mode()?;
                 let n: usize =
                     self.get("routes")?.ok_or_else(|| UsageError("--routes is required".into()))?;
                 let demand = DemandModel::from_city(&city);
-                let plans = plan_multiple(&city, &demand, params, n, self.mode()?);
-                writeln!(out, "planned {} routes:", plans.len()).map_err(w)?;
-                for (i, p) in plans.iter().enumerate() {
+                // One long-lived session: each committed route reuses the
+                // previous round's candidates, probes, and workspaces
+                // instead of rebuilding the pre-computation from scratch.
+                let mut session = PlanningSession::new(city, demand, params);
+                let mut planned = 0usize;
+                for i in 0..n {
+                    let result = session.plan(mode);
+                    if result.best.is_empty() || result.best.objective <= 0.0 {
+                        break;
+                    }
+                    let p = &result.best;
+                    let summary = session.commit(p);
                     writeln!(
                         out,
-                        "  #{}: {} edges ({} new), demand {:.0}, conn +{:.5}",
+                        "  #{}: {} edges ({} new), demand {:.0}, conn +{:.5} \
+                         [commit: {} road edges zeroed, {} candidates refreshed, {:.2}s]",
                         i + 1,
                         p.num_edges(),
                         p.num_new_edges(),
                         p.demand,
-                        p.conn_increment
+                        p.conn_increment,
+                        summary.covered_road_edges,
+                        summary.refreshed_candidates,
+                        summary.refresh_secs
                     )
                     .map_err(w)?;
+                    planned += 1;
                 }
+                writeln!(out, "planned {planned} routes").map_err(w)?;
                 Ok(())
             }
             "sites" => {
@@ -293,7 +311,29 @@ impl Cli {
                 if !(0.0..=1.0).contains(&p.w) {
                     return Err(UsageError(format!("--w must be in [0,1], got {}", p.w)));
                 }
-                let sel = select_sites(&city, &demand, &p);
+                // Scenario engine: optionally plan-and-commit routes first,
+                // so site selection sees the *evolved* network and the
+                // still-unserved demand (`--routes 0` = plain selection).
+                let mut session = PlanningSession::new(city, demand, self.params()?);
+                if let Some(rounds) = self.get::<usize>("routes")? {
+                    let mode = self.mode()?;
+                    for _ in 0..rounds {
+                        let result = session.plan(mode);
+                        if result.best.is_empty() || result.best.objective <= 0.0 {
+                            break;
+                        }
+                        session.commit(&result.best);
+                    }
+                    writeln!(
+                        out,
+                        "committed {} routes before selection; remaining demand {:.0}",
+                        session.commits(),
+                        session.demand().total_weight()
+                    )
+                    .map_err(w)?;
+                }
+                let sel = session.select_sites(&p);
+                let city = session.city();
                 writeln!(
                     out,
                     "selected {} sites from {} candidates ({:.1}% demand covered):",

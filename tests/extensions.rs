@@ -26,7 +26,7 @@ fn matched_demand_plans_the_same_route_as_truth() {
     let cfg = GpsSimConfig { noise_sigma_m: 8.0, sample_interval_s: 8.0, ..Default::default() };
     let mut rng = StdRng::seed_from_u64(9);
     let mut matched = Vec::new();
-    for truth in &city.trajectories {
+    for truth in city.trajectories.iter() {
         let trace = simulate_trace(&city.road, truth, &cfg, &mut rng);
         matched.extend(stitch_route(&city.road, &matcher.match_trace(&trace)));
     }
@@ -50,12 +50,7 @@ fn gtfs_round_trip_preserves_planning_behaviour() {
     let proj = Projection::new(GeoPoint::new(41.85, -87.65));
     let feed = GtfsFeed::from_transit(&city.transit, &proj);
     let (transit, _) = feed.into_transit(&city.road, &proj).expect("import");
-    let round_tripped = City {
-        name: city.name.clone(),
-        road: city.road.clone(),
-        transit,
-        trajectories: city.trajectories.clone(),
-    };
+    let round_tripped = city.with_transit(transit);
     let params = CtBusParams { k: 8, ..CtBusParams::small_defaults() };
     let demand = DemandModel::from_city(&city);
     let a = Planner::new(&city, &demand, params).run(PlannerMode::EtaPre).best;

@@ -154,7 +154,7 @@ fn demand_weights_match_trajectory_overlap_definition() {
     // Definition 5 via raw trajectories: Σ_T |T ∩ μ| weighted by |e|.
     let on_route: std::collections::HashSet<u32> = route_edges.iter().copied().collect();
     let mut def5 = 0.0;
-    for t in &city.trajectories {
+    for t in city.trajectories.iter() {
         for &e in &t.edges {
             if on_route.contains(&e) {
                 def5 += city.road.edge(e).length;
