@@ -37,7 +37,13 @@
 //!    rebuild-per-round oracle is retained as
 //!    [`multi::plan_multiple_reference`]), and [`sites`] implements the
 //!    paper's §8 future-work direction — stop site selection for cities
-//!    without sophisticated transit.
+//!    without sophisticated transit;
+//! 7. [`serve`] turns the session machinery into a concurrent service:
+//!    one published immutable [`serve::Snapshot`] that any number of
+//!    worker threads check out lock-free(ish) sessions from, plus a
+//!    single-writer commit queue that applies [`serve::CommitTicket`]s in
+//!    arrival order and atomically publishes each successor snapshot —
+//!    readers never block and in-flight sessions keep their old world.
 
 pub mod augment;
 pub mod baselines;
@@ -53,6 +59,7 @@ pub mod precompute;
 pub mod ranked;
 pub mod rknn;
 pub mod scorer;
+pub mod serve;
 pub mod session;
 pub mod sites;
 
@@ -75,5 +82,6 @@ pub use precompute::{DeltaMethod, PrecomputeTimings, Precomputed};
 pub use ranked::RankedList;
 pub use rknn::{rknn_demand, route_service_distance, RknnDemand, RknnParams};
 pub use scorer::{online_increment_in, ConnScorer};
+pub use serve::{CommitOutcome, CommitTicket, ServeState, ServeStats, Snapshot};
 pub use session::{CommitSummary, PlanningSession};
 pub use sites::{select_sites, SelectedSite, SiteParams, SiteSelection};

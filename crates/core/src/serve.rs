@@ -1,0 +1,439 @@
+//! The concurrent planning service: one published snapshot, many readers,
+//! a single-writer commit queue.
+//!
+//! A deployment of the paper's planner is interactive: analysts fire
+//! what-if questions ("what does the best route look like if we also build
+//! this one?") against a shared city, occasionally committing a route for
+//! everyone. [`PlanningSession`] already makes each *individual* line of
+//! questioning cheap (copy-on-write snapshots, incremental commit
+//! refresh); [`ServeState`] is the piece that lets *many* of them run at
+//! once:
+//!
+//! * **Readers never block.** The current state of the world is one
+//!   immutable [`Snapshot`] behind an `Arc`. Checking out a session
+//!   ([`ServeState::session`]) clones three `Arc` handles — the only
+//!   shared-lock critical section is that clone, and staleness can be
+//!   probed without any lock at all ([`ServeState::generation`] is a
+//!   single atomic load). In-flight sessions keep whatever snapshot they
+//!   checked out; a concurrent commit never invalidates their reads.
+//! * **Writes are serialized and optimistic.** Commits go through a
+//!   single-writer queue (a mutex held only by writers) and carry the
+//!   generation they were planned against ([`CommitTicket`]). A ticket
+//!   whose base generation no longer matches is rejected as
+//!   [`CommitOutcome::Stale`] — its plan indexes the *old* candidate pool,
+//!   whose ids shift when a commit promotes edges — and the client
+//!   re-plans on a fresh checkout. A matching ticket is applied through
+//!   the session commit path (so the refreshed pre-computation is
+//!   bit-identical to a from-scratch build, same contract as
+//!   [`crate::session`]) and the new snapshot is published atomically.
+//!
+//! **Publish protocol.** The snapshot lives in a
+//! `RwLock<Arc<Snapshot>>` paired with an `AtomicU64` generation. The
+//! writer prepares the successor snapshot entirely outside the lock (the
+//! expensive part: one copy-on-write clone of the pre-computation plus the
+//! incremental Δ-refresh), then takes the write lock just long enough to
+//! swap the `Arc` and bump the generation. Readers either probe the atomic
+//! (lock-free) or take the read lock for the duration of an `Arc` clone
+//! (a few instructions; the lock is never held across planning work).
+//! Writers pay one extra cost a solo [`PlanningSession`] does not: the
+//! published snapshot always aliases the current pre-computation, so
+//! `Arc::try_unwrap` inside the session commit always falls back to the
+//! one clone — that is the price of never blocking readers.
+//!
+//! **Determinism.** Planning is deterministic per snapshot: every session
+//! checked out at generation `g` computes the *same* best plan for a given
+//! mode. Combined with orderly commit application this gives the serving
+//! layer a sequential oracle — racing N workers through plan → commit
+//! produces exactly the state that back-to-back sequential rounds produce,
+//! which `tests/serve_concurrency.rs` exploits.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use ct_data::{City, DemandModel};
+
+use crate::params::CtBusParams;
+use crate::plan::RoutePlan;
+use crate::precompute::{DeltaMethod, Precomputed};
+use crate::session::{CommitSummary, PlanningSession};
+
+/// One immutable published state of the world: the evolved city, its
+/// demand, the matching pre-computation, and the generation stamp.
+///
+/// Snapshots are handed out by [`ServeState::current`] behind an `Arc`
+/// and are never mutated — a commit publishes a *successor* snapshot and
+/// leaves every checked-out copy untouched (snapshot isolation).
+#[derive(Clone)]
+pub struct Snapshot {
+    city: Arc<City>,
+    demand: Arc<DemandModel>,
+    pre: Arc<Precomputed>,
+    params: CtBusParams,
+    method: DeltaMethod,
+    /// 0 for the initial snapshot, +1 per applied commit.
+    generation: u64,
+    /// Routes committed along this snapshot's history (== generation, kept
+    /// separate so sessions report `commits()` consistently).
+    commits: usize,
+}
+
+impl Snapshot {
+    /// The generation stamp (0 = initial; +1 per applied commit).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The snapshot's city (routes of every applied commit included).
+    pub fn city(&self) -> &City {
+        &self.city
+    }
+
+    /// The snapshot's demand model (served corridors zeroed).
+    pub fn demand(&self) -> &DemandModel {
+        &self.demand
+    }
+
+    /// The snapshot's pre-computation.
+    pub fn precomputed(&self) -> &Precomputed {
+        &self.pre
+    }
+
+    /// The shared handle onto the pre-computation (O(1) clone).
+    pub fn precomputed_handle(&self) -> &Arc<Precomputed> {
+        &self.pre
+    }
+
+    /// Checks out a [`PlanningSession`] rooted at this snapshot: three
+    /// `Arc` clones, no locks, no copies. The session is `Send` — move it
+    /// to any worker thread. Commits made *through the session* stay local
+    /// to it (what-if semantics); to change the published world, submit a
+    /// [`CommitTicket`] to [`ServeState::commit`].
+    pub fn session(&self) -> PlanningSession {
+        PlanningSession::from_snapshot_parts(
+            Arc::clone(&self.city),
+            Arc::clone(&self.demand),
+            Arc::clone(&self.pre),
+            self.params,
+            self.method,
+            self.commits,
+        )
+    }
+}
+
+/// A commit request: a plan plus the generation it was planned against.
+///
+/// Build one with [`CommitTicket::new`] from the snapshot the plan came
+/// from; [`ServeState::commit`] applies it only if that snapshot is still
+/// current.
+#[derive(Debug, Clone)]
+pub struct CommitTicket {
+    /// Generation of the snapshot the plan's candidate ids index.
+    pub base_generation: u64,
+    /// The route to commit (candidate ids relative to `base_generation`).
+    pub plan: RoutePlan,
+}
+
+impl CommitTicket {
+    /// A ticket committing `plan` that was computed on `snapshot`.
+    pub fn new(snapshot: &Snapshot, plan: RoutePlan) -> CommitTicket {
+        CommitTicket { base_generation: snapshot.generation, plan }
+    }
+}
+
+/// What [`ServeState::commit`] did with a ticket.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CommitOutcome {
+    /// The ticket was current; the route is committed and a new snapshot
+    /// (stamped `generation`) is published.
+    Applied {
+        /// Generation of the newly published snapshot.
+        generation: u64,
+        /// The session-level commit bookkeeping.
+        summary: CommitSummary,
+    },
+    /// The ticket's base generation is no longer current: some other
+    /// commit landed first and the plan's candidate ids no longer index
+    /// the published pool. Re-plan on a fresh checkout and resubmit.
+    Stale {
+        /// The generation the ticket was planned against.
+        base_generation: u64,
+        /// The generation that is actually current.
+        current_generation: u64,
+    },
+    /// The ticket carried an empty plan; nothing was published.
+    Empty,
+}
+
+impl CommitOutcome {
+    /// True iff the commit was applied and published.
+    pub fn is_applied(&self) -> bool {
+        matches!(self, CommitOutcome::Applied { .. })
+    }
+}
+
+/// A point-in-time copy of the service counters (see
+/// [`ServeState::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Sessions checked out ([`ServeState::session`] /
+    /// [`ServeState::current`]).
+    pub checkouts: u64,
+    /// Plans reported finished by workers ([`ServeState::record_plans`]).
+    pub plans: u64,
+    /// Commits applied and published.
+    pub commits_applied: u64,
+    /// Commits rejected as stale.
+    pub commits_stale: u64,
+    /// Current published generation.
+    pub generation: u64,
+}
+
+/// The shared serving state: the published [`Snapshot`] plus the
+/// single-writer commit queue. `ServeState` is `Sync` — share one behind
+/// an `Arc` across any number of worker threads (pinned by a compile-time
+/// test in `tests/serve_concurrency.rs`).
+pub struct ServeState {
+    /// Lock-free staleness probe; equals `current.generation`. Published
+    /// with `Release` *after* the snapshot swap, so a reader observing
+    /// generation `g` via `Acquire` will read a snapshot of generation
+    /// ≥ g on its next checkout.
+    generation: AtomicU64,
+    /// The published snapshot. Read critical section: one `Arc` clone.
+    /// Write critical section: one pointer swap (the successor snapshot
+    /// is fully built before the lock is taken).
+    current: RwLock<Arc<Snapshot>>,
+    /// The single-writer commit queue: writers serialize here, in arrival
+    /// order (std mutexes queue fairly enough for a commit path whose
+    /// holders do real work). Held across apply-and-publish so commit
+    /// generations are gapless.
+    writer: Mutex<()>,
+    checkouts: AtomicU64,
+    plans: AtomicU64,
+    commits_applied: AtomicU64,
+    commits_stale: AtomicU64,
+}
+
+impl ServeState {
+    /// Builds the service over an owned city and demand model, running the
+    /// full pre-computation eagerly so the first wave of readers checks
+    /// out a ready snapshot instead of racing to build one each.
+    ///
+    /// # Panics
+    /// Panics if `params` fail [`CtBusParams::validate`].
+    pub fn new(city: City, demand: DemandModel, params: CtBusParams) -> ServeState {
+        Self::with_method(city, demand, params, DeltaMethod::default())
+    }
+
+    /// [`ServeState::new`] with an explicit Δ(e) method.
+    ///
+    /// # Panics
+    /// Panics if `params` fail [`CtBusParams::validate`].
+    pub fn with_method(
+        city: City,
+        demand: DemandModel,
+        params: CtBusParams,
+        method: DeltaMethod,
+    ) -> ServeState {
+        let mut boot = PlanningSession::new(city, demand, params).with_method(method);
+        let pre = boot.precomputed_handle();
+        let snapshot = Snapshot {
+            city: Arc::clone(boot.city_handle()),
+            demand: Arc::clone(boot.demand_handle()),
+            pre,
+            params,
+            method,
+            generation: 0,
+            commits: 0,
+        };
+        ServeState {
+            generation: AtomicU64::new(0),
+            current: RwLock::new(Arc::new(snapshot)),
+            writer: Mutex::new(()),
+            checkouts: AtomicU64::new(0),
+            plans: AtomicU64::new(0),
+            commits_applied: AtomicU64::new(0),
+            commits_stale: AtomicU64::new(0),
+        }
+    }
+
+    /// The current published generation — a single atomic load, no lock.
+    /// Use it to probe whether a held [`Snapshot`] is stale before paying
+    /// for a re-plan.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// True iff `snapshot` is still the published state of the world
+    /// (lock-free).
+    pub fn is_current(&self, snapshot: &Snapshot) -> bool {
+        snapshot.generation == self.generation()
+    }
+
+    /// Checks out the current snapshot. The read lock is held only for
+    /// the `Arc` clone; the returned snapshot stays valid (and unchanged)
+    /// for as long as the caller holds it, however many commits land in
+    /// the meantime.
+    pub fn current(&self) -> Arc<Snapshot> {
+        self.checkouts.fetch_add(1, Ordering::Relaxed);
+        Arc::clone(&self.current.read().expect("snapshot lock poisoned"))
+    }
+
+    /// Checks out a ready-to-plan [`PlanningSession`] on the current
+    /// snapshot (see [`Snapshot::session`]).
+    pub fn session(&self) -> PlanningSession {
+        self.current().session()
+    }
+
+    /// Applies a commit ticket through the single-writer queue.
+    ///
+    /// Current ticket → the route is absorbed (same incremental,
+    /// bit-identical-to-rebuild path as [`PlanningSession::commit`]) and
+    /// the successor snapshot is published atomically. Stale ticket →
+    /// [`CommitOutcome::Stale`], nothing changes, the caller re-plans.
+    /// Readers are never blocked: the expensive refresh happens outside
+    /// the snapshot lock, which is write-held only for the pointer swap.
+    pub fn commit(&self, ticket: CommitTicket) -> CommitOutcome {
+        if ticket.plan.is_empty() {
+            return CommitOutcome::Empty;
+        }
+        let _writer = self.writer.lock().expect("writer queue poisoned");
+        let base = Arc::clone(&self.current.read().expect("snapshot lock poisoned"));
+        if ticket.base_generation != base.generation {
+            self.commits_stale.fetch_add(1, Ordering::Relaxed);
+            return CommitOutcome::Stale {
+                base_generation: ticket.base_generation,
+                current_generation: base.generation,
+            };
+        }
+
+        // Apply outside the snapshot lock: readers keep checking out the
+        // old snapshot while the refresh runs. The session's commit takes
+        // the copy-on-write branch (the published snapshot still aliases
+        // the pre-computation), leaving `base` untouched.
+        let mut session = base.session();
+        let summary = session.commit(&ticket.plan);
+        let generation = base.generation + 1;
+        let successor = Arc::new(Snapshot {
+            city: Arc::clone(session.city_handle()),
+            demand: Arc::clone(session.demand_handle()),
+            pre: session.precomputed_handle(),
+            params: base.params,
+            method: base.method,
+            generation,
+            commits: session.commits(),
+        });
+
+        // Publish: pointer swap under the write lock, then the lock-free
+        // generation stamp (Release pairs with the Acquire probe).
+        *self.current.write().expect("snapshot lock poisoned") = successor;
+        self.generation.store(generation, Ordering::Release);
+        self.commits_applied.fetch_add(1, Ordering::Relaxed);
+        CommitOutcome::Applied { generation, summary }
+    }
+
+    /// Folds `n` finished plans into the service counters (workers batch
+    /// this; the serving state does not sit on the planning hot path).
+    pub fn record_plans(&self, n: u64) {
+        self.plans.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the service counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            checkouts: self.checkouts.load(Ordering::Relaxed),
+            plans: self.plans.load(Ordering::Relaxed),
+            commits_applied: self.commits_applied.load(Ordering::Relaxed),
+            commits_stale: self.commits_stale.load(Ordering::Relaxed),
+            generation: self.generation(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PlannerMode;
+    use ct_data::CityConfig;
+
+    fn quick_params() -> CtBusParams {
+        let mut params = CtBusParams::small_defaults();
+        params.k = 6;
+        params.sn = 80;
+        params.it_max = 400;
+        params.trace_probes = 8;
+        params.lanczos_steps = 6;
+        params
+    }
+
+    fn setup() -> ServeState {
+        let city = CityConfig::small().seed(17).generate();
+        let demand = DemandModel::from_city(&city);
+        ServeState::new(city, demand, quick_params())
+    }
+
+    #[test]
+    fn commit_publishes_and_bumps_generation() {
+        let state = setup();
+        assert_eq!(state.generation(), 0);
+        let snap = state.current();
+        let plan = snap.session().plan(PlannerMode::EtaPre).best;
+        assert!(!plan.is_empty());
+        let routes_before = snap.city().transit.num_routes();
+
+        let outcome = state.commit(CommitTicket::new(&snap, plan));
+        assert!(outcome.is_applied(), "fresh ticket rejected: {outcome:?}");
+        assert_eq!(state.generation(), 1);
+        assert!(!state.is_current(&snap), "pre-commit snapshot still current");
+        // The held snapshot is isolated: the commit did not mutate it.
+        assert_eq!(snap.city().transit.num_routes(), routes_before);
+        // The published successor has the route.
+        assert_eq!(state.current().city().transit.num_routes(), routes_before + 1);
+    }
+
+    #[test]
+    fn stale_ticket_is_rejected_without_publishing() {
+        let state = setup();
+        let snap = state.current();
+        let plan = snap.session().plan(PlannerMode::EtaPre).best;
+        assert!(!plan.is_empty());
+        assert!(state.commit(CommitTicket::new(&snap, plan.clone())).is_applied());
+
+        // Same plan, same (now stale) base generation.
+        let outcome = state.commit(CommitTicket::new(&snap, plan));
+        assert_eq!(outcome, CommitOutcome::Stale { base_generation: 0, current_generation: 1 });
+        assert_eq!(state.generation(), 1, "stale ticket published a snapshot");
+        let stats = state.stats();
+        assert_eq!(stats.commits_applied, 1);
+        assert_eq!(stats.commits_stale, 1);
+    }
+
+    #[test]
+    fn empty_ticket_is_noop() {
+        let state = setup();
+        let snap = state.current();
+        assert_eq!(
+            state.commit(CommitTicket::new(&snap, RoutePlan::empty())),
+            CommitOutcome::Empty
+        );
+        assert_eq!(state.generation(), 0);
+    }
+
+    #[test]
+    fn serve_commit_matches_solo_session() {
+        // A commit through the serving layer must leave exactly the state a
+        // solo session commit leaves (the CoW clone changes nothing).
+        let city = CityConfig::small().seed(17).generate();
+        let demand = DemandModel::from_city(&city);
+        let mut solo = PlanningSession::new(city.clone(), demand.clone(), quick_params());
+        let plan = solo.plan(PlannerMode::EtaPre).best;
+        assert!(!plan.is_empty());
+        solo.commit(&plan);
+        let solo_next = solo.plan(PlannerMode::EtaPre).best;
+
+        let state = ServeState::new(city, demand, quick_params());
+        let snap = state.current();
+        assert!(state.commit(CommitTicket::new(&snap, plan)).is_applied());
+        let served_next = state.session().plan(PlannerMode::EtaPre).best;
+        assert_eq!(served_next, solo_next, "served state diverged from solo session");
+    }
+}

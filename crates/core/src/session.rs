@@ -24,6 +24,19 @@
 //! * [`PlanningSession::branch`] — fork a what-if twin sharing the
 //!   heavyweight immutable layers.
 //!
+//! **Snapshot model.** A session's entire state — city, demand,
+//! pre-computation — lives behind [`Arc`]s, so a session is a set of
+//! *handles* onto immutable snapshots. [`PlanningSession::branch`] is an
+//! O(1) handle clone; nothing numerical or structural is copied until one
+//! of the twins commits. [`PlanningSession::commit`] is copy-on-write: a
+//! uniquely-owned snapshot is mutated in place (the PR 5 allocation-free
+//! refresh), a shared one — e.g. while the serving layer
+//! ([`crate::serve::ServeState`]) has it published, or a live branch still
+//! reads it — is cloned exactly once first, so concurrent readers keep
+//! planning against their old snapshot untouched. `PlanningSession` is
+//! `Send` (pinned by a compile-time test): sessions migrate freely across
+//! worker threads, and any number of them may share one base snapshot.
+//!
 //! **Equivalence contract.** After any sequence of commits, every artifact
 //! a planner consumes is bit-identical to a from-scratch
 //! [`Precomputed::build_with`] on the evolved city and demand: candidate
@@ -35,6 +48,7 @@
 //! re-derivable work: candidate generation's shortest paths and all
 //! steady-state allocations of the sweep.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use ct_data::{City, DemandModel};
@@ -89,14 +103,16 @@ pub struct CommitSummary {
 /// assert_eq!(session.commits(), 1); // the main line never saw the branch
 /// ```
 pub struct PlanningSession {
-    city: City,
-    demand: DemandModel,
+    city: Arc<City>,
+    demand: Arc<DemandModel>,
     params: CtBusParams,
     method: DeltaMethod,
     /// Built lazily on first use so demand-only work (e.g. site selection)
-    /// never pays for a Δ-sweep.
-    pre: Option<Precomputed>,
-    /// Persistent Lanczos workspace pool for commit-time Δ re-sweeps.
+    /// never pays for a Δ-sweep. Shared with branches and published serve
+    /// snapshots; commits take the copy-on-write path when shared.
+    pre: Option<Arc<Precomputed>>,
+    /// Persistent Lanczos workspace pool for commit-time Δ re-sweeps
+    /// (per-session scratch — never shared, so sessions stay `Send`).
     workspaces: Vec<LanczosWorkspace>,
     commits: usize,
 }
@@ -111,6 +127,21 @@ impl PlanningSession {
     /// # Panics
     /// Panics if `params` fail [`CtBusParams::validate`].
     pub fn new(city: City, demand: DemandModel, params: CtBusParams) -> PlanningSession {
+        Self::from_shared(Arc::new(city), Arc::new(demand), params)
+    }
+
+    /// Opens a session over *shared* snapshot handles — the entry point the
+    /// serving layer uses to stamp out one session per request without
+    /// copying anything. Equivalent to [`PlanningSession::new`] in every
+    /// other respect.
+    ///
+    /// # Panics
+    /// Panics if `params` fail [`CtBusParams::validate`].
+    pub fn from_shared(
+        city: Arc<City>,
+        demand: Arc<DemandModel>,
+        params: CtBusParams,
+    ) -> PlanningSession {
         assert!(params.validate().is_empty(), "invalid params: {:?}", params.validate());
         PlanningSession {
             city,
@@ -120,6 +151,27 @@ impl PlanningSession {
             pre: None,
             workspaces: Vec::new(),
             commits: 0,
+        }
+    }
+
+    /// Rebuilds a session from the raw snapshot handles a serving layer
+    /// publishes (see [`crate::serve::Snapshot::session`]).
+    pub(crate) fn from_snapshot_parts(
+        city: Arc<City>,
+        demand: Arc<DemandModel>,
+        pre: Arc<Precomputed>,
+        params: CtBusParams,
+        method: DeltaMethod,
+        commits: usize,
+    ) -> PlanningSession {
+        PlanningSession {
+            city,
+            demand,
+            params,
+            method,
+            pre: Some(pre),
+            workspaces: Vec::new(),
+            commits,
         }
     }
 
@@ -142,6 +194,29 @@ impl PlanningSession {
         &self.demand
     }
 
+    /// The shared handle onto the current city snapshot (what a serving
+    /// layer publishes; cloning it is O(1)).
+    pub fn city_handle(&self) -> &Arc<City> {
+        &self.city
+    }
+
+    /// The shared handle onto the current demand snapshot.
+    pub fn demand_handle(&self) -> &Arc<DemandModel> {
+        &self.demand
+    }
+
+    /// The shared handle onto the current pre-computation, building it on
+    /// first call (see [`PlanningSession::precomputed`]).
+    pub fn precomputed_handle(&mut self) -> Arc<Precomputed> {
+        self.ensure_precomputed();
+        Arc::clone(self.pre.as_ref().expect("ensured above"))
+    }
+
+    /// The Δ(e) method in force.
+    pub fn method(&self) -> DeltaMethod {
+        self.method
+    }
+
     /// The parameters in force.
     pub fn params(&self) -> &CtBusParams {
         &self.params
@@ -161,8 +236,12 @@ impl PlanningSession {
 
     fn ensure_precomputed(&mut self) {
         if self.pre.is_none() {
-            self.pre =
-                Some(Precomputed::build_with(&self.city, &self.demand, &self.params, self.method));
+            self.pre = Some(Arc::new(Precomputed::build_with(
+                &self.city,
+                &self.demand,
+                &self.params,
+                self.method,
+            )));
         }
     }
 
@@ -184,6 +263,11 @@ impl PlanningSession {
     /// pre-computation is refreshed incrementally (see the module docs).
     /// The plan must come from this session's current state (its candidate
     /// ids index the session's pool). Empty plans are a no-op.
+    ///
+    /// Copy-on-write: when this session is the sole owner of its snapshot
+    /// (no live branch, nothing published), the refresh mutates in place —
+    /// zero structural copies. When the snapshot is shared, the commit
+    /// clones it exactly once and leaves every other holder's view intact.
     pub fn commit(&mut self, plan: &RoutePlan) -> CommitSummary {
         if plan.is_empty() {
             return CommitSummary {
@@ -194,11 +278,16 @@ impl PlanningSession {
             };
         }
         self.ensure_precomputed();
-        let mut pre = self.pre.take().expect("ensured above");
+        // Sole owner → unwrap and mutate in place; shared → one clone, the
+        // other holders keep the old snapshot (snapshot isolation).
+        let mut pre = match Arc::try_unwrap(self.pre.take().expect("ensured above")) {
+            Ok(pre) => pre,
+            Err(shared) => (*shared).clone(),
+        };
         let cands = &pre.candidates;
 
-        // 1. Grow the transit layer (no road/trajectory copies: the transit
-        //    field is replaced in place on the owned city).
+        // 1. Grow the transit layer (no road/trajectory copies: the city
+        //    snapshot is replaced by a twin sharing both `Arc` layers).
         let new_transit = apply_plan(&self.city.transit, plan, cands);
 
         // 2. Zero the served demand (§6.3) and remember which road edges
@@ -212,8 +301,8 @@ impl PlanningSession {
                 covered_road_edges += 1;
             }
         }
-        self.demand.zero_edges(&covered);
-        self.city.transit = new_transit;
+        Arc::make_mut(&mut self.demand).zero_edges(&covered);
+        self.city = Arc::new(self.city.with_transit(new_transit));
 
         // 3. Refresh the pre-computation in place. The promoted pairs are
         //    the route's new hops in first-occurrence order — the order
@@ -253,7 +342,7 @@ impl PlanningSession {
         let refresh_secs = t0.elapsed().as_secs_f64();
 
         let Precomputed { candidates, base_adj, estimator, .. } = pre;
-        self.pre = Some(Precomputed::assemble(
+        self.pre = Some(Arc::new(Precomputed::assemble(
             candidates,
             delta,
             base_adj,
@@ -261,7 +350,7 @@ impl PlanningSession {
             estimator,
             &self.params,
             PrecomputeTimings { shortest_path_secs: 0.0, connectivity_secs: refresh_secs },
-        ));
+        )));
         self.commits += 1;
 
         CommitSummary {
@@ -272,10 +361,12 @@ impl PlanningSession {
         }
     }
 
-    /// Forks a what-if twin: the branch evolves independently, but shares
-    /// the road network and trajectory corpus (`Arc`) with this session,
-    /// and starts from a *copy* — not a rebuild — of the current
-    /// pre-computation.
+    /// Forks a what-if twin: an O(1) handle clone. The branch evolves
+    /// independently, sharing *every* layer — city, demand, and the
+    /// pre-computation itself — with this session until one of the twins
+    /// commits, at which point copy-on-write kicks in (see
+    /// [`PlanningSession::commit`]). Workspaces are per-session, so the
+    /// twin is immediately `Send`-able to another thread.
     pub fn branch(&self) -> PlanningSession {
         PlanningSession {
             city: self.city.clone(),

@@ -1,0 +1,310 @@
+//! Concurrency contract of the serving layer (`ct_core::serve`): any
+//! number of worker threads planning on branches of one shared published
+//! snapshot produce **bit-identical** results to the same requests run
+//! sequentially, commits funneled through the single-writer queue replay
+//! the rebuild-per-round oracle (`plan_multiple_reference`) exactly, and
+//! readers holding a pre-commit snapshot are never disturbed by
+//! publishes — snapshot isolation, pinned down to `Arc` pointer identity.
+//!
+//! Threading never changes an answer here; it only changes who computes
+//! it when. That is the property that makes a concurrent planning service
+//! testable at all: every interleaving must collapse to the one
+//! sequential history.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+
+use ct_core::{
+    plan_multiple_reference, CommitOutcome, CommitTicket, CtBusParams, PlannerMode,
+    PlanningSession, RoutePlan, ServeState, Snapshot,
+};
+use ct_data::{City, CityConfig, DemandModel};
+use proptest::prelude::*;
+
+fn small_city(seed: u64) -> (City, DemandModel) {
+    let city = CityConfig::small().seed(seed).generate();
+    let demand = DemandModel::from_city(&city);
+    (city, demand)
+}
+
+/// Trimmed parameters so the thread × mix matrix stays fast.
+fn quick_params() -> CtBusParams {
+    let mut params = CtBusParams::small_defaults();
+    params.k = 6;
+    params.sn = 80;
+    params.it_max = 400;
+    params.trace_probes = 8;
+    params.lanczos_steps = 6;
+    params
+}
+
+// ── Send/Sync audit ────────────────────────────────────────────────────
+// Compile-time pins: if a future change smuggles a non-thread-safe member
+// into these types (an `Rc`, a raw pointer, a thread-bound scratch
+// buffer), this file stops compiling — no runtime flakiness involved.
+
+fn assert_send<T: Send>() {}
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn planning_session_is_send() {
+    assert_send::<PlanningSession>();
+}
+
+#[test]
+fn serve_types_are_send_and_sync() {
+    assert_send_sync::<ServeState>();
+    assert_send_sync::<Snapshot>();
+    assert_send::<CommitTicket>();
+}
+
+// ── N threads on branches of one shared snapshot ───────────────────────
+
+#[test]
+fn threaded_branches_bit_identical_to_sequential() {
+    let (city, demand) = small_city(401);
+    let params = quick_params();
+    let modes = [PlannerMode::EtaPre, PlannerMode::VkTsp, PlannerMode::EtaAllNeighbors];
+
+    // Sequential reference: each mode planned back-to-back on one session.
+    let mut reference_session = PlanningSession::new(city.clone(), demand.clone(), params);
+    let reference: Vec<_> = modes.iter().map(|&m| reference_session.plan(m)).collect();
+
+    let state = ServeState::new(city, demand, params);
+    for threads in [2usize, 4, 8] {
+        // All workers branch off ONE shared checkout — the heaviest
+        // aliasing the snapshot model allows.
+        let shared = state.session();
+        let results: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|i| {
+                    let mut branch = shared.branch();
+                    scope.spawn(move || (i, branch.plan(modes[i % modes.len()])))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+        for (i, got) in results {
+            let want = &reference[i % modes.len()];
+            assert_eq!(got.best, want.best, "threads={threads} worker {i}: plan diverged");
+            assert_eq!(got.trace, want.trace, "threads={threads} worker {i}: trace diverged");
+            assert_eq!(
+                got.evaluations, want.evaluations,
+                "threads={threads} worker {i}: evaluation count diverged"
+            );
+            assert_eq!(
+                got.iterations, want.iterations,
+                "threads={threads} worker {i}: iteration count diverged"
+            );
+        }
+    }
+}
+
+// ── Snapshot isolation under a publishing writer ───────────────────────
+
+#[test]
+fn readers_keep_pre_commit_snapshot_while_writer_publishes() {
+    let (city, demand) = small_city(402);
+    let params = quick_params();
+    let oracle = plan_multiple_reference(&city, &demand, params, 2, PlannerMode::EtaPre);
+    assert_eq!(oracle.len(), 2, "fixture must sustain two commits");
+
+    let state = ServeState::new(city, demand, params);
+    let held = state.current(); // generation-0 snapshot the readers pin
+    let held_pre = Arc::clone(held.precomputed_handle());
+    let routes_at_0 = held.city().transit.num_routes();
+    let readers = 3usize;
+    let start = Barrier::new(readers + 1);
+    let writer_done = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        // Writer: two plan → commit rounds through the single-writer
+        // queue, racing the readers below.
+        scope.spawn(|| {
+            start.wait();
+            for round in 0..2 {
+                let snapshot = state.current();
+                let plan = snapshot.session().plan(PlannerMode::EtaPre).best;
+                assert!(!plan.is_empty(), "writer round {round} planned nothing");
+                let outcome = state.commit(CommitTicket::new(&snapshot, plan));
+                assert!(outcome.is_applied(), "sole writer went stale: {outcome:?}");
+            }
+            writer_done.store(true, Ordering::Release);
+        });
+
+        // Readers: plan repeatedly on the *held* generation-0 snapshot
+        // while the writer publishes. Every repeat must reproduce the
+        // first answer bit for bit, and the held handles must keep their
+        // identity — a publish never reaches into a checked-out snapshot.
+        for _ in 0..readers {
+            scope.spawn(|| {
+                start.wait();
+                let first = held.session().plan(PlannerMode::EtaPre);
+                let mut repeats = 0usize;
+                while !writer_done.load(Ordering::Acquire) || repeats < 2 {
+                    let again = held.session().plan(PlannerMode::EtaPre);
+                    assert_eq!(again.best, first.best, "held snapshot's plan changed");
+                    assert_eq!(again.trace, first.trace, "held snapshot's trace changed");
+                    assert!(
+                        Arc::ptr_eq(held.precomputed_handle(), &held_pre),
+                        "publish swapped the held snapshot's pre-computation"
+                    );
+                    assert_eq!(held.generation(), 0, "held snapshot's generation moved");
+                    assert_eq!(
+                        held.city().transit.num_routes(),
+                        routes_at_0,
+                        "held snapshot's city grew a route"
+                    );
+                    repeats += 1;
+                    if repeats > 200 {
+                        break; // plenty of overlap captured
+                    }
+                }
+            });
+        }
+    });
+
+    // The held snapshot survived both publishes untouched; the *current*
+    // snapshot moved on. A post-commit branch observes exactly the two
+    // committed routes — the oracle's plans, nothing else.
+    assert_eq!(state.generation(), 2);
+    assert!(!state.is_current(&held));
+    let fresh = state.current();
+    assert_eq!(fresh.city().transit.num_routes(), routes_at_0 + 2);
+    let next = fresh.session().branch().plan(PlannerMode::EtaPre).best;
+    let oracle_next = {
+        let (city, demand) = small_city(402);
+        let mut session = PlanningSession::new(city, demand, params);
+        for plan in &oracle {
+            session.commit(plan);
+        }
+        session.plan(PlannerMode::EtaPre).best
+    };
+    assert_eq!(next, oracle_next, "post-commit branch diverged from the oracle");
+}
+
+// ── Racing commit mixes vs the rebuild-per-round oracle ────────────────
+
+/// Races `threads` workers over one `ServeState` until `target` commits
+/// have been applied; even workers plan-and-commit (retrying stale
+/// tickets), odd workers are read-only (optionally through `branch()`).
+/// Returns the applied `(generation, plan)` sequence and the read-only
+/// `(generation, plan)` samples.
+type GenerationPlans = Vec<(u64, RoutePlan)>;
+
+fn race_commits(
+    state: &ServeState,
+    threads: usize,
+    target: u64,
+    mode: PlannerMode,
+    readers_branch: bool,
+) -> (GenerationPlans, GenerationPlans) {
+    let applied: Mutex<GenerationPlans> = Mutex::new(Vec::new());
+    let samples: Mutex<GenerationPlans> = Mutex::new(Vec::new());
+    let exhausted = AtomicBool::new(false); // network saturated before target
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let (applied, samples, exhausted) = (&applied, &samples, &exhausted);
+            scope.spawn(move || {
+                let committer = worker % 2 == 0 || threads == 1;
+                while state.generation() < target && !exhausted.load(Ordering::Acquire) {
+                    let snapshot = state.current();
+                    let plan = if readers_branch && !committer {
+                        snapshot.session().branch().plan(mode).best
+                    } else {
+                        snapshot.session().plan(mode).best
+                    };
+                    if committer {
+                        if plan.is_empty() || plan.objective <= 0.0 {
+                            exhausted.store(true, Ordering::Release);
+                            break;
+                        }
+                        let ticket = CommitTicket::new(&snapshot, plan.clone());
+                        match state.commit(ticket) {
+                            CommitOutcome::Applied { generation, .. } => {
+                                applied.lock().unwrap().push((generation, plan));
+                            }
+                            CommitOutcome::Stale { .. } => {} // re-plan and retry
+                            CommitOutcome::Empty => unreachable!("checked non-empty"),
+                        }
+                    } else {
+                        samples.lock().unwrap().push((snapshot.generation(), plan));
+                    }
+                }
+            });
+        }
+    });
+    let mut applied = applied.into_inner().unwrap();
+    applied.sort_by_key(|(generation, _)| *generation);
+    (applied, samples.into_inner().unwrap())
+}
+
+#[test]
+fn racing_committers_replay_the_sequential_oracle() {
+    let (city, demand) = small_city(403);
+    let params = quick_params();
+    let state = ServeState::new(city.clone(), demand.clone(), params);
+    let (applied, samples) = race_commits(&state, 4, 2, PlannerMode::EtaPre, true);
+
+    assert_eq!(applied.len(), 2, "writer queue lost or duplicated a commit");
+    let generations: Vec<u64> = applied.iter().map(|(g, _)| *g).collect();
+    assert_eq!(generations, vec![1, 2], "commit generations must be gapless and ordered");
+
+    let reference = plan_multiple_reference(&city, &demand, params, 2, PlannerMode::EtaPre);
+    for (i, (_, plan)) in applied.iter().enumerate() {
+        assert_eq!(plan, &reference[i], "applied commit {i} diverged from the oracle");
+    }
+    for (generation, plan) in &samples {
+        if (*generation as usize) < reference.len() {
+            assert_eq!(
+                plan, &reference[*generation as usize],
+                "read at generation {generation} diverged from the oracle"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // Generated city × thread count × request mix: however the race goes,
+    // the applied commit sequence IS the sequential rebuild-per-round
+    // history, and every read-only plan matches the oracle's plan for the
+    // generation it was taken at.
+    #[test]
+    fn concurrent_histories_collapse_to_the_sequential_one(
+        seed in 0u64..10_000,
+        threads_idx in 0usize..4,
+        target in 1u64..=2,
+        readers_branch_bit in 0u8..2,
+        mode_idx in 0usize..2,
+    ) {
+        let readers_branch = readers_branch_bit == 1;
+        let threads = [1usize, 2, 4, 8][threads_idx];
+        let mode = [PlannerMode::EtaPre, PlannerMode::VkTsp][mode_idx];
+        let (city, demand) = small_city(seed);
+        let params = quick_params();
+        let state = ServeState::new(city.clone(), demand.clone(), params);
+        let (applied, samples) = race_commits(&state, threads, target, mode, readers_branch);
+
+        // The service may legitimately stop short only if the network
+        // saturates; whatever was applied must replay the oracle exactly.
+        let rounds = applied.len();
+        prop_assert!(rounds <= target as usize);
+        let generations: Vec<u64> = applied.iter().map(|(g, _)| *g).collect();
+        prop_assert_eq!(generations, (1..=rounds as u64).collect::<Vec<_>>());
+        let reference = plan_multiple_reference(&city, &demand, params, rounds, mode);
+        prop_assert_eq!(reference.len(), rounds, "oracle stopped before the service did");
+        for (i, (_, plan)) in applied.iter().enumerate() {
+            prop_assert_eq!(plan, &reference[i],
+                "seed {} threads {} mode {:?}: commit {} diverged", seed, threads, mode, i);
+        }
+        for (generation, plan) in &samples {
+            if (*generation as usize) < rounds {
+                prop_assert_eq!(plan, &reference[*generation as usize],
+                    "seed {} threads {}: read at generation {} diverged",
+                    seed, threads, generation);
+            }
+        }
+    }
+}

@@ -17,7 +17,10 @@
 //!   pair, shared across **all** routes and persistent across imports, so
 //!   each unique corridor runs Dijkstra exactly once (counted in
 //!   [`HopCacheStats`]); realization fans out over
-//!   [`ct_graph::shortest_paths_batch`];
+//!   [`ct_graph::shortest_paths_batch`]. The cache is internally
+//!   synchronized (`&self` everywhere, counters atomic), so one
+//!   `Arc<HopPathCache>` can back concurrent imports on a serving host —
+//!   see [`GtfsIngest::with_shared_cache`];
 //! * [`GtfsIngest`] — ties both to a road network and drives imports,
 //!   either from a parsed [`GtfsFeed`] ([`GtfsIngest::import`]) or
 //!   streaming straight from a feed directory
@@ -27,6 +30,8 @@
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use ct_graph::{shortest_paths_batch, RoadNetwork, TransitNetwork, TransitNetworkBuilder};
 use ct_spatial::{GeoPoint, GridIndex, Point, Projection};
@@ -90,11 +95,20 @@ impl SnapIndex {
 type HopPath = Option<(f64, Vec<u32>)>;
 
 /// Counters for [`HopPathCache`]: how much corridor reuse saved.
+///
+/// Accumulated atomically, so totals are **exact** however many importer
+/// threads share the cache — every corridor request lands in exactly one
+/// counter, hence the conservation law `hits + dijkstra_runs == total
+/// corridor requests` holds under any interleaving (tested). Two racing
+/// batches that both miss the same corridor each count their own Dijkstra
+/// run (the work really happened); sequential use keeps the strict
+/// one-run-per-unique-corridor accounting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HopCacheStats {
     /// Dijkstra runs performed — one per unique corridor requested while it
     /// is resident (an evicted corridor re-runs on its next request; with
-    /// an unbounded cache this is exactly one per unique corridor, ever).
+    /// an unbounded cache and a single importer this is exactly one per
+    /// unique corridor, ever).
     pub dijkstra_runs: usize,
     /// Corridor requests answered from the cache (within a batch, across
     /// routes, or across imports).
@@ -104,6 +118,41 @@ pub struct HopCacheStats {
     /// Corridors dropped by the entry cap (see
     /// [`HopPathCache::with_max_entries`]); `0` when unbounded.
     pub evictions: usize,
+}
+
+/// Atomic accumulators behind [`HopCacheStats`]. Relaxed ordering is
+/// enough: the counters carry no cross-thread happens-before obligations,
+/// only totals, and `fetch_add` never loses an increment.
+#[derive(Debug, Default)]
+struct CacheCounters {
+    dijkstra_runs: AtomicUsize,
+    hits: AtomicUsize,
+    unroutable: AtomicUsize,
+    evictions: AtomicUsize,
+}
+
+impl CacheCounters {
+    fn snapshot(&self) -> HopCacheStats {
+        HopCacheStats {
+            dijkstra_runs: self.dijkstra_runs.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            unroutable: self.unroutable.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The map state of [`HopPathCache`], guarded by one mutex. The lock is
+/// held only for map surgery — never across a Dijkstra batch.
+#[derive(Debug, Default)]
+struct CacheInner {
+    /// Canonical pair → realized path. Geometry is stored in the
+    /// orientation of the corridor's first realization (matching what the
+    /// pre-refactor importer put on the first transit edge using it).
+    paths: HashMap<(u32, u32), HopPath>,
+    /// Realization order of resident corridors (front = oldest), used for
+    /// eviction when bounded.
+    order: std::collections::VecDeque<(u32, u32)>,
 }
 
 /// A city-wide cache of realized hop paths, keyed by canonical (unordered)
@@ -120,18 +169,44 @@ pub struct HopCacheStats {
 /// cap the **oldest-realized** corridor is dropped first (FIFO — corridor
 /// popularity is dominated by feed locality, so age is a good proxy), and
 /// every drop is counted in [`HopCacheStats::evictions`].
-#[derive(Debug, Clone, Default)]
+///
+/// **Thread safety.** Every method takes `&self`: the maps sit behind one
+/// mutex (held only for map surgery, never across a Dijkstra batch) and
+/// the counters are atomic, so a single `Arc<HopPathCache>` serves any
+/// number of concurrent importers with exact totals. Callers consume a
+/// batch through the value [`HopPathCache::realize`] *returns* — never
+/// through follow-up [`HopPathCache::path`] lookups — so a concurrent
+/// batch enforcing the cap can never yank a corridor out from under the
+/// import that just realized it.
+#[derive(Debug, Default)]
 pub struct HopPathCache {
-    /// Canonical pair → realized path. Geometry is stored in the
-    /// orientation of the corridor's first request (matching what the
-    /// pre-refactor importer put on the first transit edge using it).
-    paths: HashMap<(u32, u32), HopPath>,
-    /// Realization order of resident corridors (front = oldest), used for
-    /// eviction when bounded.
-    order: std::collections::VecDeque<(u32, u32)>,
-    /// Entry cap; `0` = unbounded.
+    inner: Mutex<CacheInner>,
+    /// Entry cap; `0` = unbounded. Fixed at construction.
     max_entries: usize,
-    stats: HopCacheStats,
+    stats: CacheCounters,
+}
+
+impl Clone for HopPathCache {
+    /// Deep-copies the resident corridors and the counter values; the
+    /// clone is an independent cache (shared use goes through `Arc`, not
+    /// `Clone`).
+    fn clone(&self) -> Self {
+        let inner = self.inner.lock().expect("hop cache poisoned");
+        let stats = self.stats.snapshot();
+        HopPathCache {
+            inner: Mutex::new(CacheInner {
+                paths: inner.paths.clone(),
+                order: inner.order.clone(),
+            }),
+            max_entries: self.max_entries,
+            stats: CacheCounters {
+                dijkstra_runs: AtomicUsize::new(stats.dijkstra_runs),
+                hits: AtomicUsize::new(stats.hits),
+                unroutable: AtomicUsize::new(stats.unroutable),
+                evictions: AtomicUsize::new(stats.evictions),
+            },
+        }
+    }
 }
 
 impl HopPathCache {
@@ -149,7 +224,8 @@ impl HopPathCache {
     /// their next request.
     pub fn with_max_entries(mut self, max_entries: usize) -> Self {
         self.max_entries = max_entries;
-        self.enforce_cap();
+        let inner = self.inner.get_mut().expect("hop cache poisoned");
+        Self::enforce_cap(inner, max_entries, &self.stats);
         self
     }
 
@@ -158,14 +234,14 @@ impl HopPathCache {
         self.max_entries
     }
 
-    fn enforce_cap(&mut self) {
-        if self.max_entries == 0 {
+    fn enforce_cap(inner: &mut CacheInner, max_entries: usize, stats: &CacheCounters) {
+        if max_entries == 0 {
             return;
         }
-        while self.paths.len() > self.max_entries {
-            let oldest = self.order.pop_front().expect("order tracks every resident corridor");
-            self.paths.remove(&oldest);
-            self.stats.evictions += 1;
+        while inner.paths.len() > max_entries {
+            let oldest = inner.order.pop_front().expect("order tracks every resident corridor");
+            inner.paths.remove(&oldest);
+            stats.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -175,65 +251,125 @@ impl HopPathCache {
 
     /// Number of unique corridors realized so far (routable or not).
     pub fn unique_corridors(&self) -> usize {
-        self.paths.len()
+        self.inner.lock().expect("hop cache poisoned").paths.len()
     }
 
-    /// Reuse/miss counters.
+    /// Reuse/miss counters (an atomic point-in-time snapshot).
     pub fn stats(&self) -> HopCacheStats {
-        self.stats
+        self.stats.snapshot()
     }
 
-    /// The realized path for corridor `(a, b)`, if it has been realized and
-    /// is routable.
-    pub fn path(&self, a: u32, b: u32) -> Option<&(f64, Vec<u32>)> {
-        self.paths.get(&Self::key(a, b)).and_then(|p| p.as_ref())
+    /// The realized path for corridor `(a, b)`, if it is resident and
+    /// routable. An owned copy: residency is only guaranteed at the moment
+    /// of the call (a concurrent capped batch may evict afterwards), so no
+    /// reference into the cache can be handed out.
+    pub fn path(&self, a: u32, b: u32) -> Option<(f64, Vec<u32>)> {
+        self.inner
+            .lock()
+            .expect("hop cache poisoned")
+            .paths
+            .get(&Self::key(a, b))
+            .and_then(|p| p.clone())
     }
 
-    /// Whether corridor `(a, b)` has been realized (routable or not).
+    /// Whether corridor `(a, b)` is resident (routable or not).
     pub fn contains(&self, a: u32, b: u32) -> bool {
-        self.paths.contains_key(&Self::key(a, b))
+        self.inner.lock().expect("hop cache poisoned").paths.contains_key(&Self::key(a, b))
     }
 
     /// Ensures every corridor in `wanted` is realized, running the missing
     /// ones through [`shortest_paths_batch`] over `threads` workers (`0` =
-    /// all cores).
+    /// all cores), and returns the resolved path for **each** `wanted`
+    /// entry, in order (`None` = unroutable).
     ///
     /// Corridors may repeat (the importer feeds every hop of every route);
-    /// each is realized at most once, in the orientation of its first
-    /// occurrence, and every avoided run counts as a hit. Results are
-    /// merged by corridor key, so the cache contents are invariant under
-    /// thread count.
-    pub fn realize(&mut self, road: &RoadNetwork, wanted: &[(u32, u32)], threads: usize) {
-        // Trim *before* realizing, so this batch's corridors stay resident
-        // for the caller that asked for them (see `with_max_entries`).
-        self.enforce_cap();
+    /// each is realized at most once per batch, in the orientation of its
+    /// first occurrence, and every avoided run counts as a hit. Results
+    /// merge by corridor key, so the cache contents are invariant under
+    /// thread count. Work with the returned vector, not follow-up
+    /// [`HopPathCache::path`] calls: the return value is immune to
+    /// evictions by concurrent batches.
+    ///
+    /// Concurrency: the lock is released while Dijkstra runs, so racing
+    /// batches overlap their compute. Two batches that both miss the same
+    /// corridor both run it (both runs are counted; the first merge wins
+    /// residency) — the conservation law `hits + dijkstra_runs == total
+    /// requests` stays exact either way.
+    pub fn realize(
+        &self,
+        road: &RoadNetwork,
+        wanted: &[(u32, u32)],
+        threads: usize,
+    ) -> Vec<HopPath> {
+        // Phase 1 (locked): trim to the cap *before* realizing — so this
+        // batch's corridors stay resident for its duration — and split
+        // `wanted` into resident (resolved now, immune to later eviction)
+        // and missing (first-occurrence orientation).
+        let mut resolved: Vec<Option<HopPath>> = Vec::with_capacity(wanted.len());
         let mut missing: Vec<(u32, u32)> = Vec::new();
-        let mut queued: HashSet<(u32, u32)> = HashSet::new();
-        for &(a, b) in wanted {
-            let key = Self::key(a, b);
-            if self.paths.contains_key(&key) || !queued.insert(key) {
-                self.stats.hits += 1;
-            } else {
-                missing.push((a, b)); // first-occurrence orientation
+        let mut queued: HashMap<(u32, u32), usize> = HashMap::new();
+        let mut hits = 0usize;
+        {
+            let mut inner = self.inner.lock().expect("hop cache poisoned");
+            Self::enforce_cap(&mut inner, self.max_entries, &self.stats);
+            for &(a, b) in wanted {
+                let key = Self::key(a, b);
+                if let Some(path) = inner.paths.get(&key) {
+                    hits += 1;
+                    resolved.push(Some(path.clone()));
+                } else {
+                    match queued.entry(key) {
+                        Entry::Occupied(_) => hits += 1, // repeat within this batch
+                        Entry::Vacant(slot) => {
+                            slot.insert(missing.len());
+                            missing.push((a, b));
+                        }
+                    }
+                    resolved.push(None); // filled from `computed` in phase 3
+                }
             }
         }
+        self.stats.hits.fetch_add(hits, Ordering::Relaxed);
         if missing.is_empty() {
-            return;
+            return resolved.into_iter().map(|p| p.expect("all resident")).collect();
         }
+
+        // Phase 2 (unlocked): the expensive part.
         let results = shortest_paths_batch(road, &missing, threads);
-        self.stats.dijkstra_runs += missing.len();
-        for (&(a, b), result) in missing.iter().zip(results) {
-            let stored = match result {
+        self.stats.dijkstra_runs.fetch_add(missing.len(), Ordering::Relaxed);
+        let computed: Vec<HopPath> = missing
+            .iter()
+            .zip(results)
+            .map(|(_, result)| match result {
                 Some(p) => Some((p.dist, p.edges)),
                 None => {
-                    self.stats.unroutable += 1;
+                    self.stats.unroutable.fetch_add(1, Ordering::Relaxed);
                     None
                 }
-            };
-            if self.paths.insert(Self::key(a, b), stored).is_none() {
-                self.order.push_back(Self::key(a, b));
+            })
+            .collect();
+
+        // Phase 3 (locked): merge. A corridor a racing batch inserted
+        // meanwhile keeps the racer's entry (first realization wins,
+        // including its orientation — the single-importer rule, extended).
+        {
+            let mut inner = self.inner.lock().expect("hop cache poisoned");
+            for (&(a, b), stored) in missing.iter().zip(&computed) {
+                let key = Self::key(a, b);
+                if let Entry::Vacant(slot) = inner.paths.entry(key) {
+                    slot.insert(stored.clone());
+                    inner.order.push_back(key);
+                }
             }
         }
+        resolved
+            .into_iter()
+            .zip(wanted)
+            .map(|(path, &(a, b))| match path {
+                Some(path) => path,
+                None => computed[queued[&Self::key(a, b)]].clone(),
+            })
+            .collect()
     }
 }
 
@@ -262,7 +398,10 @@ impl HopPathCache {
 pub struct GtfsIngest<'a> {
     road: &'a RoadNetwork,
     snap: SnapIndex,
-    cache: HopPathCache,
+    /// Shared so several importer threads can pool one city-wide cache
+    /// ([`GtfsIngest::with_shared_cache`]); a solo pipeline is simply the
+    /// `Arc`'s only holder.
+    cache: Arc<HopPathCache>,
     threads: usize,
 }
 
@@ -270,7 +409,12 @@ impl<'a> GtfsIngest<'a> {
     /// Builds the pipeline for `road`: snap index with
     /// [`DEFAULT_MAX_SNAP_M`], empty cache, all cores.
     pub fn new(road: &'a RoadNetwork) -> Self {
-        GtfsIngest { road, snap: SnapIndex::build(road), cache: HopPathCache::new(), threads: 0 }
+        GtfsIngest {
+            road,
+            snap: SnapIndex::build(road),
+            cache: Arc::new(HopPathCache::new()),
+            threads: 0,
+        }
     }
 
     /// Overrides the snap radius (builder style).
@@ -283,8 +427,20 @@ impl<'a> GtfsIngest<'a> {
     /// `0` = unbounded, the default). Long-lived servers importing many
     /// feeds should set this so the cache cannot grow without bound; see
     /// [`HopPathCache::with_max_entries`] for the eviction policy.
+    /// Replaces the pipeline's cache with a fresh capped one — call it at
+    /// construction, before anything is realized.
     pub fn with_cache_cap(mut self, max_entries: usize) -> Self {
-        self.cache = self.cache.with_max_entries(max_entries);
+        self.cache = Arc::new(HopPathCache::new().with_max_entries(max_entries));
+        self
+    }
+
+    /// Attaches an existing (possibly already warm) cache, typically one
+    /// `Arc` shared by several importer pipelines on a serving host:
+    /// concurrent imports then pool their realized corridors, and
+    /// [`HopCacheStats`] totals stay exact across all of them (builder
+    /// style).
+    pub fn with_shared_cache(mut self, cache: Arc<HopPathCache>) -> Self {
+        self.cache = cache;
         self
     }
 
@@ -306,6 +462,12 @@ impl<'a> GtfsIngest<'a> {
     /// The city-wide hop-path cache (persistent across imports).
     pub fn cache(&self) -> &HopPathCache {
         &self.cache
+    }
+
+    /// A shared handle onto the cache, for pooling it across pipelines
+    /// (see [`GtfsIngest::with_shared_cache`]).
+    pub fn shared_cache(&self) -> Arc<HopPathCache> {
+        Arc::clone(&self.cache)
     }
 
     /// Imports a parsed feed. See [`GtfsFeed::into_transit`] for the
@@ -463,8 +625,17 @@ impl<'a> GtfsIngest<'a> {
             node_seqs.push(nodes);
         }
 
-        // One parallel Dijkstra per unique corridor, city-wide.
-        self.cache.realize(self.road, &wanted, self.threads);
+        // One parallel Dijkstra per unique corridor, city-wide. This
+        // import works off the *returned* batch from here on: a concurrent
+        // import enforcing the cache cap may evict corridors at any time,
+        // so later `cache.path()` lookups could miss what this batch just
+        // realized.
+        let resolved = self.cache.realize(self.road, &wanted, self.threads);
+        let mut batch: HashMap<(u32, u32), HopPath> = HashMap::with_capacity(wanted.len());
+        for (&(a, b), path) in wanted.iter().zip(resolved) {
+            batch.entry((a.min(b), a.max(b))).or_insert(path);
+        }
+        let hop = |a: u32, b: u32| -> &HopPath { &batch[&(a.min(b), a.max(b))] };
 
         // Split each route at unroutable hops; pieces with ≥ 2 stops
         // survive and mark their nodes as used.
@@ -475,7 +646,7 @@ impl<'a> GtfsIngest<'a> {
             let mut piece: Vec<u32> = Vec::new();
             for &node in nodes {
                 if let Some(&prev) = piece.last() {
-                    if self.cache.path(prev, node).is_none() {
+                    if hop(prev, node).is_none() {
                         stats.dropped_hops += 1;
                         pieces.push(std::mem::take(&mut piece));
                     }
@@ -517,7 +688,7 @@ impl<'a> GtfsIngest<'a> {
                 builder.add_route(&stop_seq, |u, v| {
                     let a = stop_road[u as usize];
                     let b = stop_road[v as usize];
-                    self.cache.path(a, b).expect("hop path cached").clone()
+                    hop(a, b).clone().expect("routable hop resolved by this batch")
                 });
                 added = true;
                 stats.routes += 1;
@@ -618,7 +789,7 @@ mod tests {
     #[test]
     fn hop_cache_runs_one_dijkstra_per_unique_corridor() {
         let road = grid_road(3, 3);
-        let mut cache = HopPathCache::new();
+        let cache = HopPathCache::new();
         // (0,1) requested three times — once reversed — plus (1,2).
         cache.realize(&road, &[(0, 1), (1, 2), (1, 0), (0, 1)], 1);
         let s = cache.stats();
@@ -636,7 +807,7 @@ mod tests {
     #[test]
     fn hop_cache_cap_evicts_oldest_corridor_first() {
         let road = grid_road(3, 3);
-        let mut cache = HopPathCache::new().with_max_entries(2);
+        let cache = HopPathCache::new().with_max_entries(2);
         assert_eq!(cache.max_entries(), 2);
         cache.realize(&road, &[(0, 1), (1, 2), (2, 5)], 1);
         // The cap pins the current batch: all three stay resident for the
@@ -666,7 +837,7 @@ mod tests {
     #[test]
     fn uncapped_cache_never_evicts() {
         let road = grid_road(3, 3);
-        let mut cache = HopPathCache::new();
+        let cache = HopPathCache::new();
         let wanted: Vec<(u32, u32)> = (0..8).map(|i| (i, i + 1)).collect();
         cache.realize(&road, &wanted, 1);
         assert_eq!(cache.stats().evictions, 0);
@@ -701,12 +872,69 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_imports_share_cache_with_exact_totals() {
+        // The serving-host pattern: several importer threads pooling one
+        // Arc'd cache. Counters must obey the conservation law exactly —
+        // every corridor request is either a hit or a counted Dijkstra
+        // run, with no lost increments — and every import must produce
+        // the same network a solo import produces.
+        let city = crate::CityConfig::small().seed(41).generate();
+        let proj = Projection::new(GeoPoint::new(41.85, -87.65));
+        let feed = GtfsFeed::from_transit(&city.transit, &proj);
+        let (reference, _) = GtfsIngest::new(&city.road).import(&feed, &proj).expect("solo");
+        // Request count per import = hops of every route = what one
+        // import's `wanted` list holds (deterministic for a fixed feed).
+        let solo = GtfsIngest::new(&city.road);
+        let requests_per_import = {
+            let mut ingest = GtfsIngest::new(&city.road).with_shared_cache(solo.shared_cache());
+            ingest.import(&feed, &proj).expect("count import");
+            let s = solo.cache().stats();
+            s.hits + s.dijkstra_runs
+        };
+
+        let cache = Arc::new(HopPathCache::new());
+        let importers = 4usize;
+        std::thread::scope(|scope| {
+            for _ in 0..importers {
+                let cache = Arc::clone(&cache);
+                let (road, feed, proj, reference) = (&city.road, &feed, &proj, &reference);
+                scope.spawn(move || {
+                    let mut ingest = GtfsIngest::new(road).with_shared_cache(cache);
+                    for _ in 0..2 {
+                        let (net, _) = ingest.import(feed, proj).expect("concurrent import");
+                        assert_net_identical(&net, reference);
+                    }
+                });
+            }
+        });
+
+        let s = cache.stats();
+        assert_eq!(
+            s.hits + s.dijkstra_runs,
+            requests_per_import * importers * 2,
+            "counter conservation violated: {s:?}"
+        );
+        // Racing first imports may duplicate runs for a corridor, but
+        // never miss one, and the seven warm imports answer everything
+        // from the pooled cache — so runs stay far below request volume.
+        assert!(s.dijkstra_runs >= cache.unique_corridors(), "{s:?}");
+        assert!(s.hits >= requests_per_import * (importers * 2 - 4), "{s:?}");
+        assert_eq!(s.evictions, 0);
+
+        // Single-writer accounting stays strict: a fresh solo pipeline
+        // over the same feed runs one Dijkstra per unique corridor.
+        let mut strict = GtfsIngest::new(&city.road);
+        strict.import(&feed, &proj).expect("strict import");
+        assert_eq!(strict.cache().stats().dijkstra_runs, strict.cache().unique_corridors());
+    }
+
+    #[test]
     fn hop_cache_records_unroutable_corridors() {
         let road = RoadNetwork::new(
             vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0), Point::new(10_000.0, 0.0)],
             vec![RoadEdge { u: 0, v: 1, length: 100.0 }],
         );
-        let mut cache = HopPathCache::new();
+        let cache = HopPathCache::new();
         cache.realize(&road, &[(0, 2), (0, 1)], 2);
         assert_eq!(cache.stats().unroutable, 1);
         assert!(cache.path(0, 2).is_none());

@@ -15,6 +15,12 @@
 //!   plans and commits N routes so selection targets unserved demand;
 //! * `augment --city city.json [--k N] [--no-bound true]` — k-edge
 //!   connectivity augmentation with Golden–Thompson pruning (paper §8);
+//! * `serve --city city.json [--requests N] [--threads N]
+//!   [--commit-every N]` — the concurrent planning service: worker threads
+//!   check out sessions from one published snapshot
+//!   ([`crate::core::ServeState`]), race what-if plans, and optionally
+//!   funnel commits through the single-writer queue; reports throughput,
+//!   latency percentiles, and commit outcomes;
 //! * `gtfs-export --city city.json --out dir` / `gtfs-import --gtfs dir
 //!   --city city.json --out city2.json` — GTFS round trip.
 //!
@@ -23,8 +29,8 @@
 use std::collections::HashMap;
 
 use crate::core::{
-    augment_connectivity, evaluate_plan, AugmentParams, CtBusParams, Planner, PlannerMode,
-    PlanningSession, SiteParams,
+    augment_connectivity, evaluate_plan, AugmentParams, CommitTicket, CtBusParams, Planner,
+    PlannerMode, PlanningSession, ServeState, SiteParams,
 };
 use crate::data::{
     load_city_json, save_city_json, City, CityConfig, DemandModel, GeoJsonExporter, GtfsFeed,
@@ -63,6 +69,8 @@ USAGE:
   ctbus multi    --city city.json --routes N [--k N] [--w F]
   ctbus sites    --city city.json [--n N] [--w F] [--walk M] [--gap M] [--routes N]
   ctbus augment  --city city.json [--k N] [--pool N] [--no-bound true]
+  ctbus serve    --city city.json [--requests N] [--threads N] [--commit-every N]
+                 [--k N] [--w F] [--mode eta|eta-pre|vk-tsp]
   ctbus gtfs-export --city city.json --out <dir>
   ctbus gtfs-import --gtfs <dir> --city city.json [--out city2.json]
 ";
@@ -80,6 +88,7 @@ impl Cli {
                 | "multi"
                 | "sites"
                 | "augment"
+                | "serve"
                 | "gtfs-export"
                 | "gtfs-import"
         ) {
@@ -396,6 +405,98 @@ impl Cli {
                 }
                 Ok(())
             }
+            "serve" => {
+                let city = self.load_city()?;
+                let params = self.params()?;
+                let mode = self.mode()?;
+                let requests: usize = self.get("requests")?.unwrap_or(32);
+                let threads: usize = self.get("threads")?.unwrap_or_else(|| {
+                    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+                });
+                // Every Nth request submits its plan as a commit ticket
+                // (0 = read-only what-if traffic).
+                let commit_every: usize = self.get("commit-every")?.unwrap_or(0);
+                if threads == 0 {
+                    return Err(UsageError("--threads must be ≥ 1".into()));
+                }
+                let demand = DemandModel::from_city(&city);
+                writeln!(out, "building initial snapshot…").map_err(w)?;
+                let state = std::sync::Arc::new(ServeState::new(city, demand, params));
+                writeln!(
+                    out,
+                    "serving {requests} requests on {threads} threads \
+                     (commit every {commit_every})"
+                )
+                .map_err(w)?;
+
+                let next = std::sync::atomic::AtomicUsize::new(0);
+                let t0 = std::time::Instant::now();
+                let mut latencies: Vec<std::time::Duration> = std::thread::scope(|scope| {
+                    let workers: Vec<_> = (0..threads)
+                        .map(|_| {
+                            let state = &state;
+                            let next = &next;
+                            scope.spawn(move || {
+                                let mut lat = Vec::new();
+                                loop {
+                                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                    if i >= requests {
+                                        break;
+                                    }
+                                    let t = std::time::Instant::now();
+                                    let snapshot = state.current();
+                                    let mut session = snapshot.session();
+                                    let result = session.plan(mode);
+                                    lat.push(t.elapsed());
+                                    state.record_plans(1);
+                                    if commit_every > 0
+                                        && i % commit_every == commit_every - 1
+                                        && !result.best.is_empty()
+                                    {
+                                        state.commit(CommitTicket::new(&snapshot, result.best));
+                                    }
+                                }
+                                lat
+                            })
+                        })
+                        .collect();
+                    workers
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("serve worker panicked"))
+                        .collect()
+                });
+                let elapsed = t0.elapsed().as_secs_f64();
+                latencies.sort_unstable();
+                let pct = |p: f64| {
+                    let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+                    latencies[idx].as_secs_f64() * 1e3
+                };
+                let stats = state.stats();
+                writeln!(
+                    out,
+                    "served {} plans in {elapsed:.2}s — {:.1} plans/sec",
+                    stats.plans,
+                    stats.plans as f64 / elapsed.max(1e-9)
+                )
+                .map_err(w)?;
+                if !latencies.is_empty() {
+                    writeln!(
+                        out,
+                        "latency p50 {:.1} ms | p99 {:.1} ms | max {:.1} ms",
+                        pct(0.50),
+                        pct(0.99),
+                        pct(1.0)
+                    )
+                    .map_err(w)?;
+                }
+                writeln!(
+                    out,
+                    "commits: {} applied, {} stale — final generation {}",
+                    stats.commits_applied, stats.commits_stale, stats.generation
+                )
+                .map_err(w)?;
+                Ok(())
+            }
             "gtfs-export" => {
                 let city = self.load_city()?;
                 let dir = self.required("out")?;
@@ -585,6 +686,42 @@ mod tests {
         let err = cli2.execute(&mut Vec::new()).unwrap_err();
         assert!(err.0.contains("--w must be in [0,1]"), "{}", err.0);
         drop(cli);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_end_to_end() {
+        let dir = std::env::temp_dir().join("ctbus-cli-serve-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let city_path = dir.join("city.json");
+
+        let mut out = Vec::new();
+        Cli::parse(args(&format!(
+            "generate --preset small --seed 11 --trajectories 300 --out {}",
+            city_path.display()
+        )))
+        .unwrap()
+        .execute(&mut out)
+        .unwrap();
+
+        let mut out = Vec::new();
+        Cli::parse(args(&format!(
+            "serve --city {} --requests 6 --threads 2 --commit-every 3 \
+             --k 6 --sn 100 --it-max 400",
+            city_path.display()
+        )))
+        .unwrap()
+        .execute(&mut out)
+        .unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("served 6 plans"), "{text}");
+        assert!(text.contains("plans/sec"), "{text}");
+        assert!(text.contains("latency p50"), "{text}");
+        // 6 requests, commit every 3rd → two tickets; the first always
+        // applies, the second applies or goes stale depending on timing.
+        assert!(text.contains("commits: "), "{text}");
+        assert!(!text.contains("commits: 0 applied"), "{text}");
+
         std::fs::remove_dir_all(&dir).ok();
     }
 
