@@ -39,14 +39,29 @@
 //! and every sampled read-only plan taken at generation g must equal the
 //! oracle's round-g plan — regardless of thread interleaving. `--verify`
 //! checks both, plus gapless commit generations and nonzero throughput.
+//!
+//! **Chaos mode** (`--chaos`, seed via `--chaos-seed`). Installs a
+//! deterministic fault schedule on the serving path: a panic at each of
+//! the four registered failpoints (commit-apply, session-refresh,
+//! snapshot-publish, and snapshot-swap — the last one fires while the
+//! snapshot write lock is held, poisoning it) plus a seeded batch of
+//! extra panics/delays/errors ([`ct_core::FailPlan::seeded`]). Workers
+//! treat `Failed`/`Overloaded` outcomes as retryable and re-plan; after
+//! the run a recovery commit must apply, proving post-fault throughput
+//! recovers. `--chaos --verify` additionally holds the oracle checks
+//! under fire — failed commits publish nothing, so the applied sequence
+//! still replays `plan_multiple_reference` bit for bit — and asserts the
+//! final generation equals the applied-commit count (gapless even when
+//! faults interleave).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use ct_core::{
-    plan_multiple_reference, CommitOutcome, CommitTicket, CtBusParams, PlannerMode, RoutePlan,
-    ServeState,
+    fault::{self, site},
+    plan_multiple_reference, CommitOutcome, CommitTicket, CtBusParams, FailPlan, PlannerMode,
+    RoutePlan, ServeState,
 };
 use ct_data::{CityConfig, DemandModel};
 
@@ -55,6 +70,9 @@ use ct_data::{CityConfig, DemandModel};
 const SAMPLE_EVERY: usize = 8;
 /// Re-plan attempts before a commit request gives up on a stale ticket.
 const MAX_COMMIT_ATTEMPTS: usize = 8;
+/// Extra headroom for chaos runs: injected failures consume attempts too
+/// (a commit may eat several scheduled panics before it lands).
+const MAX_CHAOS_COMMIT_ATTEMPTS: usize = 32;
 
 struct Config {
     requests: usize,
@@ -65,6 +83,8 @@ struct Config {
     baseline: bool,
     /// Fail unless concurrent plans/sec ≥ this × sequential plans/sec.
     assert_speedup: Option<f64>,
+    chaos: bool,
+    chaos_seed: u64,
 }
 
 impl Config {
@@ -77,6 +97,8 @@ impl Config {
             verify: false,
             baseline: false,
             assert_speedup: None,
+            chaos: false,
+            chaos_seed: 1,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -89,6 +111,8 @@ impl Config {
                 "--verify" => cfg.verify = true,
                 "--baseline" => cfg.baseline = true,
                 "--assert-speedup" => cfg.assert_speedup = Some(parse(&value("assert-speedup")?)?),
+                "--chaos" => cfg.chaos = true,
+                "--chaos-seed" => cfg.chaos_seed = parse(&value("chaos-seed")?)?,
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -97,6 +121,27 @@ impl Config {
         }
         Ok(cfg)
     }
+
+    fn max_commit_attempts(&self) -> usize {
+        if self.chaos {
+            MAX_CHAOS_COMMIT_ATTEMPTS
+        } else {
+            MAX_COMMIT_ATTEMPTS
+        }
+    }
+}
+
+/// The chaos schedule: one panic at every registered failpoint early on
+/// (so each is provably survived, including the lock-poisoning swap site)
+/// plus a seeded batch of extra faults. Hit-count based, so the same seed
+/// replays the same run.
+fn chaos_plan(seed: u64) -> FailPlan {
+    FailPlan::new()
+        .panic_at(site::COMMIT_APPLY, 1)
+        .panic_at(site::SESSION_REFRESH, 1)
+        .panic_at(site::SNAPSHOT_PUBLISH, 1)
+        .panic_at(site::SNAPSHOT_SWAP, 1)
+        .merged(FailPlan::seeded(seed, &site::ALL, 4, 40))
 }
 
 fn parse<T: std::str::FromStr>(v: &str) -> Result<T, String> {
@@ -109,6 +154,10 @@ struct WorkerStats {
     plan_lat: Vec<Duration>,
     plans: usize,
     commit_give_ups: usize,
+    /// `Failed` outcomes survived (chaos mode): retried and recovered.
+    commit_failures: usize,
+    /// `Overloaded` outcomes survived: backed off and retried.
+    commit_sheds: usize,
 }
 
 fn percentile(sorted: &[Duration], p: f64) -> Duration {
@@ -142,7 +191,18 @@ fn main() {
     let mode = PlannerMode::EtaPre;
 
     eprintln!("loadgen: building initial snapshot ({})…", cfg.preset);
-    let state = Arc::new(ServeState::new(city.clone(), demand.clone(), params));
+    let mut state = ServeState::new(city.clone(), demand.clone(), params);
+    let injector = cfg.chaos.then(|| chaos_plan(cfg.chaos_seed).injector());
+    if let Some(injector) = &injector {
+        fault::silence_injected_panics();
+        state = state.with_faults(Arc::clone(injector));
+        eprintln!(
+            "loadgen: chaos mode — {} scheduled faults (seed {})",
+            chaos_plan(cfg.chaos_seed).len(),
+            cfg.chaos_seed
+        );
+    }
+    let state = Arc::new(state);
 
     // ── Sequential back-to-back baseline (the denominator of the speedup
     // criterion): one thread, plan after plan on the published snapshot.
@@ -172,6 +232,7 @@ fn main() {
     let commit_lat: Mutex<Vec<Duration>> = Mutex::new(Vec::new());
 
     let conc_t0 = Instant::now();
+    let max_attempts = cfg.max_commit_attempts();
     let workers: Vec<WorkerStats> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.threads)
             .map(|_| {
@@ -191,7 +252,7 @@ fn main() {
                             // another commit won the race (optimistic
                             // concurrency — the stale plan's candidate ids
                             // no longer index the published pool).
-                            for attempt in 1..=MAX_COMMIT_ATTEMPTS {
+                            for attempt in 1..=max_attempts {
                                 let snapshot = state.current();
                                 let t = Instant::now();
                                 let result = snapshot.session().plan(mode);
@@ -216,9 +277,32 @@ fn main() {
                                         break;
                                     }
                                     CommitOutcome::Stale { .. } => {
-                                        if attempt == MAX_COMMIT_ATTEMPTS {
+                                        if attempt == max_attempts {
                                             stats.commit_give_ups += 1;
                                         }
+                                    }
+                                    // Injected (or real) failure, contained by
+                                    // the serving layer: nothing published,
+                                    // re-plan on a fresh checkout and retry.
+                                    CommitOutcome::Failed { .. } => {
+                                        stats.commit_failures += 1;
+                                        if attempt == max_attempts {
+                                            stats.commit_give_ups += 1;
+                                        }
+                                    }
+                                    // Shed under load: back off and retry.
+                                    CommitOutcome::Overloaded { .. } => {
+                                        stats.commit_sheds += 1;
+                                        std::thread::yield_now();
+                                        if attempt == max_attempts {
+                                            stats.commit_give_ups += 1;
+                                        }
+                                    }
+                                    // loadgen submits only plans it computed on
+                                    // the ticket's own snapshot — Invalid means
+                                    // the validator or the planner broke.
+                                    CommitOutcome::Invalid { reason } => {
+                                        panic!("loadgen produced an invalid ticket: {reason}")
                                     }
                                     CommitOutcome::Empty => break,
                                 }
@@ -257,11 +341,64 @@ fn main() {
     plan_lat.sort_unstable();
     let total_plans: usize = workers.iter().map(|w| w.plans).sum();
     let give_ups: usize = workers.iter().map(|w| w.commit_give_ups).sum();
+    let failures: usize = workers.iter().map(|w| w.commit_failures).sum();
+    let sheds: usize = workers.iter().map(|w| w.commit_sheds).sum();
     let mut applied = applied.into_inner().expect("applied poisoned");
     applied.sort_by_key(|(generation, _)| *generation);
     let samples = samples.into_inner().expect("samples poisoned");
     let mut commit_lat = commit_lat.into_inner().expect("commit_lat poisoned");
     commit_lat.sort_unstable();
+
+    // ── Chaos recovery: with the workload done (and most of the fault
+    // schedule burned), one more plan → commit must go through — the
+    // service is not allowed to stay wedged after a storm of injected
+    // panics (including the one that poisoned the snapshot lock).
+    let mut recovery_applied = false;
+    if let Some(injector) = &injector {
+        let mut recovered_after = None;
+        for attempt in 1..=MAX_CHAOS_COMMIT_ATTEMPTS {
+            let snapshot = state.current();
+            let result = snapshot.session().plan(mode);
+            state.record_plans(1);
+            if result.best.is_empty() || result.best.objective <= 0.0 {
+                eprintln!("loadgen: chaos recovery — network saturated, nothing left to commit");
+                recovered_after = Some(attempt);
+                break;
+            }
+            let ticket = CommitTicket::new(&snapshot, result.best.clone());
+            match state.commit(ticket) {
+                CommitOutcome::Applied { generation, .. } => {
+                    applied.push((generation, result.best));
+                    recovered_after = Some(attempt);
+                    recovery_applied = true;
+                    break;
+                }
+                CommitOutcome::Invalid { reason } => {
+                    panic!("loadgen recovery produced an invalid ticket: {reason}")
+                }
+                // Stale (another late worker), Failed (leftover scheduled
+                // fault), Overloaded: retry.
+                _ => {}
+            }
+        }
+        let recovered_after = recovered_after.unwrap_or_else(|| {
+            panic!("chaos recovery: no commit applied within {MAX_CHAOS_COMMIT_ATTEMPTS} attempts")
+        });
+        let fs = injector.stats();
+        println!(
+            "chaos: survived {failures} failed and {sheds} shed commit attempts — \
+             injector fired {} faults ({} panics, {} delays, {} errors) over {} hits; \
+             recovered in {recovered_after} attempt(s)",
+            fs.fired(),
+            fs.panics,
+            fs.delays,
+            fs.errors,
+            fs.hits
+        );
+        // Every commit attempt hits COMMIT_APPLY, whose first hit is a
+        // scheduled panic — so any commit traffic at all must have fired.
+        assert!(fs.hits == 0 || fs.panics > 0, "chaos run saw commits but fired no panic");
+    }
     let serve_stats = state.stats();
 
     let plans_per_sec = total_plans as f64 / conc_wall.as_secs_f64();
@@ -282,8 +419,15 @@ fn main() {
         );
     }
     println!(
-        "commits: {} applied, {} stale, {give_ups} gave up — final generation {}",
-        serve_stats.commits_applied, serve_stats.commits_stale, serve_stats.generation
+        "commits: {} applied, {} stale, {} failed, {} shed, {} invalid, {give_ups} gave up — \
+         final generation {} ({})",
+        serve_stats.commits_applied,
+        serve_stats.commits_stale,
+        serve_stats.commits_failed,
+        serve_stats.commits_shed,
+        serve_stats.commits_invalid,
+        serve_stats.generation,
+        if serve_stats.degraded() { "DEGRADED" } else { "healthy" }
     );
     if !commit_lat.is_empty() {
         println!(
@@ -296,6 +440,18 @@ fn main() {
     // ── Oracle verification (see module docs).
     if cfg.verify {
         assert!(total_plans > 0 && plans_per_sec > 0.0, "verify: zero throughput");
+        if cfg.chaos {
+            // Failed/shed/invalid commits must publish nothing: the
+            // generation advances once per *applied* commit, exactly.
+            assert_eq!(
+                serve_stats.generation, serve_stats.commits_applied,
+                "verify: generation diverged from applied commits under chaos"
+            );
+            assert!(
+                !recovery_applied || !serve_stats.degraded(),
+                "verify: service still degraded after a successful chaos recovery"
+            );
+        }
         let rounds = applied.len();
         for (i, (generation, _)) in applied.iter().enumerate() {
             assert_eq!(

@@ -44,6 +44,10 @@
 //!    single-writer commit queue that applies [`serve::CommitTicket`]s in
 //!    arrival order and atomically publishes each successor snapshot —
 //!    readers never block and in-flight sessions keep their old world.
+//!    [`fault`] is the matching failure model: deterministic seeded
+//!    failpoints the chaos suite schedules against the commit path, which
+//!    the serving layer survives (panic-isolated commits, poison-tolerant
+//!    locks, overload shedding — see the [`serve`] module docs).
 
 pub mod augment;
 pub mod baselines;
@@ -51,6 +55,11 @@ pub mod bounds;
 pub mod candidates;
 pub mod eta;
 mod expand;
+// The serving path must stay panic-free: `unwrap`/`expect` are denied at
+// the module level (CI runs clippy with `-D warnings`, making this a
+// gate). Tests inside these modules opt back in with inner `allow`s.
+#[deny(clippy::unwrap_used, clippy::expect_used)]
+pub mod fault;
 pub mod metrics;
 pub mod multi;
 pub mod params;
@@ -59,6 +68,7 @@ pub mod precompute;
 pub mod ranked;
 pub mod rknn;
 pub mod scorer;
+#[deny(clippy::unwrap_used, clippy::expect_used)]
 pub mod serve;
 pub mod session;
 pub mod sites;
@@ -74,6 +84,7 @@ pub use baselines::{
 pub use bounds::{estrada_bound, general_bound, increment_bound, path_bound};
 pub use candidates::{CandidateEdge, CandidateSet};
 pub use eta::{Planner, PlannerMode, RunResult};
+pub use fault::{FailPlan, FaultAction, FaultError, FaultInjector, FaultStats};
 pub use metrics::{apply_plan, evaluate_plan, PlanMetrics};
 pub use multi::{plan_multiple, plan_multiple_reference};
 pub use params::{CtBusParams, Parallelism};
@@ -82,6 +93,6 @@ pub use precompute::{DeltaMethod, PrecomputeTimings, Precomputed};
 pub use ranked::RankedList;
 pub use rknn::{rknn_demand, route_service_distance, RknnDemand, RknnParams};
 pub use scorer::{online_increment_in, ConnScorer};
-pub use serve::{CommitOutcome, CommitTicket, ServeState, ServeStats, Snapshot};
+pub use serve::{CommitOutcome, CommitTicket, ServePolicy, ServeState, ServeStats, Snapshot};
 pub use session::{CommitSummary, PlanningSession};
 pub use sites::{select_sites, SelectedSite, SiteParams, SiteSelection};

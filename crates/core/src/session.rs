@@ -55,6 +55,7 @@ use ct_data::{City, DemandModel};
 use ct_linalg::LanczosWorkspace;
 
 use crate::eta::execute_plan;
+use crate::fault::{self, FaultInjector};
 use crate::metrics::apply_plan;
 use crate::params::CtBusParams;
 use crate::plan::RoutePlan;
@@ -115,6 +116,10 @@ pub struct PlanningSession {
     /// (per-session scratch — never shared, so sessions stay `Send`).
     workspaces: Vec<LanczosWorkspace>,
     commits: usize,
+    /// Scheduled faults for the commit path ([`crate::fault::site::SESSION_REFRESH`]);
+    /// installed only by the serving layer's chaos harness, `None` (one
+    /// branch per commit) everywhere else.
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl PlanningSession {
@@ -151,6 +156,7 @@ impl PlanningSession {
             pre: None,
             workspaces: Vec::new(),
             commits: 0,
+            faults: None,
         }
     }
 
@@ -172,7 +178,14 @@ impl PlanningSession {
             pre: Some(pre),
             workspaces: Vec::new(),
             commits,
+            faults: None,
         }
+    }
+
+    /// Installs (or clears) the serving layer's fault schedule on this
+    /// session's commit path.
+    pub(crate) fn install_faults(&mut self, faults: Option<Arc<FaultInjector>>) {
+        self.faults = faults;
     }
 
     /// Overrides the Δ(e) method (builder style; default
@@ -304,6 +317,14 @@ impl PlanningSession {
         Arc::make_mut(&mut self.demand).zero_edges(&covered);
         self.city = Arc::new(self.city.with_transit(new_transit));
 
+        // Chaos failpoint at the deepest mid-commit state: the session's
+        // own city/demand handles have been replaced but the refresh has
+        // not run. An unwind here strands only this session — the handles
+        // it swapped were session-local clones; every other holder of the
+        // base snapshot is untouched (the property the serving layer's
+        // catch_unwind relies on).
+        fault::hit_or_panic(&self.faults, fault::site::SESSION_REFRESH);
+
         // 3. Refresh the pre-computation in place. The promoted pairs are
         //    the route's new hops in first-occurrence order — the order
         //    `with_route_added` appended them, hence the order a rebuild's
@@ -376,6 +397,7 @@ impl PlanningSession {
             pre: self.pre.clone(),
             workspaces: Vec::new(),
             commits: self.commits,
+            faults: self.faults.clone(),
         }
     }
 

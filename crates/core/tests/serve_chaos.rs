@@ -1,0 +1,391 @@
+//! Chaos contract of the serving layer (`ct_core::serve`): with faults
+//! scheduled at every registered failpoint — panics deep inside the
+//! session refresh, panics *while the snapshot write lock is held*,
+//! injected errors, delays — a concurrent plan/commit workload must
+//!
+//! * never deadlock or wedge (every test here terminates);
+//! * never lose a reader: checkouts and plans succeed through poisoned
+//!   locks, and failed commits leave the published snapshot untouched
+//!   (same `Arc`, same generation);
+//! * keep commit generations gapless and every *applied* commit
+//!   bit-identical to the sequential `plan_multiple_reference` oracle —
+//!   fault storms may slow the history down, never fork it;
+//! * fully recover once the schedule is exhausted: a fresh plan → commit
+//!   applies and clears the degraded-health streak.
+//!
+//! Fault schedules are hit-count based ([`ct_core::FailPlan`]), so every
+//! failing case replays exactly from its seed.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, Once};
+use std::time::Duration;
+
+use ct_core::fault::{self, site};
+use ct_core::{
+    plan_multiple_reference, CommitOutcome, CommitTicket, CtBusParams, FailPlan, PlannerMode,
+    RoutePlan, ServePolicy, ServeState,
+};
+use ct_data::{City, CityConfig, DemandModel};
+use proptest::prelude::*;
+
+/// Installed once per test binary: injected panics are expected by the
+/// hundreds here, real ones still report through the default hook.
+fn quiet() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(fault::silence_injected_panics);
+}
+
+fn small_city(seed: u64) -> (City, DemandModel) {
+    let city = CityConfig::small().seed(seed).generate();
+    let demand = DemandModel::from_city(&city);
+    (city, demand)
+}
+
+/// Trimmed parameters so the schedule × thread matrix stays fast.
+fn quick_params() -> CtBusParams {
+    let mut params = CtBusParams::small_defaults();
+    params.k = 6;
+    params.sn = 80;
+    params.it_max = 400;
+    params.trace_probes = 8;
+    params.lanczos_steps = 6;
+    params
+}
+
+/// Bound on commit attempts per worker — generous (schedules are finite,
+/// every retry burns scheduled hits) but keeps a regression from hanging
+/// the suite instead of failing it.
+const MAX_ATTEMPTS: usize = 64;
+
+/// Races `threads` workers (even = plan-and-commit with retries, odd =
+/// read-only planners) over `state` until `target` commits applied or the
+/// network saturates. `Failed` and `Stale` re-plan on a fresh checkout;
+/// `Overloaded` yields and retries; `Invalid` fails the test (these
+/// workers only submit plans computed on the ticket's own snapshot).
+/// Returns the applied `(generation, plan)` history in order.
+fn chaos_race(state: &ServeState, threads: usize, target: u64) -> Vec<(u64, RoutePlan)> {
+    let applied: Mutex<Vec<(u64, RoutePlan)>> = Mutex::new(Vec::new());
+    let exhausted = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let (applied, exhausted) = (&applied, &exhausted);
+            scope.spawn(move || {
+                let committer = worker % 2 == 0 || threads == 1;
+                let mut attempts = 0usize;
+                while state.generation() < target && !exhausted.load(Ordering::Acquire) {
+                    let snapshot = state.current();
+                    let plan = snapshot.session().plan(PlannerMode::EtaPre).best;
+                    if !committer {
+                        continue;
+                    }
+                    if plan.is_empty() || plan.objective <= 0.0 {
+                        exhausted.store(true, Ordering::Release);
+                        break;
+                    }
+                    attempts += 1;
+                    assert!(
+                        attempts <= MAX_ATTEMPTS,
+                        "worker {worker} stuck: {attempts} commit attempts without reaching \
+                         generation {target} (service wedged?)"
+                    );
+                    match state.commit(CommitTicket::new(&snapshot, plan.clone())) {
+                        CommitOutcome::Applied { generation, .. } => {
+                            applied.lock().unwrap().push((generation, plan));
+                        }
+                        // Lost the race or ate an injected fault: the
+                        // recovery protocol is the same — fresh checkout,
+                        // re-plan, resubmit.
+                        CommitOutcome::Stale { .. } | CommitOutcome::Failed { .. } => {}
+                        CommitOutcome::Overloaded { .. } => std::thread::yield_now(),
+                        CommitOutcome::Invalid { reason } => {
+                            panic!("valid ticket rejected as invalid: {reason}")
+                        }
+                        CommitOutcome::Empty => unreachable!("checked non-empty"),
+                    }
+                }
+            });
+        }
+    });
+    let mut applied = applied.into_inner().unwrap();
+    applied.sort_by_key(|(generation, _)| *generation);
+    applied
+}
+
+/// Asserts the full post-chaos contract on `state`: gapless generations,
+/// applied history bit-identical to the sequential oracle, and a live
+/// service (fresh plan + commit still work).
+fn assert_history_matches_oracle(
+    state: &ServeState,
+    city: &City,
+    demand: &DemandModel,
+    params: CtBusParams,
+    applied: &[(u64, RoutePlan)],
+) {
+    let rounds = applied.len();
+    let generations: Vec<u64> = applied.iter().map(|(g, _)| *g).collect();
+    assert_eq!(
+        generations,
+        (1..=rounds as u64).collect::<Vec<_>>(),
+        "commit generations must be gapless and ordered"
+    );
+    assert_eq!(state.generation(), rounds as u64, "generation diverged from applied history");
+    let stats = state.stats();
+    assert_eq!(
+        stats.commits_applied, rounds as u64,
+        "applied counter diverged from collected history"
+    );
+    let reference = plan_multiple_reference(city, demand, params, rounds, PlannerMode::EtaPre);
+    assert_eq!(reference.len(), rounds, "oracle stopped before the service did");
+    for (i, (_, plan)) in applied.iter().enumerate() {
+        assert_eq!(plan, &reference[i], "applied commit {i} diverged from the oracle");
+    }
+}
+
+/// Recovery: with the schedule burned down, a fresh plan → commit must
+/// apply (or the network must be saturated) and clear the failure streak.
+fn assert_recovers(state: &ServeState) {
+    for _ in 0..MAX_ATTEMPTS {
+        let snapshot = state.current();
+        let plan = snapshot.session().plan(PlannerMode::EtaPre).best;
+        if plan.is_empty() || plan.objective <= 0.0 {
+            return; // saturated: nothing left to commit, but reads still work
+        }
+        match state.commit(CommitTicket::new(&snapshot, plan)) {
+            CommitOutcome::Applied { .. } => {
+                let stats = state.stats();
+                assert_eq!(stats.consecutive_failures, 0, "apply must clear the failure streak");
+                assert!(!stats.degraded(), "service still degraded after a successful apply");
+                return;
+            }
+            CommitOutcome::Invalid { reason } => panic!("recovery ticket invalid: {reason}"),
+            _ => {} // leftover fault / stale: retry
+        }
+    }
+    panic!("service did not recover within {MAX_ATTEMPTS} attempts");
+}
+
+// ── Satellite regression: readers survive a poisoned snapshot lock ─────
+
+#[test]
+fn readers_survive_snapshot_lock_poisoned_mid_publish() {
+    quiet();
+    let (city, demand) = small_city(501);
+    let params = quick_params();
+    // The swap failpoint fires *while the snapshot write lock is held* —
+    // this panic genuinely poisons the RwLock, the exact condition that
+    // used to take down every subsequent `current()`/`session()` call.
+    let faults = FailPlan::new().panic_at(site::SNAPSHOT_SWAP, 1).injector();
+    let state =
+        ServeState::new(city.clone(), demand.clone(), params).with_faults(Arc::clone(&faults));
+
+    let snapshot = state.current();
+    let plan = snapshot.session().plan(PlannerMode::EtaPre).best;
+    assert!(!plan.is_empty());
+    let outcome = state.commit(CommitTicket::new(&snapshot, plan.clone()));
+    assert!(
+        matches!(outcome, CommitOutcome::Failed { .. }),
+        "swap panic not contained: {outcome:?}"
+    );
+    assert_eq!(faults.stats().panics, 1, "the scheduled swap panic did not fire");
+
+    // Regression body: checkouts and fresh plans still succeed, from
+    // multiple threads at once, on the poisoned lock.
+    assert_eq!(state.generation(), 0, "failed publish moved the generation");
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                let snap = state.current();
+                assert_eq!(snap.generation(), 0);
+                let replay = snap.session().plan(PlannerMode::EtaPre).best;
+                assert_eq!(replay, plan, "post-poison plan diverged");
+            });
+        }
+    });
+
+    // And the writer path still works: the retry publishes generation 1.
+    let retry = state.current();
+    assert!(state.commit(CommitTicket::new(&retry, plan)).is_applied());
+    assert_eq!(state.generation(), 1);
+    assert_recovers(&state);
+}
+
+// ── Failed / invalid commits publish nothing ───────────────────────────
+
+#[test]
+fn failed_commits_leave_the_published_snapshot_untouched() {
+    quiet();
+    let (city, demand) = small_city(502);
+    let params = quick_params();
+    // One fault of each kind on the apply path, then clean.
+    let faults = FailPlan::new()
+        .panic_at(site::COMMIT_APPLY, 1)
+        .error_at(site::SNAPSHOT_PUBLISH, 1)
+        .panic_at(site::SESSION_REFRESH, 2)
+        .injector();
+    let state =
+        ServeState::new(city.clone(), demand.clone(), params).with_faults(Arc::clone(&faults));
+
+    let before = state.current();
+    let plan = before.session().plan(PlannerMode::EtaPre).best;
+    assert!(!plan.is_empty());
+
+    let mut failures = 0;
+    loop {
+        let snapshot = state.current();
+        // Identity, not just equality: nothing may have been published.
+        assert!(Arc::ptr_eq(&snapshot, &before), "a failed commit swapped the published snapshot");
+        match state.commit(CommitTicket::new(&snapshot, plan.clone())) {
+            CommitOutcome::Failed { reason } => {
+                failures += 1;
+                assert!(
+                    reason.contains("injected fault at"),
+                    "unexpected failure reason: {reason}"
+                );
+                assert_eq!(state.generation(), 0);
+                assert_eq!(state.stats().consecutive_failures, failures);
+            }
+            CommitOutcome::Applied { generation, .. } => {
+                assert_eq!(generation, 1);
+                break;
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+        assert!(failures <= 8, "schedule of 3 faults failed {failures} times");
+    }
+    assert_eq!(failures, 3, "each scheduled fault must fail exactly one attempt");
+    let stats = state.stats();
+    assert_eq!(stats.commits_failed, 3);
+    assert_eq!(stats.consecutive_failures, 0);
+    assert_eq!(faults.stats().fired(), 3);
+
+    // The one applied commit is the oracle's round-0 plan.
+    let reference = plan_multiple_reference(&city, &demand, params, 1, PlannerMode::EtaPre);
+    assert_eq!(plan, reference[0]);
+}
+
+// ── Overload shedding ──────────────────────────────────────────────────
+
+#[test]
+fn slow_commit_sheds_the_queue_by_deadline() {
+    quiet();
+    let (city, demand) = small_city(503);
+    let params = quick_params();
+    // First apply stalls 300 ms; waiters are only willing to wait 10 ms.
+    let faults = FailPlan::new().delay_at(site::COMMIT_APPLY, 1, 300).injector();
+    let policy =
+        ServePolicy { commit_deadline: Duration::from_millis(10), ..ServePolicy::default() };
+    let state =
+        ServeState::new(city, demand, params).with_faults(Arc::clone(&faults)).with_policy(policy);
+
+    let snapshot = state.current();
+    let plan = snapshot.session().plan(PlannerMode::EtaPre).best;
+    assert!(!plan.is_empty());
+
+    let (slow, fast) = std::thread::scope(|scope| {
+        let slow = scope.spawn(|| {
+            // Enters the writer queue first (the delay keeps it there).
+            state.commit(CommitTicket::new(&snapshot, plan.clone()))
+        });
+        let fast = scope.spawn(|| {
+            // The injector bumps its delay counter *before* sleeping, so
+            // this spin provably waits until the slow commit holds the
+            // writer queue inside its 300 ms stall — no timing guess.
+            while faults.stats().delays == 0 {
+                std::thread::yield_now();
+            }
+            state.commit(CommitTicket::new(&snapshot, plan.clone()))
+        });
+        (slow.join().unwrap(), fast.join().unwrap())
+    });
+
+    assert!(slow.is_applied(), "delayed commit must still apply: {slow:?}");
+    assert!(
+        matches!(fast, CommitOutcome::Overloaded { .. }),
+        "waiter past the deadline must shed: {fast:?}"
+    );
+    assert_eq!(state.stats().commits_shed, 1);
+    assert_eq!(state.generation(), 1);
+    assert_recovers(&state);
+}
+
+// ── The full storm: panics at every site, concurrent workload ──────────
+
+#[test]
+fn panics_at_every_failpoint_under_concurrent_workload() {
+    quiet();
+    let (city, demand) = small_city(504);
+    let params = quick_params();
+    // Two panics at every registered failpoint, interleaved with delays.
+    let mut plan = FailPlan::new();
+    for (i, s) in site::ALL.iter().enumerate() {
+        plan = plan.panic_at(s, 1).panic_at(s, 3).delay_at(s, 2, 1 + i as u64);
+    }
+    let faults = plan.injector();
+    let state =
+        ServeState::new(city.clone(), demand.clone(), params).with_faults(Arc::clone(&faults));
+
+    let applied = chaos_race(&state, 4, 2);
+    assert!(!applied.is_empty(), "no commit survived the storm");
+    assert_history_matches_oracle(&state, &city, &demand, params, &applied);
+
+    // Every site took its scheduled panics — the storm actually happened.
+    let stats = faults.stats();
+    assert_eq!(stats.panics, 2 * site::ALL.len() as u64, "a scheduled panic never fired");
+    for s in site::ALL {
+        assert!(faults.hits(s) >= 3, "site {s} was not driven through its schedule");
+    }
+    assert_recovers(&state);
+}
+
+// ── Proptest: schedules × threads × mixes ──────────────────────────────
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // However the fault schedule, thread count, and request mix interleave:
+    // the race terminates (no deadlock), generations stay gapless, the
+    // applied history replays the sequential oracle bit for bit, and the
+    // service recovers once the schedule is exhausted.
+    #[test]
+    fn chaos_histories_collapse_to_the_sequential_oracle(
+        city_seed in 0u64..10_000,
+        fault_seed in 0u64..10_000,
+        num_faults in 0usize..8,
+        threads_idx in 0usize..4,
+        target in 1u64..=2,
+    ) {
+        quiet();
+        let threads = [1usize, 2, 4, 8][threads_idx];
+        let (city, demand) = small_city(city_seed);
+        let params = quick_params();
+        let faults = FailPlan::seeded(fault_seed, &site::ALL, num_faults, 12).injector();
+        let state = ServeState::new(city.clone(), demand.clone(), params)
+            .with_faults(Arc::clone(&faults));
+
+        let applied = chaos_race(&state, threads, target);
+
+        // The race may stop short only on network saturation; whatever was
+        // applied must be the sequential history, exactly.
+        let rounds = applied.len();
+        prop_assert!(rounds <= target as usize);
+        let generations: Vec<u64> = applied.iter().map(|(g, _)| *g).collect();
+        prop_assert_eq!(generations, (1..=rounds as u64).collect::<Vec<_>>());
+        prop_assert_eq!(state.generation(), rounds as u64);
+        let reference = plan_multiple_reference(&city, &demand, params, rounds, PlannerMode::EtaPre);
+        prop_assert_eq!(reference.len(), rounds, "oracle stopped before the service did");
+        for (i, (_, plan)) in applied.iter().enumerate() {
+            prop_assert_eq!(
+                plan, &reference[i],
+                "city {} faults {}x{} threads {}: commit {} diverged",
+                city_seed, fault_seed, num_faults, threads, i
+            );
+        }
+
+        // Bookkeeping stayed consistent under fire.
+        let stats = state.stats();
+        prop_assert_eq!(stats.commits_applied, rounds as u64);
+        prop_assert_eq!(stats.commits_invalid, 0, "a valid ticket was rejected as invalid");
+
+        assert_recovers(&state);
+    }
+}

@@ -226,6 +226,13 @@ fn race_commits(
                             }
                             CommitOutcome::Stale { .. } => {} // re-plan and retry
                             CommitOutcome::Empty => unreachable!("checked non-empty"),
+                            // No faults installed and default policy: the
+                            // robustness outcomes cannot occur here.
+                            other @ (CommitOutcome::Invalid { .. }
+                            | CommitOutcome::Failed { .. }
+                            | CommitOutcome::Overloaded { .. }) => {
+                                unreachable!("fault-free run produced {other:?}")
+                            }
                         }
                     } else {
                         samples.lock().unwrap().push((snapshot.generation(), plan));

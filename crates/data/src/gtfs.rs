@@ -649,9 +649,15 @@ impl<R: BufRead> StopTimesReader<R> {
     pub fn new(reader: R) -> Result<Self, GtfsError> {
         const FILE: &str = "stop_times.txt";
         let mut lines = reader.lines();
-        let header = Header::parse(
-            &lines.next().ok_or(GtfsError::MissingColumn { file: FILE, column: "trip_id" })??,
-        );
+        let header_line = lines
+            .next()
+            .ok_or(GtfsError::MissingColumn { file: FILE, column: "trip_id" })?
+            .map_err(|e| GtfsError::BadRecord {
+                file: FILE,
+                line: 1,
+                reason: format!("unreadable header: {e}"),
+            })?;
+        let header = Header::parse(&header_line);
         for col in ["trip_id", "stop_id", "stop_sequence"] {
             if header.index(col).is_none() {
                 return Err(GtfsError::MissingColumn {
@@ -684,9 +690,18 @@ impl<R: BufRead> Iterator for StopTimesReader<R> {
             self.line += 1;
             let line = match line {
                 Ok(l) => l,
+                // A mid-stream read failure (truncated file, invalid
+                // UTF-8, disk error) keeps its position: file + line, like
+                // every other malformed-record error — a bare `Io` here
+                // would strand the operator of a city-scale feed with no
+                // idea where the corruption sits.
                 Err(e) => {
                     self.done = true;
-                    return Some(Err(e.into()));
+                    return Some(Err(GtfsError::BadRecord {
+                        file: FILE,
+                        line: self.line,
+                        reason: format!("unreadable line: {e}"),
+                    }));
                 }
             };
             if line.trim().is_empty() {
@@ -1240,6 +1255,50 @@ mod streaming_tests {
             StopTimesReader::new("trip_id,stop_id\n".as_bytes()),
             Err(GtfsError::MissingColumn { file: "stop_times.txt", column: "stop_sequence" })
         ));
+    }
+
+    #[test]
+    fn reader_reports_unreadable_bytes_as_bad_records_not_panics() {
+        // Invalid UTF-8 mid-file: the row itself is unreadable, so the error
+        // must carry the file and line like any other malformed record.
+        let mut bytes = b"trip_id,stop_id,stop_sequence\nt1,A,1\n".to_vec();
+        bytes.extend_from_slice(&[0xFF, 0xFE, b',', b'B', b',', b'2', b'\n']);
+        let mut reader = StopTimesReader::new(&bytes[..]).expect("header");
+        match reader.next() {
+            Some(Err(GtfsError::BadRecord { file: "stop_times.txt", line: 3, reason })) => {
+                assert!(reason.contains("unreadable line"), "{reason}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(reader.next().is_none(), "reader fuses after an io error");
+
+        // Invalid UTF-8 in the header line: surfaced as line 1, not io noise.
+        let bad_header = [0xFF, 0xFE, b'\n', b't', b'1', b',', b'A', b',', b'1', b'\n'];
+        match StopTimesReader::new(&bad_header[..]) {
+            Err(GtfsError::BadRecord { file: "stop_times.txt", line: 1, reason }) => {
+                assert!(reason.contains("unreadable header"), "{reason}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reader_rejects_negative_float_and_truncated_sequences() {
+        for (row, needle) in [
+            ("t1,A,-3", "stop_sequence"),
+            ("t1,A,1.5", "stop_sequence"),
+            ("t1,A,", "stop_sequence"),
+            ("t1,A", "stop_sequence"),
+        ] {
+            let table = format!("trip_id,stop_id,stop_sequence\n{row}\n");
+            let mut reader = StopTimesReader::new(table.as_bytes()).expect("header");
+            match reader.next() {
+                Some(Err(GtfsError::BadRecord { file: "stop_times.txt", line: 2, reason })) => {
+                    assert!(reason.contains(needle), "row {row:?}: {reason}");
+                }
+                other => panic!("row {row:?}: unexpected {other:?}"),
+            }
+        }
     }
 
     /// A `BufRead` that serves one line at a time and counts how many lines

@@ -1074,6 +1074,45 @@ mod tests {
     }
 
     #[test]
+    fn streaming_import_surfaces_malformed_rows_as_errors_not_panics() {
+        let road = grid_road(2, 3);
+        let proj = Projection::new(GeoPoint::new(41.85, -87.65));
+        let feed = feed_over_nodes(&road, &proj, &[vec![0, 1, 2]]);
+        let dir = std::env::temp_dir().join(format!("ctbus-ingest-bad-{}", std::process::id()));
+        feed.write_dir(&dir).expect("write feed");
+
+        // A junk stop_sequence mid-table must point at its own line.
+        std::fs::write(
+            dir.join("stop_times.txt"),
+            "trip_id,arrival_time,departure_time,stop_id,stop_sequence\n\
+             T0,08:00:00,08:00:00,S0,0\n\
+             T0,08:01:00,08:01:00,S1,one\n",
+        )
+        .expect("rewrite stop_times");
+        match GtfsIngest::new(&road).import_dir(&dir, &proj).unwrap_err() {
+            GtfsError::BadRecord { file: "stop_times.txt", line: 3, reason } => {
+                assert!(reason.contains("stop_sequence"), "{reason}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Invalid UTF-8 bytes in a row must become a positioned error too —
+        // a city-scale feed with one corrupt line should name that line.
+        let mut bytes = b"trip_id,arrival_time,departure_time,stop_id,stop_sequence\n\
+             T0,08:00:00,08:00:00,S0,0\n"
+            .to_vec();
+        bytes.extend_from_slice(&[0xFF, 0xFE, b'\n']);
+        std::fs::write(dir.join("stop_times.txt"), &bytes).expect("rewrite stop_times");
+        match GtfsIngest::new(&road).import_dir(&dir, &proj).unwrap_err() {
+            GtfsError::BadRecord { file: "stop_times.txt", line: 3, reason } => {
+                assert!(reason.contains("unreadable line"), "{reason}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn streaming_import_picks_longest_trip_like_eager() {
         let road = grid_road(2, 3);
         let proj = Projection::new(GeoPoint::new(41.85, -87.65));

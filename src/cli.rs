@@ -16,11 +16,15 @@
 //! * `augment --city city.json [--k N] [--no-bound true]` — k-edge
 //!   connectivity augmentation with Golden–Thompson pruning (paper §8);
 //! * `serve --city city.json [--requests N] [--threads N]
-//!   [--commit-every N]` — the concurrent planning service: worker threads
-//!   check out sessions from one published snapshot
+//!   [--commit-every N] [--chaos SEED]` — the concurrent planning service:
+//!   worker threads check out sessions from one published snapshot
 //!   ([`crate::core::ServeState`]), race what-if plans, and optionally
 //!   funnel commits through the single-writer queue; reports throughput,
-//!   latency percentiles, and commit outcomes;
+//!   latency percentiles, and commit outcomes. `--chaos SEED` installs a
+//!   deterministic fault schedule (a panic at every registered failpoint
+//!   plus seeded extras) on the commit path, retries failed commits, and
+//!   reports failure/recovery counters — the run fails unless the service
+//!   recovers after the storm;
 //! * `gtfs-export --city city.json --out dir` / `gtfs-import --gtfs dir
 //!   --city city.json --out city2.json` — GTFS round trip.
 //!
@@ -29,8 +33,8 @@
 use std::collections::HashMap;
 
 use crate::core::{
-    augment_connectivity, evaluate_plan, AugmentParams, CommitTicket, CtBusParams, Planner,
-    PlannerMode, PlanningSession, ServeState, SiteParams,
+    augment_connectivity, evaluate_plan, fault, AugmentParams, CommitOutcome, CommitTicket,
+    CtBusParams, FailPlan, Planner, PlannerMode, PlanningSession, ServeState, SiteParams,
 };
 use crate::data::{
     load_city_json, save_city_json, City, CityConfig, DemandModel, GeoJsonExporter, GtfsFeed,
@@ -70,6 +74,7 @@ USAGE:
   ctbus sites    --city city.json [--n N] [--w F] [--walk M] [--gap M] [--routes N]
   ctbus augment  --city city.json [--k N] [--pool N] [--no-bound true]
   ctbus serve    --city city.json [--requests N] [--threads N] [--commit-every N]
+                 [--chaos SEED]
                  [--k N] [--w F] [--mode eta|eta-pre|vk-tsp]
   ctbus gtfs-export --city city.json --out <dir>
   ctbus gtfs-import --gtfs <dir> --city city.json [--out city2.json]
@@ -416,12 +421,37 @@ impl Cli {
                 // Every Nth request submits its plan as a commit ticket
                 // (0 = read-only what-if traffic).
                 let commit_every: usize = self.get("commit-every")?.unwrap_or(0);
+                let chaos_seed: Option<u64> = self.get("chaos")?;
                 if threads == 0 {
                     return Err(UsageError("--threads must be ≥ 1".into()));
                 }
                 let demand = DemandModel::from_city(&city);
                 writeln!(out, "building initial snapshot…").map_err(w)?;
-                let state = std::sync::Arc::new(ServeState::new(city, demand, params));
+                let mut serve_state = ServeState::new(city, demand, params);
+                // Chaos mode: a panic at every registered failpoint (the
+                // snapshot-swap one fires holding the write lock) plus a
+                // seeded batch of extras — same hit-count determinism as
+                // the chaos test suite, so a seed replays a run.
+                let injector = chaos_seed.map(|seed| {
+                    fault::silence_injected_panics();
+                    FailPlan::new()
+                        .panic_at(fault::site::COMMIT_APPLY, 1)
+                        .panic_at(fault::site::SESSION_REFRESH, 1)
+                        .panic_at(fault::site::SNAPSHOT_PUBLISH, 1)
+                        .panic_at(fault::site::SNAPSHOT_SWAP, 1)
+                        .merged(FailPlan::seeded(seed, &fault::site::ALL, 4, 24))
+                        .injector()
+                });
+                if let Some(injector) = &injector {
+                    serve_state = serve_state.with_faults(std::sync::Arc::clone(injector));
+                    writeln!(
+                        out,
+                        "chaos mode: seed {} — faults scheduled on the commit path",
+                        chaos_seed.unwrap_or_default()
+                    )
+                    .map_err(w)?;
+                }
+                let state = std::sync::Arc::new(serve_state);
                 writeln!(
                     out,
                     "serving {requests} requests on {threads} threads \
@@ -430,12 +460,18 @@ impl Cli {
                 .map_err(w)?;
 
                 let next = std::sync::atomic::AtomicUsize::new(0);
+                let recoveries = std::sync::atomic::AtomicUsize::new(0);
+                // Failed commits may retry in chaos mode (re-plan on a
+                // fresh checkout, exactly the recovery protocol a real
+                // client follows); fault-free serving keeps the old
+                // fire-and-forget single attempt.
+                let max_attempts = if injector.is_some() { 16 } else { 1 };
                 let t0 = std::time::Instant::now();
                 let mut latencies: Vec<std::time::Duration> = std::thread::scope(|scope| {
                     let workers: Vec<_> = (0..threads)
                         .map(|_| {
                             let state = &state;
-                            let next = &next;
+                            let (next, recoveries) = (&next, &recoveries);
                             scope.spawn(move || {
                                 let mut lat = Vec::new();
                                 loop {
@@ -453,7 +489,42 @@ impl Cli {
                                         && i % commit_every == commit_every - 1
                                         && !result.best.is_empty()
                                     {
-                                        state.commit(CommitTicket::new(&snapshot, result.best));
+                                        let mut snapshot = snapshot;
+                                        let mut plan = result.best;
+                                        for attempt in 1..=max_attempts {
+                                            match state
+                                                .commit(CommitTicket::new(&snapshot, plan.clone()))
+                                            {
+                                                CommitOutcome::Applied { .. } => {
+                                                    if attempt > 1 {
+                                                        recoveries.fetch_add(
+                                                            1,
+                                                            std::sync::atomic::Ordering::Relaxed,
+                                                        );
+                                                    }
+                                                    break;
+                                                }
+                                                // Stale/Failed: re-plan below.
+                                                // Overloaded: yield, re-plan.
+                                                CommitOutcome::Stale { .. }
+                                                | CommitOutcome::Failed { .. } => {}
+                                                CommitOutcome::Overloaded { .. } => {
+                                                    std::thread::yield_now();
+                                                }
+                                                CommitOutcome::Invalid { .. }
+                                                | CommitOutcome::Empty => break,
+                                            }
+                                            if attempt == max_attempts {
+                                                break;
+                                            }
+                                            snapshot = state.current();
+                                            let retry = snapshot.session().plan(mode);
+                                            state.record_plans(1);
+                                            if retry.best.is_empty() {
+                                                break;
+                                            }
+                                            plan = retry.best;
+                                        }
                                     }
                                 }
                                 lat
@@ -491,10 +562,57 @@ impl Cli {
                 }
                 writeln!(
                     out,
-                    "commits: {} applied, {} stale — final generation {}",
-                    stats.commits_applied, stats.commits_stale, stats.generation
+                    "commits: {} applied, {} stale, {} failed, {} shed, {} invalid — \
+                     final generation {} ({})",
+                    stats.commits_applied,
+                    stats.commits_stale,
+                    stats.commits_failed,
+                    stats.commits_shed,
+                    stats.commits_invalid,
+                    stats.generation,
+                    if stats.degraded() { "DEGRADED" } else { "healthy" }
                 )
                 .map_err(w)?;
+                if let Some(injector) = &injector {
+                    // Post-storm recovery: one more plan → commit must land
+                    // (or the network must be saturated) — a chaos run that
+                    // leaves the service wedged is a failure, not a report.
+                    let mut recovered = false;
+                    for _ in 0..32 {
+                        let snapshot = state.current();
+                        let plan = snapshot.session().plan(mode).best;
+                        state.record_plans(1);
+                        if plan.is_empty() || plan.objective <= 0.0 {
+                            recovered = true; // saturated; reads still served
+                            break;
+                        }
+                        if state.commit(CommitTicket::new(&snapshot, plan)).is_applied() {
+                            recovered = true;
+                            break;
+                        }
+                    }
+                    let fs = injector.stats();
+                    writeln!(
+                        out,
+                        "chaos: {} faults fired ({} panics, {} delays, {} errors) over {} \
+                         hits — {} failed commit attempts survived, {} retries recovered, \
+                         post-fault commit {}",
+                        fs.fired(),
+                        fs.panics,
+                        fs.delays,
+                        fs.errors,
+                        fs.hits,
+                        state.stats().commits_failed,
+                        recoveries.load(std::sync::atomic::Ordering::Relaxed),
+                        if recovered { "applied" } else { "FAILED" }
+                    )
+                    .map_err(w)?;
+                    if !recovered {
+                        return Err(UsageError(
+                            "chaos: service did not recover after the fault schedule".into(),
+                        ));
+                    }
+                }
                 Ok(())
             }
             "gtfs-export" => {
@@ -720,6 +838,42 @@ mod tests {
         // 6 requests, commit every 3rd → two tickets; the first always
         // applies, the second applies or goes stale depending on timing.
         assert!(text.contains("commits: "), "{text}");
+        assert!(!text.contains("commits: 0 applied"), "{text}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_chaos_end_to_end() {
+        let dir = std::env::temp_dir().join("ctbus-cli-serve-chaos-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let city_path = dir.join("city.json");
+
+        let mut out = Vec::new();
+        Cli::parse(args(&format!(
+            "generate --preset small --seed 11 --trajectories 300 --out {}",
+            city_path.display()
+        )))
+        .unwrap()
+        .execute(&mut out)
+        .unwrap();
+
+        let mut out = Vec::new();
+        Cli::parse(args(&format!(
+            "serve --city {} --requests 8 --threads 2 --commit-every 2 \
+             --chaos 7 --k 6 --sn 100 --it-max 400",
+            city_path.display()
+        )))
+        .unwrap()
+        .execute(&mut out)
+        .unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("chaos mode: seed 7"), "{text}");
+        // The deterministic schedule panics at every failpoint, so the run
+        // must have both survived failures and recovered afterwards.
+        assert!(text.contains("faults fired"), "{text}");
+        assert!(!text.contains("0 faults fired"), "{text}");
+        assert!(text.contains("post-fault commit applied"), "{text}");
         assert!(!text.contains("commits: 0 applied"), "{text}");
 
         std::fs::remove_dir_all(&dir).ok();
