@@ -1,0 +1,58 @@
+//! Shared baseline-file plumbing for the non-criterion harnesses
+//! (`loadgen`, `drift`): merge measurement records into
+//! `target/experiments/bench_baseline.json` in the exact line format the
+//! vendored criterion writes, so `bench_check` gates all harnesses with
+//! one file.
+
+/// Merges `(label, min, median, mean, samples)` records into
+/// `target/experiments/bench_baseline.json`, preserving entries written by
+/// the criterion benches (identical line format). Errors are non-fatal —
+/// the harness must not fail on a read-only filesystem.
+pub fn merge_baseline(records: &[(String, u128, u128, u128, usize)]) {
+    let mut dir = std::env::current_dir().unwrap_or_default();
+    let dir = loop {
+        if dir.join("Cargo.lock").exists() {
+            break dir.join("target").join("experiments");
+        }
+        if !dir.pop() {
+            break std::path::PathBuf::from("target/experiments");
+        }
+    };
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join("bench_baseline.json");
+    let mut entries: Vec<(String, String)> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(&path) {
+        for line in existing.lines() {
+            let trimmed = line.trim();
+            let Some(rest) = trimmed.strip_prefix('"') else { continue };
+            let Some((label, rest)) = rest.split_once("\":") else { continue };
+            let stats = rest.trim().trim_end_matches(',').trim();
+            if stats.starts_with('{') && stats.ends_with('}') {
+                entries.push((label.to_string(), stats.to_string()));
+            }
+        }
+    }
+    for (label, min, median, mean, samples) in records {
+        let stats = format!(
+            "{{ \"min_ns\": {min}, \"median_ns\": {median}, \"mean_ns\": {mean}, \
+             \"samples\": {samples} }}"
+        );
+        if let Some(slot) = entries.iter_mut().find(|(l, _)| l == label) {
+            slot.1 = stats;
+        } else {
+            entries.push((label.clone(), stats));
+        }
+    }
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::from("{\n");
+    for (i, (label, stats)) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        out.push_str(&format!("  \"{label}\": {stats}{comma}\n"));
+    }
+    out.push_str("}\n");
+    if std::fs::write(&path, out).is_ok() {
+        eprintln!("[baseline] {}", path.display());
+    }
+}

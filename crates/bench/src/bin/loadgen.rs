@@ -58,10 +58,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use ct_bench::baseline::merge_baseline;
 use ct_core::{
     fault::{self, site},
     plan_multiple_reference, CommitOutcome, CommitTicket, CtBusParams, FailPlan, PlannerMode,
-    RoutePlan, ServeState,
+    RefreshPolicy, RoutePlan, ServeState,
 };
 use ct_data::{CityConfig, DemandModel};
 
@@ -85,6 +86,7 @@ struct Config {
     assert_speedup: Option<f64>,
     chaos: bool,
     chaos_seed: u64,
+    refresh: RefreshPolicy,
 }
 
 impl Config {
@@ -99,6 +101,7 @@ impl Config {
             assert_speedup: None,
             chaos: false,
             chaos_seed: 1,
+            refresh: RefreshPolicy::Exact,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -113,6 +116,15 @@ impl Config {
                 "--assert-speedup" => cfg.assert_speedup = Some(parse(&value("assert-speedup")?)?),
                 "--chaos" => cfg.chaos = true,
                 "--chaos-seed" => cfg.chaos_seed = parse(&value("chaos-seed")?)?,
+                "--refresh" => {
+                    cfg.refresh = match value("refresh")?.as_str() {
+                        "exact" => RefreshPolicy::Exact,
+                        "approximate" => RefreshPolicy::approximate(),
+                        other => {
+                            return Err(format!("--refresh wants exact|approximate, got `{other}`"))
+                        }
+                    }
+                }
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -191,7 +203,10 @@ fn main() {
     let mode = PlannerMode::EtaPre;
 
     eprintln!("loadgen: building initial snapshot ({})…", cfg.preset);
-    let mut state = ServeState::new(city.clone(), demand.clone(), params);
+    let mut state = ServeState::new(city.clone(), demand.clone(), params).with_refresh(cfg.refresh);
+    if !cfg.refresh.is_exact() {
+        eprintln!("loadgen: approximate refresh tier — commits skip the full Δ re-sweep");
+    }
     let injector = cfg.chaos.then(|| chaos_plan(cfg.chaos_seed).injector());
     if let Some(injector) = &injector {
         fault::silence_injected_panics();
@@ -461,31 +476,42 @@ fn main() {
                 applied.iter().map(|(g, _)| *g).collect::<Vec<_>>()
             );
         }
-        let reference = plan_multiple_reference(&city, &demand, params, rounds, mode);
-        assert_eq!(reference.len(), rounds, "verify: oracle stopped early");
-        for (i, (_, plan)) in applied.iter().enumerate() {
-            assert_eq!(
-                *plan, reference[i],
-                "verify: applied commit {i} diverged from the sequential oracle"
+        if cfg.refresh.is_exact() {
+            let reference = plan_multiple_reference(&city, &demand, params, rounds, mode);
+            assert_eq!(reference.len(), rounds, "verify: oracle stopped early");
+            for (i, (_, plan)) in applied.iter().enumerate() {
+                assert_eq!(
+                    *plan, reference[i],
+                    "verify: applied commit {i} diverged from the sequential oracle"
+                );
+            }
+            let mut checked = 0usize;
+            for (generation, plan) in &samples {
+                // A read-only plan at generation g equals the oracle's
+                // round-g plan (the one commit g+1 would apply).
+                if (*generation as usize) < rounds {
+                    assert_eq!(
+                        *plan, reference[*generation as usize],
+                        "verify: sampled plan at generation {generation} diverged from the oracle"
+                    );
+                    checked += 1;
+                }
+            }
+            println!(
+                "verify: OK — {rounds} applied commits and {checked}/{} sampled plans \
+                 match the sequential oracle",
+                samples.len()
+            );
+        } else {
+            // The approximate tier legitimately diverges from the exact
+            // oracle (that drift is the drift harness's job to bound);
+            // structural invariants still hold.
+            println!(
+                "verify: OK — {rounds} applied commits, gapless generations \
+                 (approximate refresh: oracle equality not applicable; \
+                 drift is bounded by the drift harness)"
             );
         }
-        let mut checked = 0usize;
-        for (generation, plan) in &samples {
-            // A read-only plan at generation g equals the oracle's round-g
-            // plan (the one commit g+1 would apply).
-            if (*generation as usize) < rounds {
-                assert_eq!(
-                    *plan, reference[*generation as usize],
-                    "verify: sampled plan at generation {generation} diverged from the oracle"
-                );
-                checked += 1;
-            }
-        }
-        println!(
-            "verify: OK — {rounds} applied commits and {checked}/{} sampled plans \
-             match the sequential oracle",
-            samples.len()
-        );
     }
     if let Some(min_speedup) = cfg.assert_speedup {
         assert!(speedup >= min_speedup, "speedup {speedup:.2}x below required {min_speedup:.2}x");
@@ -524,58 +550,5 @@ fn main() {
             ));
         }
         merge_baseline(&records);
-    }
-}
-
-/// Merges `(label, min, median, mean, samples)` records into
-/// `target/experiments/bench_baseline.json`, preserving entries written by
-/// the criterion benches (identical line format). Errors are non-fatal —
-/// the harness must not fail on a read-only filesystem.
-fn merge_baseline(records: &[(String, u128, u128, u128, usize)]) {
-    let mut dir = std::env::current_dir().unwrap_or_default();
-    let dir = loop {
-        if dir.join("Cargo.lock").exists() {
-            break dir.join("target").join("experiments");
-        }
-        if !dir.pop() {
-            break std::path::PathBuf::from("target/experiments");
-        }
-    };
-    if std::fs::create_dir_all(&dir).is_err() {
-        return;
-    }
-    let path = dir.join("bench_baseline.json");
-    let mut entries: Vec<(String, String)> = Vec::new();
-    if let Ok(existing) = std::fs::read_to_string(&path) {
-        for line in existing.lines() {
-            let trimmed = line.trim();
-            let Some(rest) = trimmed.strip_prefix('"') else { continue };
-            let Some((label, rest)) = rest.split_once("\":") else { continue };
-            let stats = rest.trim().trim_end_matches(',').trim();
-            if stats.starts_with('{') && stats.ends_with('}') {
-                entries.push((label.to_string(), stats.to_string()));
-            }
-        }
-    }
-    for (label, min, median, mean, samples) in records {
-        let stats = format!(
-            "{{ \"min_ns\": {min}, \"median_ns\": {median}, \"mean_ns\": {mean}, \
-             \"samples\": {samples} }}"
-        );
-        if let Some(slot) = entries.iter_mut().find(|(l, _)| l == label) {
-            slot.1 = stats;
-        } else {
-            entries.push((label.clone(), stats));
-        }
-    }
-    entries.sort_by(|a, b| a.0.cmp(&b.0));
-    let mut out = String::from("{\n");
-    for (i, (label, stats)) in entries.iter().enumerate() {
-        let comma = if i + 1 < entries.len() { "," } else { "" };
-        out.push_str(&format!("  \"{label}\": {stats}{comma}\n"));
-    }
-    out.push_str("}\n");
-    if std::fs::write(&path, out).is_ok() {
-        eprintln!("[baseline] {}", path.display());
     }
 }

@@ -13,6 +13,7 @@
 //! Every experiment prints its table/series to stdout *and* writes a
 //! markdown/JSON artifact under `target/experiments/`.
 
+pub mod baseline;
 pub mod experiments;
 pub mod harness;
 

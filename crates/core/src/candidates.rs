@@ -215,33 +215,46 @@ impl CandidateSet {
     /// bit-for-bit, which is what lets a committed planning session stay
     /// exactly equivalent to the rebuild-per-round reference.
     ///
+    /// Returns the id permutation induced by the reorder: `ret[new_id]` is
+    /// the candidate's id *before* the promotion. An empty `pairs` slice is
+    /// a no-op and returns an empty vector (the identity mapping) — callers
+    /// carrying per-candidate state across a commit treat an empty return
+    /// as "ids unchanged".
+    ///
     /// # Panics
     /// Panics if a pair is not a known new (non-existing) candidate.
-    pub fn promote_to_existing(&mut self, pairs: &[(u32, u32)]) {
+    pub fn promote_to_existing(&mut self, pairs: &[(u32, u32)]) -> Vec<u32> {
         if pairs.is_empty() {
-            return;
+            return Vec::new();
         }
         let slot_of: HashMap<(u32, u32), usize> =
             pairs.iter().enumerate().map(|(i, &p)| (p, i)).collect();
         assert_eq!(slot_of.len(), pairs.len(), "promoted pairs must be distinct");
         let old = std::mem::take(&mut self.edges);
         let mut reordered = Vec::with_capacity(old.len());
-        let mut promoted: Vec<Option<CandidateEdge>> = vec![None; pairs.len()];
+        let mut old_of_reordered = Vec::with_capacity(old.len());
+        let mut promoted: Vec<Option<(u32, CandidateEdge)>> = vec![None; pairs.len()];
         let mut tail = Vec::with_capacity(old.len());
-        for mut e in old {
+        let mut old_of_tail = Vec::with_capacity(old.len());
+        for (old_id, mut e) in old.into_iter().enumerate() {
             if e.existing {
+                old_of_reordered.push(old_id as u32);
                 reordered.push(e);
             } else if let Some(&slot) = slot_of.get(&(e.u, e.v)) {
                 e.existing = true;
-                promoted[slot] = Some(e);
+                promoted[slot] = Some((old_id as u32, e));
             } else {
+                old_of_tail.push(old_id as u32);
                 tail.push(e);
             }
         }
         for p in promoted {
-            reordered.push(p.expect("promoted pair is a known new candidate"));
+            let (old_id, e) = p.expect("promoted pair is a known new candidate");
+            old_of_reordered.push(old_id);
+            reordered.push(e);
         }
         self.num_new = tail.len();
+        old_of_reordered.append(&mut old_of_tail);
         reordered.append(&mut tail);
         self.edges = reordered;
 
@@ -254,6 +267,7 @@ impl CandidateSet {
             self.by_stop[e.u as usize].push(id as u32);
             self.by_stop[e.v as usize].push(id as u32);
         }
+        old_of_reordered
     }
 
     /// Re-derives each candidate's demand from `demand`, in place, for
@@ -361,6 +375,32 @@ mod tests {
         let a = CandidateSet::build(&city, &demand, 450.0, 6.0);
         let b = CandidateSet::build(&city, &demand, 450.0, 6.0);
         assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn promote_mapping_is_a_permutation_onto_old_ids() {
+        let (city, demand) = setup();
+        let mut set = CandidateSet::build(&city, &demand, 450.0, 6.0);
+        let before = set.edges().to_vec();
+        let pairs: Vec<(u32, u32)> =
+            before.iter().filter(|e| !e.existing).take(3).map(|e| (e.u, e.v)).collect();
+        assert_eq!(pairs.len(), 3, "need at least 3 new candidates");
+        let old_of = set.promote_to_existing(&pairs);
+        assert_eq!(old_of.len(), before.len());
+        // Bijective, and every new slot holds exactly the old candidate it
+        // claims to (modulo the promoted flag flip).
+        let mut seen = vec![false; before.len()];
+        for (new_id, &old_id) in old_of.iter().enumerate() {
+            assert!(!std::mem::replace(&mut seen[old_id as usize], true));
+            let now = set.edge(new_id as u32);
+            let was = &before[old_id as usize];
+            assert_eq!((now.u, now.v), (was.u, was.v));
+            assert_eq!(now.demand, was.demand);
+            let was_promoted = pairs.contains(&(was.u, was.v));
+            assert_eq!(now.existing, was.existing || was_promoted);
+        }
+        // Empty promotion is the identity and reports it as an empty map.
+        assert!(set.promote_to_existing(&[]).is_empty());
     }
 
     #[test]

@@ -93,6 +93,8 @@ pub use precompute::{DeltaMethod, PrecomputeTimings, Precomputed};
 pub use ranked::RankedList;
 pub use rknn::{rknn_demand, route_service_distance, RknnDemand, RknnParams};
 pub use scorer::{online_increment_in, ConnScorer};
-pub use serve::{CommitOutcome, CommitTicket, ServePolicy, ServeState, ServeStats, Snapshot};
-pub use session::{CommitSummary, PlanningSession};
+pub use serve::{
+    validate_ticket, CommitOutcome, CommitTicket, ServePolicy, ServeState, ServeStats, Snapshot,
+};
+pub use session::{CommitSummary, PlanningSession, RefreshPolicy};
 pub use sites::{select_sites, SelectedSite, SiteParams, SiteSelection};

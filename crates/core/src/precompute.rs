@@ -19,12 +19,14 @@
 //! (blocked matvec) with the candidate edge applied on the fly.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use ct_data::{City, DemandModel};
 use ct_linalg::lanczos::expm_column_in;
 use ct_linalg::{
-    block_krylov_topk, ConnectivityEstimator, CsrMatrix, EdgeOverlay, LanczosWorkspace,
+    block_krylov_topk, block_krylov_topk_warm, ConnectivityEstimator, CsrMatrix, EdgeOverlay,
+    LanczosWorkspace,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -47,6 +49,23 @@ pub enum DeltaMethod {
     /// Lanczos `e^A e_j` solve per *stop* instead of one trace estimate per
     /// *edge* — deterministic, noise-free, and typically much cheaper.
     Perturbation,
+}
+
+/// How [`Precomputed::assemble_with_spectrum`] builds the spectrum head
+/// (`top_eigs` + optional Ritz basis) for the Lemma 3/4 bounds.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) enum SpectrumMode<'a> {
+    /// Historical cold start: fresh random probes, generous column budget,
+    /// no basis retained. Bit-identical to every release so far.
+    #[default]
+    Cold,
+    /// Approximate-refresh start: smaller head, seeded from the previous
+    /// commit's Ritz vectors when available, new vectors retained in
+    /// [`Precomputed::spectrum_basis`].
+    Warm {
+        /// Previous commit's Ritz basis (`None` on the first warm commit).
+        prev_basis: Option<&'a [Vec<f64>]>,
+    },
 }
 
 /// Wall-clock cost of the pre-computation stages (Table 4).
@@ -88,6 +107,11 @@ pub struct Precomputed {
     /// Lemma 4 connectivity-increment upper bound for a `k`-edge path
     /// (`path_bound − λ(Gr)`), the online planner's `O↑λ`.
     pub conn_path_ub: f64,
+    /// Ritz vectors paired with the head of `top_eigs`, kept only when the
+    /// spectrum was built warm-startable (the approximate refresh tier);
+    /// `None` on the exact path, which stays bit-identical to the
+    /// historical cold start.
+    pub spectrum_basis: Option<Arc<Vec<Vec<f64>>>>,
     /// Frozen-probe estimator shared by all scoring.
     pub estimator: ConnectivityEstimator,
     /// Base adjacency matrix.
@@ -170,6 +194,36 @@ impl Precomputed {
         params: &CtBusParams,
         timings: PrecomputeTimings,
     ) -> Precomputed {
+        Self::assemble_with_spectrum(
+            candidates,
+            delta,
+            base_adj,
+            base_trace,
+            estimator,
+            params,
+            timings,
+            SpectrumMode::Cold,
+        )
+    }
+
+    /// [`Precomputed::assemble`] with an explicit spectrum strategy.
+    ///
+    /// `SpectrumMode::Cold` reproduces the historical cold start
+    /// bit-for-bit (same RNG stream, same column budget, no basis kept).
+    /// `SpectrumMode::Warm` is the approximate refresh tier: a smaller
+    /// head re-converged from the previous commit's Ritz vectors, with the
+    /// new vectors retained in `spectrum_basis` for the next commit.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble_with_spectrum(
+        candidates: CandidateSet,
+        delta: Vec<f64>,
+        base_adj: CsrMatrix,
+        base_trace: f64,
+        estimator: ConnectivityEstimator,
+        params: &CtBusParams,
+        timings: PrecomputeTimings,
+        spectrum: SpectrumMode<'_>,
+    ) -> Precomputed {
         let base_lambda = base_trace.ln() - (base_adj.n() as f64).ln();
 
         let ld = RankedList::new(&candidates.demand_values());
@@ -191,8 +245,28 @@ impl Precomputed {
         // k than the one built with (Lemma 4 needs ⌊(k+1)/2⌋ eigenvalues;
         // short-changing it would *under*-bound and break admissibility).
         let mut rng = StdRng::seed_from_u64(params.probe_seed ^ 0x9E37_79B9);
-        let want = (2 * params.k).max(96).min(base_adj.n());
-        let top_eigs = block_krylov_topk(&base_adj, want, 0, &mut rng).unwrap_or_default();
+        let (top_eigs, spectrum_basis) = match spectrum {
+            SpectrumMode::Cold => {
+                let want = (2 * params.k).max(96).min(base_adj.n());
+                (block_krylov_topk(&base_adj, want, 0, &mut rng).unwrap_or_default(), None)
+            }
+            SpectrumMode::Warm { prev_basis } => {
+                // The approximate tier trades the reparameterize headroom
+                // for speed: only as many eigenvalues as the Lemma 4 bound
+                // for the *current* k needs, plus modest slack.
+                let want = (2 * params.k).max(32).min(base_adj.n());
+                match block_krylov_topk_warm(
+                    &base_adj,
+                    want,
+                    0,
+                    prev_basis.unwrap_or(&[]),
+                    &mut rng,
+                ) {
+                    Ok(head) => (head.values, Some(Arc::new(head.vectors))),
+                    Err(_) => (Vec::new(), None),
+                }
+            }
+        };
         let conn_path_ub =
             (path_bound(base_lambda, &top_eigs, params.k, base_adj.n()) - base_lambda).max(0.0);
 
@@ -208,6 +282,7 @@ impl Precomputed {
             base_trace,
             top_eigs,
             conn_path_ub,
+            spectrum_basis,
             estimator,
             base_adj,
             timings,
@@ -253,6 +328,7 @@ impl Precomputed {
             base_trace: self.base_trace,
             top_eigs: self.top_eigs.clone(),
             conn_path_ub,
+            spectrum_basis: self.spectrum_basis.clone(),
             estimator: self.estimator.clone(),
             base_adj: self.base_adj.clone(),
             timings: self.timings,
@@ -316,17 +392,43 @@ pub fn compute_deltas_in(
     base_trace: f64,
     workspaces: &mut [LanczosWorkspace],
 ) -> Vec<f64> {
-    assert!(!workspaces.is_empty(), "compute_deltas_in needs at least one workspace");
     let n = candidates.len();
     let mut delta = vec![0.0f64; n];
     let ids: Vec<u32> = (0..n as u32).filter(|&i| !candidates.edge(i).existing).collect();
+    compute_deltas_scoped(candidates, base, estimator, base_trace, workspaces, &ids, &mut delta);
+    delta
+}
+
+/// The Δ(e) sweep restricted to an explicit id set: estimates `Δ(e)` for
+/// exactly the candidates in `ids`, writing into `delta[id]` and leaving
+/// every other slot untouched.
+///
+/// This is the approximate refresh tier's entry point — a commit that only
+/// touched a corridor subset re-scores that subset in O(touched) instead of
+/// O(all). [`compute_deltas_in`] is the all-ids special case; each swept
+/// Δ(e) is bit-identical to what the full sweep would store (pure function
+/// of the frozen probes, invariant under the worker count and the id-set
+/// partition).
+///
+/// # Panics
+/// Panics if `workspaces` is empty while `ids` is not, or if an id is out
+/// of range for `delta`.
+pub(crate) fn compute_deltas_scoped(
+    candidates: &CandidateSet,
+    base: &CsrMatrix,
+    estimator: &ConnectivityEstimator,
+    base_trace: f64,
+    workspaces: &mut [LanczosWorkspace],
+    ids: &[u32],
+    delta: &mut [f64],
+) {
     if ids.is_empty() {
-        return delta;
+        return;
     }
+    assert!(!workspaces.is_empty(), "compute_deltas_scoped needs at least one workspace");
 
     let threads = workspaces.len().min(ids.len());
     let next = AtomicUsize::new(0);
-    let ids = &ids;
     let next = &next;
     let results: Vec<Vec<(u32, f64)>> = std::thread::scope(|s| {
         let handles: Vec<_> = workspaces
@@ -362,7 +464,6 @@ pub fn compute_deltas_in(
             delta[id as usize] = inc;
         }
     }
-    delta
 }
 
 /// The pre-overlay Δ(e) sweep: statically chunked threads, one full CSR
@@ -442,14 +543,42 @@ pub(crate) fn compute_deltas_perturbation(
 ) -> Vec<f64> {
     let n = candidates.len();
     let mut delta = vec![0.0f64; n];
+    let ids: Vec<u32> = (0..n as u32).filter(|&i| !candidates.edge(i).existing).collect();
+    compute_deltas_perturbation_scoped(
+        candidates,
+        base,
+        base_trace,
+        lanczos_steps,
+        &ids,
+        &mut delta,
+    );
+    delta
+}
 
-    // Columns of e^A for every endpoint of a new candidate edge: one solve
+/// [`compute_deltas_perturbation`] restricted to an explicit id set (the
+/// approximate refresh tier's scoped re-score); writes `delta[id]` for
+/// exactly the ids given, leaving other slots untouched. Per-id output is
+/// identical to the full sweep's (the estimate is deterministic and
+/// per-edge).
+pub(crate) fn compute_deltas_perturbation_scoped(
+    candidates: &CandidateSet,
+    base: &CsrMatrix,
+    base_trace: f64,
+    lanczos_steps: usize,
+    ids: &[u32],
+    delta: &mut [f64],
+) {
+    // Columns of e^A for every endpoint of a swept candidate edge: one solve
     // per *distinct* stop (endpoints repeating across candidates — and a
     // degenerate u == v pair — dedup to a single entry), all sharing one
     // Lanczos workspace so the per-stop solve allocates only the stored
     // column itself.
-    let mut needed: Vec<u32> =
-        candidates.edges().iter().filter(|e| !e.existing).flat_map(|e| [e.u, e.v]).collect();
+    let mut needed: Vec<u32> = ids
+        .iter()
+        .map(|&id| candidates.edge(id))
+        .filter(|e| !e.existing)
+        .flat_map(|e| [e.u, e.v])
+        .collect();
     needed.sort_unstable();
     needed.dedup();
     let mut ws = LanczosWorkspace::new();
@@ -466,7 +595,8 @@ pub(crate) fn compute_deltas_perturbation(
         needed.binary_search(&stop).ok().and_then(|i| columns[i].as_ref())
     };
 
-    for (id, e) in candidates.edges().iter().enumerate() {
+    for &id in ids {
+        let e = candidates.edge(id);
         if e.existing {
             continue;
         }
@@ -476,9 +606,8 @@ pub(crate) fn compute_deltas_perturbation(
         let comm = col_u[e.v as usize].max(0.0);
         let diag = col_u[e.u as usize].max(1.0) + col_v[e.v as usize].max(1.0);
         let trace_gain = 2.0 * comm + 0.5 * diag;
-        delta[id] = (trace_gain / base_trace).ln_1p().max(0.0);
+        delta[id as usize] = (trace_gain / base_trace).ln_1p().max(0.0);
     }
-    delta
 }
 
 #[cfg(test)]

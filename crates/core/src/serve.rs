@@ -94,7 +94,7 @@ use crate::fault::{self, FaultError, FaultInjector};
 use crate::params::CtBusParams;
 use crate::plan::RoutePlan;
 use crate::precompute::{DeltaMethod, Precomputed};
-use crate::session::{CommitSummary, PlanningSession};
+use crate::session::{CommitSummary, PlanningSession, RefreshPolicy};
 
 /// One immutable published state of the world: the evolved city, its
 /// demand, the matching pre-computation, and the generation stamp.
@@ -337,6 +337,9 @@ pub struct ServeState {
     writer: Mutex<()>,
     /// Overload bounds for `commit`.
     policy: ServePolicy,
+    /// How applied commits refresh the pre-computation (default
+    /// [`RefreshPolicy::Exact`]).
+    refresh: RefreshPolicy,
     /// Scheduled faults, if a chaos harness installed any; `None` in
     /// production, where the failpoints cost one branch each.
     faults: Option<Arc<FaultInjector>>,
@@ -390,6 +393,7 @@ impl ServeState {
             current: RwLock::new(Arc::new(snapshot)),
             writer: Mutex::new(()),
             policy: ServePolicy::default(),
+            refresh: RefreshPolicy::Exact,
             faults: None,
             queue_depth: AtomicUsize::new(0),
             checkouts: AtomicU64::new(0),
@@ -408,6 +412,21 @@ impl ServeState {
     pub fn with_policy(mut self, policy: ServePolicy) -> ServeState {
         self.policy = policy;
         self
+    }
+
+    /// Overrides the refresh policy applied commits run under (builder
+    /// style; call before sharing the state). Under
+    /// [`RefreshPolicy::Approximate`] the published snapshots drift from
+    /// the exact rebuild oracle — bounded and quantified by the
+    /// refresh-drift harness — in exchange for cheaper commits.
+    pub fn with_refresh(mut self, refresh: RefreshPolicy) -> ServeState {
+        self.refresh = refresh;
+        self
+    }
+
+    /// The refresh policy applied commits run under.
+    pub fn refresh(&self) -> RefreshPolicy {
+        self.refresh
     }
 
     /// Installs a fault schedule on the serving path (builder style; call
@@ -549,6 +568,7 @@ impl ServeState {
         // the pre-computation), leaving `base` untouched.
         let mut session = base.session();
         session.install_faults(self.faults.clone());
+        session.set_refresh(self.refresh);
         let summary = session.commit(plan);
         let generation = base.generation + 1;
         let successor = Arc::new(Snapshot {
@@ -614,7 +634,12 @@ impl ServeState {
 ///
 /// Cost: one pass over the plan plus one pool-sized hash build — noise
 /// next to the Δ-refresh an applied commit pays anyway.
-fn validate_ticket(plan: &RoutePlan, base: &Snapshot) -> Result<(), String> {
+///
+/// Public so harnesses can probe the rejection surface directly (the
+/// proptest suite in `tests/serve_validate.rs` feeds it adversarial
+/// plans); [`ServeState::commit`] calls it on every ticket, so going
+/// through the commit path exercises the same checks.
+pub fn validate_ticket(plan: &RoutePlan, base: &Snapshot) -> Result<(), String> {
     let cands = &base.pre.candidates;
     let pool = cands.len() as u32;
     for &id in &plan.cand_edges {
@@ -860,5 +885,91 @@ mod tests {
         );
         assert_eq!(state.generation(), 0);
         assert_eq!(state.stats().commits_shed, 1);
+    }
+
+    #[test]
+    fn failure_streak_accumulates_and_resets_on_success() {
+        use crate::fault::FaultAction;
+        let city = CityConfig::small().seed(17).generate();
+        let demand = DemandModel::from_city(&city);
+        // First three apply attempts error; the fourth goes through.
+        let faults = FailPlan::new().on(site::COMMIT_APPLY, 1, 3, FaultAction::Error).injector();
+        let state = ServeState::new(city, demand, quick_params()).with_faults(faults);
+
+        let plan = state.session().plan(PlannerMode::EtaPre).best;
+        assert!(!plan.is_empty());
+        for expected_streak in 1..=3u64 {
+            let snap = state.current();
+            let outcome = state.commit(CommitTicket::new(&snap, plan.clone()));
+            assert!(matches!(outcome, CommitOutcome::Failed { .. }), "attempt {expected_streak}");
+            let stats = state.stats();
+            assert_eq!(stats.consecutive_failures, expected_streak, "streak must accumulate");
+            assert_eq!(stats.commits_failed, expected_streak);
+            assert!(stats.degraded());
+        }
+        // One successful apply clears the whole streak (but not the
+        // monotone failure counter).
+        let snap = state.current();
+        assert!(state.commit(CommitTicket::new(&snap, plan)).is_applied());
+        let stats = state.stats();
+        assert_eq!(stats.consecutive_failures, 0);
+        assert!(!stats.degraded());
+        assert_eq!(stats.commits_failed, 3);
+    }
+
+    #[test]
+    fn invalid_commits_neither_grow_nor_clear_the_streak() {
+        let city = CityConfig::small().seed(17).generate();
+        let demand = DemandModel::from_city(&city);
+        let faults = FailPlan::new().error_at(site::COMMIT_APPLY, 1).injector();
+        let state = ServeState::new(city, demand, quick_params()).with_faults(faults);
+
+        let plan = state.session().plan(PlannerMode::EtaPre).best;
+        assert!(!plan.is_empty());
+        let snap = state.current();
+        let outcome = state.commit(CommitTicket::new(&snap, plan.clone()));
+        assert!(matches!(outcome, CommitOutcome::Failed { .. }));
+        assert_eq!(state.stats().consecutive_failures, 1);
+
+        // An invalid ticket is rejected before the apply path: it is not
+        // an apply failure (no streak growth) and certainly not a success
+        // (no reset) — the service stays degraded until a real apply.
+        let mut garbage = plan.clone();
+        garbage.objective = f64::NAN;
+        assert!(matches!(
+            state.commit(CommitTicket::new(&snap, garbage)),
+            CommitOutcome::Invalid { .. }
+        ));
+        let stats = state.stats();
+        assert_eq!(stats.commits_invalid, 1);
+        assert_eq!(stats.consecutive_failures, 1, "invalid commit moved the streak");
+        assert!(stats.degraded());
+
+        let retry = state.current();
+        assert!(state.commit(CommitTicket::new(&retry, plan)).is_applied());
+        assert!(!state.stats().degraded());
+    }
+
+    #[test]
+    fn shed_commits_never_mark_the_service_degraded() {
+        let city = CityConfig::small().seed(17).generate();
+        let demand = DemandModel::from_city(&city);
+        let policy = ServePolicy { max_queue_depth: 0, ..ServePolicy::default() };
+        let state = ServeState::new(city, demand, quick_params()).with_policy(policy);
+
+        let snap = state.current();
+        let plan = snap.session().plan(PlannerMode::EtaPre).best;
+        for _ in 0..3 {
+            assert!(matches!(
+                state.commit(CommitTicket::new(&snap, plan.clone())),
+                CommitOutcome::Overloaded { .. }
+            ));
+        }
+        // Shedding is back-pressure, not failure: the writer never ran, so
+        // the health streak must stay clean no matter how much is shed.
+        let stats = state.stats();
+        assert_eq!(stats.commits_shed, 3);
+        assert_eq!(stats.consecutive_failures, 0);
+        assert!(!stats.degraded());
     }
 }

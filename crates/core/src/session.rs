@@ -60,10 +60,57 @@ use crate::metrics::apply_plan;
 use crate::params::CtBusParams;
 use crate::plan::RoutePlan;
 use crate::precompute::{
-    compute_deltas_in, compute_deltas_perturbation, DeltaMethod, PrecomputeTimings, Precomputed,
+    compute_deltas_in, compute_deltas_perturbation, compute_deltas_perturbation_scoped,
+    compute_deltas_scoped, DeltaMethod, PrecomputeTimings, Precomputed, SpectrumMode,
 };
 use crate::sites::{select_sites, SiteParams, SiteSelection};
 use crate::{PlannerMode, RunResult};
+
+/// How [`PlanningSession::commit`] refreshes the pre-computation.
+///
+/// `Exact` (the default) keeps the bit-identity equivalence contract: the
+/// refreshed artifacts equal a from-scratch [`Precomputed::build_with`] on
+/// the evolved state, bit for bit. `Approximate` trades that contract for
+/// commit latency — see the variant docs. The drift the trade introduces
+/// is quantified against the exact oracle by the refresh-drift harness
+/// (`ct_bench`'s `drift` bin and `crates/core/tests/refresh_drift.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefreshPolicy {
+    /// Full re-sweep: every non-existing candidate's Δ(e) is re-estimated
+    /// and the spectrum head is rebuilt from fresh random probes.
+    /// Bit-identical to the rebuild-per-round reference.
+    #[default]
+    Exact,
+    /// Incremental re-sweep: only candidates whose road corridors overlap
+    /// the committed route (and, optionally, candidates incident to its
+    /// stops) are re-scored; everything else carries its previous Δ(e)
+    /// forward. The spectrum head is re-converged from the previous
+    /// commit's Ritz vectors instead of fresh probes.
+    Approximate {
+        /// Warm-start the spectrum head from the previous Ritz basis
+        /// (`false` falls back to the exact cold-start spectrum while
+        /// keeping the scoped Δ-sweep).
+        warm_spectrum: bool,
+        /// Also re-score candidates incident to the committed route's
+        /// stops, not just corridor-overlapping ones — catches the
+        /// second-order connectivity shift around the new hubs for a
+        /// modest sweep-size increase.
+        include_route_stops: bool,
+    },
+}
+
+impl RefreshPolicy {
+    /// The recommended approximate tier: warm spectrum plus route-stop
+    /// widening.
+    pub fn approximate() -> RefreshPolicy {
+        RefreshPolicy::Approximate { warm_spectrum: true, include_route_stops: true }
+    }
+
+    /// Whether this is the exact (bit-identical) tier.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, RefreshPolicy::Exact)
+    }
+}
 
 /// What one [`PlanningSession::commit`] did (bookkeeping + profiling).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,6 +122,10 @@ pub struct CommitSummary {
     /// Candidates whose demand was re-derived (their road path touched the
     /// covered corridor).
     pub refreshed_candidates: usize,
+    /// Candidates whose Δ(e) was re-estimated: all non-existing candidates
+    /// under [`RefreshPolicy::Exact`], only the touched subset under
+    /// [`RefreshPolicy::Approximate`].
+    pub swept_candidates: usize,
     /// Wall-clock seconds of the incremental refresh (trace + Δ-sweep +
     /// re-ranking) — the per-round cost a cold rebuild would dwarf with
     /// its candidate-generation shortest paths on top.
@@ -116,6 +167,9 @@ pub struct PlanningSession {
     /// (per-session scratch — never shared, so sessions stay `Send`).
     workspaces: Vec<LanczosWorkspace>,
     commits: usize,
+    /// How commits refresh the pre-computation (default
+    /// [`RefreshPolicy::Exact`]).
+    refresh: RefreshPolicy,
     /// Scheduled faults for the commit path ([`crate::fault::site::SESSION_REFRESH`]);
     /// installed only by the serving layer's chaos harness, `None` (one
     /// branch per commit) everywhere else.
@@ -156,6 +210,7 @@ impl PlanningSession {
             pre: None,
             workspaces: Vec::new(),
             commits: 0,
+            refresh: RefreshPolicy::Exact,
             faults: None,
         }
     }
@@ -178,6 +233,7 @@ impl PlanningSession {
             pre: Some(pre),
             workspaces: Vec::new(),
             commits,
+            refresh: RefreshPolicy::Exact,
             faults: None,
         }
     }
@@ -193,6 +249,24 @@ impl PlanningSession {
     pub fn with_method(mut self, method: DeltaMethod) -> PlanningSession {
         self.method = method;
         self
+    }
+
+    /// Overrides the refresh policy (builder style; default
+    /// [`RefreshPolicy::Exact`]).
+    pub fn with_refresh(mut self, refresh: RefreshPolicy) -> PlanningSession {
+        self.refresh = refresh;
+        self
+    }
+
+    /// Switches the refresh policy in place (the serving layer sets this
+    /// on sessions it stamps out from published snapshots).
+    pub fn set_refresh(&mut self, refresh: RefreshPolicy) {
+        self.refresh = refresh;
+    }
+
+    /// The refresh policy in force.
+    pub fn refresh_policy(&self) -> RefreshPolicy {
+        self.refresh
     }
 
     /// The current (evolved) city. Its road network and trajectories are
@@ -287,6 +361,7 @@ impl PlanningSession {
                 new_edges: 0,
                 covered_road_edges: 0,
                 refreshed_candidates: 0,
+                swept_candidates: 0,
                 refresh_secs: 0.0,
             };
         }
@@ -330,7 +405,13 @@ impl PlanningSession {
         //    `with_route_added` appended them, hence the order a rebuild's
         //    candidate scan would encounter them in.
         let t0 = Instant::now();
-        pre.candidates.promote_to_existing(&plan.new_stop_pairs);
+        // The approximate tier carries the previous sweep forward, so the
+        // old Δ vector and Ritz basis must be lifted out before the pool
+        // reorder invalidates the id space.
+        let prev_delta =
+            if self.refresh.is_exact() { Vec::new() } else { std::mem::take(&mut pre.delta) };
+        let prev_basis = if self.refresh.is_exact() { None } else { pre.spectrum_basis.take() };
+        let old_of = pre.candidates.promote_to_existing(&plan.new_stop_pairs);
         let refreshed_candidates = pre.candidates.refresh_demand(&self.demand, &covered_mask);
         pre.base_adj.absorb_unit_edges(&plan.new_stop_pairs);
 
@@ -339,31 +420,102 @@ impl PlanningSession {
             .trace_exp(&pre.base_adj)
             .expect("base trace estimation succeeds")
             .max(f64::MIN_POSITIVE);
-        let delta = match self.method {
-            DeltaMethod::PairedProbes => {
-                let threads = self.params.parallelism.worker_threads().max(1);
-                if self.workspaces.len() < threads {
-                    self.workspaces.resize_with(threads, LanczosWorkspace::new);
-                }
-                compute_deltas_in(
-                    &pre.candidates,
-                    &pre.base_adj,
-                    &pre.estimator,
-                    base_trace,
-                    &mut self.workspaces[..threads],
-                )
+        let (delta, swept_candidates) = match self.refresh {
+            RefreshPolicy::Exact => {
+                let delta = match self.method {
+                    DeltaMethod::PairedProbes => {
+                        let threads = self.params.parallelism.worker_threads().max(1);
+                        if self.workspaces.len() < threads {
+                            self.workspaces.resize_with(threads, LanczosWorkspace::new);
+                        }
+                        compute_deltas_in(
+                            &pre.candidates,
+                            &pre.base_adj,
+                            &pre.estimator,
+                            base_trace,
+                            &mut self.workspaces[..threads],
+                        )
+                    }
+                    DeltaMethod::Perturbation => compute_deltas_perturbation(
+                        &pre.candidates,
+                        &pre.base_adj,
+                        base_trace,
+                        self.params.lanczos_steps.max(12),
+                    ),
+                };
+                let swept = pre.candidates.edges().iter().filter(|e| !e.existing).count();
+                (delta, swept)
             }
-            DeltaMethod::Perturbation => compute_deltas_perturbation(
-                &pre.candidates,
-                &pre.base_adj,
-                base_trace,
-                self.params.lanczos_steps.max(12),
-            ),
+            RefreshPolicy::Approximate { include_route_stops, .. } => {
+                let n = pre.candidates.len();
+                // Carry the previous Δ(e) through the promotion reorder;
+                // promoted (now existing) candidates drop to the 0 a
+                // rebuild would store for them.
+                let mut delta = vec![0.0f64; n];
+                for (id, slot) in delta.iter_mut().enumerate() {
+                    if !pre.candidates.edge(id as u32).existing {
+                        let old = if old_of.is_empty() { id } else { old_of[id] as usize };
+                        *slot = prev_delta.get(old).copied().unwrap_or(0.0);
+                    }
+                }
+                // Touched = corridor overlap (the demand refresh's own
+                // criterion) ∪ optionally the committed route's stop
+                // neighborhoods.
+                let mut touched = vec![false; n];
+                for (id, e) in pre.candidates.edges().iter().enumerate() {
+                    if !e.existing && e.road_edges.iter().any(|&r| covered_mask[r as usize]) {
+                        touched[id] = true;
+                    }
+                }
+                if include_route_stops {
+                    for &stop in &plan.stops {
+                        for &id in pre.candidates.incident(stop) {
+                            if !pre.candidates.edge(id).existing {
+                                touched[id as usize] = true;
+                            }
+                        }
+                    }
+                }
+                let ids: Vec<u32> = (0..n as u32).filter(|&i| touched[i as usize]).collect();
+                match self.method {
+                    DeltaMethod::PairedProbes => {
+                        let threads = self.params.parallelism.worker_threads().max(1);
+                        if self.workspaces.len() < threads {
+                            self.workspaces.resize_with(threads, LanczosWorkspace::new);
+                        }
+                        compute_deltas_scoped(
+                            &pre.candidates,
+                            &pre.base_adj,
+                            &pre.estimator,
+                            base_trace,
+                            &mut self.workspaces[..threads],
+                            &ids,
+                            &mut delta,
+                        );
+                    }
+                    DeltaMethod::Perturbation => compute_deltas_perturbation_scoped(
+                        &pre.candidates,
+                        &pre.base_adj,
+                        base_trace,
+                        self.params.lanczos_steps.max(12),
+                        &ids,
+                        &mut delta,
+                    ),
+                }
+                (delta, ids.len())
+            }
         };
         let refresh_secs = t0.elapsed().as_secs_f64();
 
+        let spectrum = match self.refresh {
+            RefreshPolicy::Exact => SpectrumMode::Cold,
+            RefreshPolicy::Approximate { warm_spectrum: false, .. } => SpectrumMode::Cold,
+            RefreshPolicy::Approximate { warm_spectrum: true, .. } => {
+                SpectrumMode::Warm { prev_basis: prev_basis.as_ref().map(|b| b.as_slice()) }
+            }
+        };
         let Precomputed { candidates, base_adj, estimator, .. } = pre;
-        self.pre = Some(Arc::new(Precomputed::assemble(
+        self.pre = Some(Arc::new(Precomputed::assemble_with_spectrum(
             candidates,
             delta,
             base_adj,
@@ -371,6 +523,7 @@ impl PlanningSession {
             estimator,
             &self.params,
             PrecomputeTimings { shortest_path_secs: 0.0, connectivity_secs: refresh_secs },
+            spectrum,
         )));
         self.commits += 1;
 
@@ -378,6 +531,7 @@ impl PlanningSession {
             new_edges: plan.num_new_edges(),
             covered_road_edges,
             refreshed_candidates,
+            swept_candidates,
             refresh_secs,
         }
     }
@@ -397,6 +551,7 @@ impl PlanningSession {
             pre: self.pre.clone(),
             workspaces: Vec::new(),
             commits: self.commits,
+            refresh: self.refresh,
             faults: self.faults.clone(),
         }
     }

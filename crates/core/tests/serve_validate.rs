@@ -1,0 +1,157 @@
+//! Property tests for the serving layer's ticket validation
+//! ([`ct_core::validate_ticket`]): every malformed plan — out-of-range
+//! ids, wrong hop arity, hops that don't resolve to their claimed
+//! candidate, bogus promoted pairs, non-finite scores — must be rejected
+//! with an error *naming the offender*, and must surface through
+//! [`ct_core::ServeState::commit`] as [`ct_core::CommitOutcome::Invalid`]
+//! without panicking the writer or publishing anything.
+
+use std::sync::OnceLock;
+
+use ct_core::{
+    validate_ticket, CommitOutcome, CommitTicket, CtBusParams, PlannerMode, RoutePlan, ServeState,
+};
+use ct_data::{CityConfig, DemandModel};
+use proptest::prelude::*;
+
+fn quick_params() -> CtBusParams {
+    let mut params = CtBusParams::small_defaults();
+    params.k = 6;
+    params.sn = 80;
+    params.it_max = 400;
+    params.trace_probes = 8;
+    params.lanczos_steps = 6;
+    params
+}
+
+/// One shared serving fixture: building it dominates the cost of a case,
+/// and validation never mutates it.
+fn fixture() -> &'static (ServeState, RoutePlan) {
+    static FIXTURE: OnceLock<(ServeState, RoutePlan)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let city = CityConfig::small().seed(17).generate();
+        let demand = DemandModel::from_city(&city);
+        let state = ServeState::new(city, demand, quick_params());
+        let plan = state.session().plan(PlannerMode::EtaPre).best;
+        assert!(plan.cand_edges.len() >= 2, "fixture plan too short to corrupt");
+        assert!(!plan.new_stop_pairs.is_empty(), "fixture plan promotes nothing");
+        (state, plan)
+    })
+}
+
+/// Applies one of the mutation kinds to a copy of the valid plan and
+/// returns it with the substring the rejection reason must contain.
+fn corrupt(plan: &RoutePlan, kind: usize, raw: u32) -> (RoutePlan, String) {
+    let mut p = plan.clone();
+    let slot = raw as usize;
+    match kind {
+        0 => {
+            // Candidate id out of any plausible pool range.
+            let bad = u32::MAX - (raw % 1000);
+            let i = slot % p.cand_edges.len();
+            p.cand_edges[i] = bad;
+            (p, format!("candidate id {bad} out of range"))
+        }
+        1 => {
+            // Wrong hop arity: drop a stop.
+            p.stops.pop();
+            let (stops, edges) = (p.stops.len(), p.cand_edges.len());
+            (p, format!("plan has {stops} stops for {edges} edges"))
+        }
+        2 => {
+            // Wrong hop arity the other way: extra edge id (duplicate of an
+            // in-range one, so the arity check is what must catch it).
+            p.cand_edges.push(p.cand_edges[0]);
+            let (stops, edges) = (p.stops.len(), p.cand_edges.len());
+            (p, format!("plan has {stops} stops for {edges} edges"))
+        }
+        3 => {
+            // Stop id out of range.
+            let bad = u32::MAX - (raw % 1000);
+            let i = slot % p.stops.len();
+            p.stops[i] = bad;
+            (p, format!("stop id {bad} out of range"))
+        }
+        4 => {
+            // In-range candidate ids whose hops no longer resolve.
+            p.cand_edges.swap(0, 1);
+            (p, "does not resolve to claimed candidate id".into())
+        }
+        5 => {
+            // Promoted pair that is no candidate at all (a self-loop never
+            // is).
+            let s = p.stops[slot % p.stops.len()];
+            p.new_stop_pairs.push((s, s));
+            (p, format!("promoted pair ({s}, {s}) is not a known candidate"))
+        }
+        6 => {
+            // Same promoted pair twice.
+            let (u, v) = p.new_stop_pairs[slot % p.new_stop_pairs.len()];
+            p.new_stop_pairs.push((v, u)); // unordered duplicate
+            (p, "appears twice".into())
+        }
+        _ => {
+            // Non-finite score fields, each by name.
+            let values = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY];
+            let value = values[slot % values.len()];
+            let field = match kind {
+                7 => {
+                    p.demand = value;
+                    "demand"
+                }
+                8 => {
+                    p.conn_increment = value;
+                    "conn_increment"
+                }
+                9 => {
+                    p.objective = value;
+                    "objective"
+                }
+                _ => {
+                    p.length_m = value;
+                    "length_m"
+                }
+            };
+            (p, format!("non-finite {field}"))
+        }
+    }
+}
+
+const MUTATION_KINDS: usize = 11;
+
+proptest! {
+    #[test]
+    fn corrupted_tickets_are_rejected_with_offender_named(
+        kind in 0usize..MUTATION_KINDS,
+        raw in 0u32..1_000_000,
+    ) {
+        let (state, plan) = fixture();
+        let base = state.current();
+        let (bad, expect) = corrupt(plan, kind, raw);
+
+        // Direct validation: rejected, offender named, no panic.
+        let err = validate_ticket(&bad, &base).expect_err("corrupted plan validated");
+        prop_assert!(
+            err.contains(&expect),
+            "kind {kind}: reason `{err}` does not name the offender (`{expect}`)"
+        );
+
+        // Through the commit path: Invalid with the same reason, nothing
+        // published.
+        let generation_before = state.generation();
+        match state.commit(CommitTicket::new(&base, bad)) {
+            CommitOutcome::Invalid { reason } => prop_assert_eq!(reason, err),
+            other => return Err(proptest::runner::TestCaseError::Fail(
+                format!("kind {kind}: wanted Invalid, got {other:?}"),
+            )),
+        }
+        prop_assert_eq!(state.generation(), generation_before);
+    }
+}
+
+#[test]
+fn the_uncorrupted_plan_still_validates() {
+    let (state, plan) = fixture();
+    let base = state.current();
+    validate_ticket(plan, &base).expect("fixture plan must be valid");
+}

@@ -32,14 +32,41 @@ pub fn sparse_symmetric_eigenvalues(a: &CsrMatrix) -> Result<Vec<f64>, LinalgErr
 
 /// Cyclic Jacobi eigenvalue iteration; independent cross-check for
 /// [`full_symmetric_eigenvalues`] on small matrices.
-pub fn jacobi_eigenvalues(mut a: DenseMatrix, max_sweeps: usize) -> Result<Vec<f64>, LinalgError> {
+pub fn jacobi_eigenvalues(a: DenseMatrix, max_sweeps: usize) -> Result<Vec<f64>, LinalgError> {
+    jacobi_symmetric_eigen(a, max_sweeps).map(|(d, _)| d)
+}
+
+/// Full eigendecomposition of a dense symmetric matrix via cyclic Jacobi
+/// with rotation accumulation: eigenvalues ascending, `vectors[j]` the unit
+/// eigenvector of `values[j]`.
+///
+/// O(n³) per sweep — intended for the small Rayleigh–Ritz matrices of the
+/// warm-started block-Krylov head ([`crate::topk::block_krylov_topk_warm`]
+/// needs Ritz *vectors*, which the Householder + QL values-only path does
+/// not produce), not for large dense problems.
+pub fn jacobi_symmetric_eigen(
+    mut a: DenseMatrix,
+    max_sweeps: usize,
+) -> Result<(Vec<f64>, Vec<Vec<f64>>), LinalgError> {
     let n = a.n();
     if n == 0 {
         return Err(LinalgError::EmptyInput("matrix"));
     }
     if n == 1 {
-        return Ok(vec![a.get(0, 0)]);
+        return Ok((vec![a.get(0, 0)], vec![vec![1.0]]));
     }
+    // Accumulated rotations: column j of `v` converges to eigenvector j.
+    let mut v = DenseMatrix::zeros(n);
+    for i in 0..n {
+        v.set(i, i, 1.0);
+    }
+    let sorted = |a: &DenseMatrix, v: &DenseMatrix| -> (Vec<f64>, Vec<Vec<f64>>) {
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by(|&x, &y| a.get(x, x).partial_cmp(&a.get(y, y)).expect("finite eigenvalues"));
+        let values = idx.iter().map(|&j| a.get(j, j)).collect();
+        let vectors = idx.iter().map(|&j| (0..n).map(|i| v.get(i, j)).collect()).collect();
+        (values, vectors)
+    };
     let off = |m: &DenseMatrix| -> f64 {
         let mut s = 0.0;
         for i in 0..n {
@@ -65,9 +92,7 @@ pub fn jacobi_eigenvalues(mut a: DenseMatrix, max_sweeps: usize) -> Result<Vec<f
         // sweep performs no rotations (every entry is below the skip
         // threshold — the off-based test alone can stall just above it).
         if off(&a) <= tol {
-            let mut d: Vec<f64> = (0..n).map(|i| a.get(i, i)).collect();
-            d.sort_by(|x, y| x.partial_cmp(y).expect("finite eigenvalues"));
-            return Ok(d);
+            return Ok(sorted(&a, &v));
         }
         let mut rotated = false;
         for p in 0..n {
@@ -94,12 +119,17 @@ pub fn jacobi_eigenvalues(mut a: DenseMatrix, max_sweeps: usize) -> Result<Vec<f
                     a.set(p, k, c * apk - s * aqk);
                     a.set(q, k, s * apk + c * aqk);
                 }
+                // Accumulate into V: V ← V · J(p, q, θ).
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
             }
         }
         if !rotated {
-            let mut d: Vec<f64> = (0..n).map(|i| a.get(i, i)).collect();
-            d.sort_by(|x, y| x.partial_cmp(y).expect("finite eigenvalues"));
-            return Ok(d);
+            return Ok(sorted(&a, &v));
         }
     }
     Err(LinalgError::NonConvergence { routine: "jacobi", max_iters: max_sweeps })
@@ -194,6 +224,54 @@ mod tests {
     fn empty_matrix_is_error() {
         assert!(full_symmetric_eigenvalues(DenseMatrix::zeros(0)).is_err());
         assert!(jacobi_eigenvalues(DenseMatrix::zeros(0), 10).is_err());
+    }
+
+    #[test]
+    fn jacobi_eigen_reconstructs_matrix() {
+        // A == Σ λ_j v_j v_jᵀ and the vectors are orthonormal.
+        for seed in [3u64, 41] {
+            let a = random_symmetric(9, seed);
+            let (vals, vecs) = jacobi_symmetric_eigen(a.clone(), 100).unwrap();
+            let n = a.n();
+            for (j, vj) in vecs.iter().enumerate() {
+                let norm: f64 = vj.iter().map(|x| x * x).sum::<f64>().sqrt();
+                assert!((norm - 1.0).abs() < 1e-9, "vector {j} norm {norm}");
+                for (l, vl) in vecs.iter().enumerate().skip(j + 1) {
+                    let dot: f64 = vj.iter().zip(vl).map(|(x, y)| x * y).sum();
+                    assert!(dot.abs() < 1e-9, "vectors {j},{l} dot {dot}");
+                }
+            }
+            for i in 0..n {
+                for k in 0..n {
+                    let recon: f64 =
+                        vals.iter().zip(&vecs).map(|(lam, vj)| lam * vj[i] * vj[k]).sum();
+                    assert!(
+                        (recon - a.get(i, k)).abs() < 1e-8,
+                        "seed {seed} entry ({i},{k}): {recon} vs {}",
+                        a.get(i, k)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_eigen_values_match_values_only_path() {
+        let a = random_symmetric(11, 23);
+        let vals_only = full_symmetric_eigenvalues(a.clone()).unwrap();
+        let (vals, _) = jacobi_symmetric_eigen(a, 100).unwrap();
+        for (x, y) in vals_only.iter().zip(&vals) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn jacobi_eigen_one_by_one() {
+        let mut a = DenseMatrix::zeros(1);
+        a.set(0, 0, 4.5);
+        let (vals, vecs) = jacobi_symmetric_eigen(a, 10).unwrap();
+        assert_eq!(vals, vec![4.5]);
+        assert_eq!(vecs, vec![vec![1.0]]);
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub use connectivity::{
     natural_connectivity_exact, natural_connectivity_from_eigs, ConnectivityEstimator,
 };
 pub use dense::DenseMatrix;
-pub use eig::{full_symmetric_eigenvalues, jacobi_eigenvalues, sparse_symmetric_eigenvalues};
+pub use eig::{
+    full_symmetric_eigenvalues, jacobi_eigenvalues, jacobi_symmetric_eigen,
+    sparse_symmetric_eigenvalues,
+};
 pub use error::LinalgError;
 pub use lanczos::{
     lanczos_expv, lanczos_expv_in, lanczos_tridiagonalize, lanczos_tridiagonalize_in,
@@ -53,6 +56,8 @@ pub use laplacian::{algebraic_connectivity, algebraic_connectivity_exact, laplac
 pub use matvec::{EdgeOverlay, MatVec};
 pub use rng::{gaussian_vector, probe_vector, probe_vector_in, rademacher_vector, ProbeKind};
 pub use sparse::CsrMatrix;
-pub use topk::{block_krylov_topk, lanczos_topk, spectral_norm};
+pub use topk::{
+    block_krylov_topk, block_krylov_topk_warm, lanczos_topk, spectral_norm, SpectrumHead,
+};
 pub use trace::{hutchinson_trace_exp, hutchpp_trace_exp, PairedTraceEstimator, TraceParams};
 pub use util::logsumexp;

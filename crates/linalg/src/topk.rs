@@ -15,7 +15,7 @@
 use rand::Rng;
 
 use crate::dense::DenseMatrix;
-use crate::eig::full_symmetric_eigenvalues;
+use crate::eig::{full_symmetric_eigenvalues, jacobi_symmetric_eigen};
 use crate::error::LinalgError;
 use crate::lanczos::lanczos_tridiagonalize;
 use crate::matvec::MatVec;
@@ -122,6 +122,109 @@ pub fn block_krylov_topk<M: MatVec + ?Sized, R: Rng + ?Sized>(
     Ok(ritz)
 }
 
+/// Top of a symmetric matrix's spectrum with Ritz vectors, as returned by
+/// [`block_krylov_topk_warm`]: `values` descending, `vectors[j]` the unit
+/// Ritz vector paired with `values[j]` (`vectors` may be shorter than
+/// `values` if the Krylov basis deflated early).
+#[derive(Debug, Clone, Default)]
+pub struct SpectrumHead {
+    /// Top eigenvalue estimates, algebraically largest first.
+    pub values: Vec<f64>,
+    /// Unit Ritz vectors matching `values` front-to-front.
+    pub vectors: Vec<Vec<f64>>,
+}
+
+/// Warm-started variant of [`block_krylov_topk`] that seeds the Krylov
+/// basis from previously converged Ritz vectors and returns the new Ritz
+/// vectors so the *next* call can warm-start in turn.
+///
+/// `warm` holds the previous spectrum head's vectors (any slice, possibly
+/// empty; entries whose length differs from `n` are ignored). Because the
+/// warm vectors already span a near-invariant subspace of a slightly
+/// perturbed matrix, far fewer Krylov columns are needed than the
+/// cold-start's `4k + 48` slack: with a full warm set of `k` vectors this
+/// uses `k + 2·block + 8` columns; each *missing* warm vector buys four
+/// extra columns, so an empty `warm` degrades gracefully to cold-start-like
+/// accuracy at cold-start-like cost.
+pub fn block_krylov_topk_warm<M: MatVec + ?Sized, R: Rng + ?Sized>(
+    a: &M,
+    k: usize,
+    block: usize,
+    warm: &[Vec<f64>],
+    rng: &mut R,
+) -> Result<SpectrumHead, LinalgError> {
+    let n = a.n();
+    if n == 0 {
+        return Err(LinalgError::EmptyInput("matrix"));
+    }
+    if k == 0 {
+        return Ok(SpectrumHead::default());
+    }
+    let b = if block == 0 { 8.min(n).max(1) } else { block.min(n) };
+    // Seed block: previous Ritz vectors first (they deflate to the residual
+    // correction directions after orthogonalization), then fresh Gaussian
+    // probes so a stale or empty warm set still explores the full space.
+    let mut current: Vec<Vec<f64>> = warm.iter().filter(|v| v.len() == n).cloned().collect();
+    let missing = k.saturating_sub(current.len());
+    let target_cols = (k + 2 * b + 8 + 4 * missing).min(n);
+    current.extend((0..b).map(|_| gaussian_vector(rng, n)));
+
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(target_cols);
+    let mut aq: Vec<Vec<f64>> = Vec::with_capacity(target_cols);
+
+    while basis.len() < target_cols && !current.is_empty() {
+        let mut next_block: Vec<Vec<f64>> = Vec::with_capacity(current.len());
+        for mut col in current.drain(..) {
+            orthogonalize_against(&mut col, &basis);
+            orthogonalize_against(&mut col, &basis);
+            let nm = normalize(&mut col);
+            if nm > DEFLATION_TOL {
+                let prod = a.matvec_alloc(&col);
+                basis.push(col);
+                aq.push(prod.clone());
+                next_block.push(prod);
+                if basis.len() >= target_cols {
+                    break;
+                }
+            }
+        }
+        current = next_block;
+    }
+
+    if basis.is_empty() {
+        return Err(LinalgError::EmptyInput("Krylov basis collapsed"));
+    }
+
+    // Rayleigh–Ritz with vectors: T = Qᵀ A Q, eigendecomposed by Jacobi so
+    // the eigenvector matrix W is available; Ritz vector j is Q · w_j.
+    let m = basis.len();
+    let mut t = DenseMatrix::zeros(m);
+    for i in 0..m {
+        for j in i..m {
+            let v: f64 = basis[i].iter().zip(&aq[j]).map(|(x, y)| x * y).sum();
+            t.set(i, j, v);
+            t.set(j, i, v);
+        }
+    }
+    let (tvals, tvecs) = jacobi_symmetric_eigen(t, 200)?;
+    // Ascending → descending; lift the top min(k, m) vectors out of the
+    // subspace.
+    let mut values: Vec<f64> = tvals.iter().rev().copied().collect();
+    values.truncate(k);
+    let keep = k.min(m);
+    let mut vectors: Vec<Vec<f64>> = Vec::with_capacity(keep);
+    for w in tvecs.iter().rev().take(keep) {
+        let mut y = vec![0.0; n];
+        for (qi, wi) in basis.iter().zip(w) {
+            for (yj, qj) in y.iter_mut().zip(qi) {
+                *yj += wi * qj;
+            }
+        }
+        vectors.push(y);
+    }
+    Ok(SpectrumHead { values, vectors })
+}
+
 /// Spectral norm `‖A‖₂` of a symmetric matrix (largest |eigenvalue|),
 /// estimated with a short reorthogonalized Lanczos run.
 pub fn spectral_norm<M: MatVec + ?Sized, R: Rng + ?Sized>(
@@ -219,6 +322,74 @@ mod tests {
         for w in top.windows(2) {
             assert!(w[0] >= w[1] - 1e-12);
         }
+    }
+
+    #[test]
+    fn warm_start_cold_matches_exact() {
+        // Empty warm set: still a valid (cheaper) randomized head.
+        let a = random_graph(60, 150, 77);
+        let exact = sparse_symmetric_eigenvalues(&a).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let k = 8;
+        let head = block_krylov_topk_warm(&a, k, 8, &[], &mut rng).unwrap();
+        assert_eq!(head.values.len(), k);
+        assert_eq!(head.vectors.len(), k);
+        for (i, v) in head.values.iter().enumerate() {
+            let want = exact[exact.len() - 1 - i];
+            assert!((v - want).abs() < 1e-6, "rank {i}: {v} vs {want}");
+        }
+    }
+
+    #[test]
+    fn warm_start_vectors_are_near_eigenvectors() {
+        let a = random_graph(50, 120, 31);
+        let mut rng = StdRng::seed_from_u64(12);
+        let head = block_krylov_topk_warm(&a, 6, 8, &[], &mut rng).unwrap();
+        for (lam, y) in head.values.iter().zip(&head.vectors) {
+            let norm: f64 = y.iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-8, "Ritz vector norm {norm}");
+            let ay = a.matvec_alloc(y);
+            let resid: f64 =
+                ay.iter().zip(y).map(|(r, yi)| (r - lam * yi).powi(2)).sum::<f64>().sqrt();
+            assert!(resid < 1e-5, "residual ‖Ay − λy‖ = {resid} for λ = {lam}");
+        }
+    }
+
+    #[test]
+    fn warm_start_reuses_previous_head() {
+        // Second call seeded by the first call's vectors stays accurate on
+        // the same matrix (the subspace is already invariant).
+        let a = random_graph(60, 150, 55);
+        let exact = sparse_symmetric_eigenvalues(&a).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let k = 8;
+        let first = block_krylov_topk_warm(&a, k, 8, &[], &mut rng).unwrap();
+        let second = block_krylov_topk_warm(&a, k, 8, &first.vectors, &mut rng).unwrap();
+        for (i, v) in second.values.iter().enumerate() {
+            let want = exact[exact.len() - 1 - i];
+            assert!((v - want).abs() < 1e-6, "rank {i}: {v} vs {want}");
+        }
+    }
+
+    #[test]
+    fn warm_start_tolerates_garbage_basis() {
+        // Wrong-length and zero warm vectors are ignored / deflated away.
+        let a = random_graph(40, 90, 91);
+        let mut rng = StdRng::seed_from_u64(3);
+        let garbage = vec![vec![0.0; 40], vec![1.0; 13], Vec::new()];
+        let head = block_krylov_topk_warm(&a, 5, 4, &garbage, &mut rng).unwrap();
+        assert_eq!(head.values.len(), 5);
+        for w in head.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn warm_start_k_zero_is_empty() {
+        let a = complete_graph(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let head = block_krylov_topk_warm(&a, 0, 2, &[], &mut rng).unwrap();
+        assert!(head.values.is_empty() && head.vectors.is_empty());
     }
 
     #[test]

@@ -16,7 +16,8 @@
 //! * `augment --city city.json [--k N] [--no-bound true]` — k-edge
 //!   connectivity augmentation with Golden–Thompson pruning (paper §8);
 //! * `serve --city city.json [--requests N] [--threads N]
-//!   [--commit-every N] [--chaos SEED]` — the concurrent planning service:
+//!   [--commit-every N] [--chaos SEED] [--refresh exact|approximate]` —
+//!   the concurrent planning service:
 //!   worker threads check out sessions from one published snapshot
 //!   ([`crate::core::ServeState`]), race what-if plans, and optionally
 //!   funnel commits through the single-writer queue; reports throughput,
@@ -34,7 +35,8 @@ use std::collections::HashMap;
 
 use crate::core::{
     augment_connectivity, evaluate_plan, fault, AugmentParams, CommitOutcome, CommitTicket,
-    CtBusParams, FailPlan, Planner, PlannerMode, PlanningSession, ServeState, SiteParams,
+    CtBusParams, FailPlan, Planner, PlannerMode, PlanningSession, RefreshPolicy, ServeState,
+    SiteParams,
 };
 use crate::data::{
     load_city_json, save_city_json, City, CityConfig, DemandModel, GeoJsonExporter, GtfsFeed,
@@ -74,7 +76,7 @@ USAGE:
   ctbus sites    --city city.json [--n N] [--w F] [--walk M] [--gap M] [--routes N]
   ctbus augment  --city city.json [--k N] [--pool N] [--no-bound true]
   ctbus serve    --city city.json [--requests N] [--threads N] [--commit-every N]
-                 [--chaos SEED]
+                 [--chaos SEED] [--refresh exact|approximate]
                  [--k N] [--w F] [--mode eta|eta-pre|vk-tsp]
   ctbus gtfs-export --city city.json --out <dir>
   ctbus gtfs-import --gtfs <dir> --city city.json [--out city2.json]
@@ -422,12 +424,25 @@ impl Cli {
                 // (0 = read-only what-if traffic).
                 let commit_every: usize = self.get("commit-every")?.unwrap_or(0);
                 let chaos_seed: Option<u64> = self.get("chaos")?;
+                let refresh = match self.get::<String>("refresh")?.as_deref() {
+                    None | Some("exact") => RefreshPolicy::Exact,
+                    Some("approximate") => RefreshPolicy::approximate(),
+                    Some(other) => {
+                        return Err(UsageError(format!(
+                            "--refresh wants exact|approximate, got `{other}`"
+                        )));
+                    }
+                };
                 if threads == 0 {
                     return Err(UsageError("--threads must be ≥ 1".into()));
                 }
                 let demand = DemandModel::from_city(&city);
                 writeln!(out, "building initial snapshot…").map_err(w)?;
-                let mut serve_state = ServeState::new(city, demand, params);
+                let mut serve_state = ServeState::new(city, demand, params).with_refresh(refresh);
+                if !refresh.is_exact() {
+                    writeln!(out, "approximate refresh tier: commits skip the full Δ re-sweep")
+                        .map_err(w)?;
+                }
                 // Chaos mode: a panic at every registered failpoint (the
                 // snapshot-swap one fires holding the write lock) plus a
                 // seeded batch of extras — same hit-count determinism as

@@ -16,11 +16,66 @@ pub struct VecStrategy<S> {
     len: Range<usize>,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let n = rng.gen_range(self.len.clone());
         (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        // Structural first — shorter vectors simplify more than smaller
+        // elements: halve, then drop one, never below the minimum length.
+        let min = self.len.start;
+        if value.len() > min {
+            let half = (value.len() / 2).max(min);
+            if half < value.len() {
+                out.push(value[..half].to_vec());
+            }
+            if value.len() - 1 > half {
+                out.push(value[..value.len() - 1].to_vec());
+            }
+        }
+        // Then element-wise: each position's first (most aggressive)
+        // element-shrink candidate, holding the rest fixed.
+        for (i, element) in value.iter().enumerate() {
+            if let Some(candidate) = self.element.shrink(element).into_iter().next() {
+                let mut next = value.clone();
+                next[i] = candidate;
+                out.push(next);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_shrink_truncates_and_shrinks_elements() {
+        let s = vec(0u32..100, 2..10);
+        let failing = std::vec![50u32, 60, 70, 80];
+        let candidates = s.shrink(&failing);
+        assert!(candidates.contains(&std::vec![50, 60]), "halving candidate");
+        assert!(candidates.contains(&std::vec![50, 60, 70]), "drop-last candidate");
+        // Element-wise candidates move exactly one slot toward 0.
+        assert!(candidates.contains(&std::vec![0, 60, 70, 80]));
+        assert!(candidates.iter().all(|c| c.len() >= 2), "minimum length respected");
+    }
+
+    #[test]
+    fn vec_shrink_at_minimum_length_only_shrinks_elements() {
+        let s = vec(0u32..100, 2..10);
+        let candidates = s.shrink(&std::vec![3u32, 4]);
+        assert!(candidates.iter().all(|c| c.len() == 2), "{candidates:?}");
+        assert!(!candidates.is_empty());
+        assert!(s.shrink(&std::vec![0u32, 0]).is_empty(), "fully shrunk vec proposes nothing");
     }
 }

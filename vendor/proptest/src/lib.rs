@@ -10,10 +10,15 @@
 //!   strategies up to arity 6, [`Just`], and [`collection::vec`];
 //! * [`prop_assert!`], [`prop_assert_eq!`], and [`prop_assume!`].
 //!
-//! **No shrinking**: on failure the offending inputs are reported via the
-//! case's deterministic seed instead of being minimized. Each test runs
-//! `PROPTEST_CASES` cases (default 32), seeded from the test name, so runs
-//! are reproducible.
+//! **Shrinking** is minimal but real: integer and index strategies shrink a
+//! failing value toward the low end of their range (floor, midpoint, then
+//! single steps), tuples shrink component-wise, and [`collection::vec`]
+//! truncates before shrinking elements. Floats and `prop_map`/
+//! `prop_flat_map` outputs don't shrink (the mapping can't be inverted) —
+//! for those the case's deterministic seed is still reported. Each test
+//! runs `PROPTEST_CASES` cases (default 32), seeded from the test name, so
+//! runs are reproducible; failures panic with the seed, the failure
+//! message, and the minimal counterexample found.
 
 pub mod collection;
 pub mod runner;
@@ -41,15 +46,25 @@ macro_rules! proptest {
         $(
             $(#[$meta])*
             fn $name() {
-                $crate::runner::run_cases($config, stringify!($name), |__pt_rng| {
-                    $(let $arg = $crate::Strategy::generate(&($strategy), __pt_rng);)+
-                    let __pt_out: ::std::result::Result<(), $crate::runner::TestCaseError> =
-                        (|| {
-                            $body
-                            ::std::result::Result::Ok(())
-                        })();
-                    __pt_out
-                })
+                // One tuple strategy over all bindings: components are
+                // drawn in declaration order (the same RNG stream the
+                // sequential form used), and a failing tuple shrinks
+                // component-wise.
+                let __pt_strategy = ($(($strategy),)+);
+                $crate::runner::run_cases_shrink(
+                    $config,
+                    stringify!($name),
+                    &__pt_strategy,
+                    |__pt_case| {
+                        let ($($arg,)+) = __pt_case;
+                        let __pt_out: ::std::result::Result<(), $crate::runner::TestCaseError> =
+                            (|| {
+                                $body
+                                ::std::result::Result::Ok(())
+                            })();
+                        __pt_out
+                    },
+                )
             }
         )*
     };

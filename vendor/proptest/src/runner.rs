@@ -1,6 +1,6 @@
 //! Case runner for the [`proptest!`](crate::proptest) macro.
 
-use crate::strategy::TestRng;
+use crate::strategy::{Strategy, TestRng};
 use rand::SeedableRng;
 
 /// Outcome of one generated case.
@@ -41,17 +41,25 @@ impl ProptestConfig {
     }
 }
 
+fn case_count(config: &ProptestConfig) -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(config.cases as usize)
+}
+
 /// Runs `f` over deterministic cases (count from `config`, overridable via
 /// the `PROPTEST_CASES` environment variable), panicking on the first
 /// failure with enough information to replay it.
+///
+/// No shrinking: `f` draws its own values from the RNG, so the runner has
+/// nothing to minimize. The [`proptest!`](crate::proptest) macro goes
+/// through [`run_cases_shrink`] instead.
 pub fn run_cases<F>(config: ProptestConfig, name: &str, mut f: F)
 where
     F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
 {
-    let want = std::env::var("PROPTEST_CASES")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(config.cases as usize);
+    let want = case_count(&config);
     let base = fnv1a(name);
     let mut ran = 0usize;
     let mut rejected = 0usize;
@@ -80,4 +88,105 @@ where
             }
         }
     }
+}
+
+/// Evaluation budget for one shrink session: candidates *tried*, not
+/// accepted. Bounds runaway shrinking on expensive properties.
+const MAX_SHRINK_EVALS: usize = 1024;
+
+/// Like [`run_cases`], but the runner draws values from `strategy` itself
+/// and, when a case fails, greedily minimizes it with
+/// [`Strategy::shrink`] before panicking: take the first candidate that
+/// still fails, restart from it, stop when no candidate fails (or the
+/// evaluation budget runs out). The panic reports the seed of the
+/// original failure *and* the minimal counterexample.
+///
+/// Panics inside `f` count as failures (so a genuine `panic!`/index-out-
+/// of-bounds in the property body shrinks too, not just `prop_assert!`);
+/// `Reject` during shrinking just discards the candidate.
+pub fn run_cases_shrink<S, F>(config: ProptestConfig, name: &str, strategy: &S, mut f: F)
+where
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut run = |value: S::Value| -> Result<(), TestCaseError> {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(value))) {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "property body panicked".into());
+                Err(TestCaseError::Fail(format!("panic: {msg}")))
+            }
+        }
+    };
+
+    let want = case_count(&config);
+    let base = fnv1a(name);
+    let mut ran = 0usize;
+    let mut rejected = 0usize;
+    let max_rejects = want.saturating_mul(20).max(1000);
+    let mut attempt = 0u64;
+    while ran < want {
+        let seed = base.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        attempt += 1;
+        let mut rng = TestRng::seed_from_u64(seed);
+        let value = strategy.generate(&mut rng);
+        match run(value.clone()) {
+            Ok(()) => ran += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "proptest `{name}`: too many prop_assume! rejections \
+                         ({rejected}) before completing {want} cases"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                let (minimal, final_msg, steps) = minimize(strategy, value, msg, &mut run);
+                panic!(
+                    "proptest `{name}` failed (case {n} of {want}, seed {seed:#x}):\n\
+                     {final_msg}\nminimal counterexample ({steps} shrink step(s)): {minimal:?}",
+                    n = ran + 1
+                );
+            }
+        }
+    }
+}
+
+/// The greedy shrink loop: returns the smallest still-failing value, its
+/// failure message, and how many accepted shrink steps led there.
+fn minimize<S, F>(
+    strategy: &S,
+    mut value: S::Value,
+    mut msg: String,
+    run: &mut F,
+) -> (S::Value, String, usize)
+where
+    S: Strategy,
+    S::Value: Clone,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut steps = 0usize;
+    let mut evals = 0usize;
+    'outer: while evals < MAX_SHRINK_EVALS {
+        for candidate in strategy.shrink(&value) {
+            if evals >= MAX_SHRINK_EVALS {
+                break 'outer;
+            }
+            evals += 1;
+            if let Err(TestCaseError::Fail(candidate_msg)) = run(candidate.clone()) {
+                value = candidate;
+                msg = candidate_msg;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break; // no candidate still fails: `value` is locally minimal
+    }
+    (value, msg, steps)
 }

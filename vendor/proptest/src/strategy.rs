@@ -1,4 +1,4 @@
-//! Value-generation strategies (no shrinking).
+//! Value-generation strategies with minimal shrinking.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SampleRange};
@@ -14,6 +14,19 @@ pub trait Strategy {
 
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes simpler candidates to try in place of a failing `value`,
+    /// ordered most-aggressive first (the runner takes the first candidate
+    /// that still fails and iterates). Every candidate must be strictly
+    /// "smaller" than `value` in some well-founded order, or the shrink
+    /// loop could cycle; the default proposes nothing, which is always
+    /// sound. Mapped strategies ([`Strategy::prop_map`],
+    /// [`Strategy::prop_flat_map`]) cannot invert their closures and keep
+    /// the default.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 
     /// Transforms generated values with `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -76,7 +89,61 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
-macro_rules! range_strategy {
+macro_rules! int_shrink_toward {
+    ($low:expr, $v:expr) => {{
+        let low = $low;
+        let v = $v;
+        let mut out = Vec::new();
+        if v != low {
+            // Jump to the floor, then halve the distance, then step by one:
+            // big leaps find the neighborhood fast, the final decrement
+            // pins the exact boundary. All candidates are in [low, v).
+            out.push(low);
+            let mid = low + (v - low) / 2;
+            if !out.contains(&mid) {
+                out.push(mid);
+            }
+            let prev = v - 1;
+            if !out.contains(&prev) {
+                out.push(prev);
+            }
+        }
+        out
+    }};
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                self.clone().sample_one(rng)
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_toward!(self.start, *value)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                self.clone().sample_one(rng)
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_shrink_toward!(*self.start(), *value)
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// Floats don't shrink: there is no obviously well-founded step (halving
+// the distance to the floor never terminates), and the failing value plus
+// its seed is already reproducible.
+macro_rules! float_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
             type Value = $t;
@@ -94,15 +161,32 @@ macro_rules! range_strategy {
         }
     )*};
 }
-range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+float_range_strategy!(f32, f64);
 
 macro_rules! tuple_strategy {
     ($(($($name:ident : $idx:tt),+))*) => {$(
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
 
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // Component-wise: shrink one coordinate at a time, holding
+                // the others fixed.
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )*};
@@ -122,6 +206,10 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
         (**self).generate(rng)
     }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for Box<S> {
@@ -129,6 +217,10 @@ impl<S: Strategy + ?Sized> Strategy for Box<S> {
 
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
         (**self).generate(rng)
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
     }
 }
 
@@ -148,5 +240,57 @@ impl<T: Clone> Strategy for SampleFrom<T> {
     fn generate(&self, rng: &mut TestRng) -> T {
         assert!(!self.choices.is_empty(), "sample_from needs at least one choice");
         self.choices[rng.gen_range(0..self.choices.len())].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_shrink_moves_strictly_toward_low() {
+        let s = 3u32..100;
+        assert_eq!(s.shrink(&3), Vec::<u32>::new());
+        let candidates = s.shrink(&50);
+        assert!(!candidates.is_empty());
+        assert!(candidates.iter().all(|&c| (3..50).contains(&c)), "{candidates:?}");
+        assert_eq!(candidates[0], 3, "first candidate jumps to the floor");
+        assert!(candidates.contains(&49), "single-step candidate present");
+    }
+
+    #[test]
+    fn inclusive_and_signed_shrink_respect_their_floor() {
+        let s = -5i64..=5;
+        let candidates = s.shrink(&5);
+        assert!(candidates.iter().all(|&c| (-5..5).contains(&c)), "{candidates:?}");
+        assert_eq!(candidates[0], -5);
+        assert_eq!(s.shrink(&-5), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn shrink_candidates_are_distinct() {
+        // value = low + 1: floor, midpoint, and decrement all coincide.
+        assert_eq!((7u8..20).shrink(&8), vec![7]);
+        assert_eq!((0usize..9).shrink(&2), vec![0, 1]);
+    }
+
+    #[test]
+    fn float_ranges_do_not_shrink() {
+        assert!((0.0f64..10.0).shrink(&5.0).is_empty());
+        assert!((0.0f32..=1.0).shrink(&0.5).is_empty());
+    }
+
+    #[test]
+    fn tuple_shrink_is_component_wise() {
+        let s = (0u32..10, 5i32..9);
+        let candidates = s.shrink(&(4, 7));
+        assert!(!candidates.is_empty());
+        for (a, b) in &candidates {
+            // Exactly one coordinate moved, strictly toward its floor.
+            let first_moved = *a < 4 && *b == 7;
+            let second_moved = *a == 4 && (5..7).contains(b);
+            assert!(first_moved || second_moved, "candidate ({a}, {b})");
+        }
+        assert_eq!(s.shrink(&(0, 5)), Vec::new());
     }
 }

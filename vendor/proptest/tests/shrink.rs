@@ -1,0 +1,68 @@
+//! End-to-end shrinking: deliberately failing properties must panic with a
+//! *minimal* counterexample, not just whatever the RNG drew.
+
+use proptest::prelude::*;
+
+// Defined through the real macro (no `#[test]` attribute — they are driven
+// manually under `catch_unwind` because they are supposed to fail).
+proptest! {
+    fn fails_at_ten_or_more(v in 0u32..1000) {
+        prop_assert!(v < 10, "v = {v}");
+    }
+
+    fn fails_on_long_vecs(xs in proptest::collection::vec(0u8..50, 0..40)) {
+        prop_assert!(xs.len() < 3);
+    }
+
+    fn panics_not_asserts(v in 0usize..500) {
+        let data = [0u8; 100];
+        // Genuine out-of-bounds panic for v >= 100 — shrinking must handle
+        // panics, not just prop_assert failures.
+        std::hint::black_box(data[v]);
+    }
+}
+
+fn failure_message(f: fn()) -> String {
+    let err = std::panic::catch_unwind(f).expect_err("property was supposed to fail");
+    err.downcast_ref::<String>().cloned().expect("proptest panics carry a String message")
+}
+
+#[test]
+fn integer_counterexample_shrinks_to_boundary() {
+    let msg = failure_message(fails_at_ten_or_more);
+    assert!(
+        msg.contains("minimal counterexample") && msg.contains("(10,)"),
+        "expected the exact boundary 10, got:\n{msg}"
+    );
+}
+
+#[test]
+fn vec_counterexample_shrinks_to_minimal_length() {
+    let msg = failure_message(fails_on_long_vecs);
+    // Minimal failing input is any 3-element vec; element-wise shrinking
+    // drives every entry to 0.
+    assert!(
+        msg.contains("minimal counterexample") && msg.contains("([0, 0, 0],)"),
+        "expected a minimal 3-element vec of zeros, got:\n{msg}"
+    );
+}
+
+#[test]
+fn panicking_body_shrinks_to_boundary() {
+    let msg = failure_message(panics_not_asserts);
+    assert!(
+        msg.contains("panic: ") && msg.contains("(100,)"),
+        "expected the exact boundary 100, got:\n{msg}"
+    );
+}
+
+#[test]
+fn passing_property_still_passes() {
+    proptest! {
+        #[allow(clippy::absurd_extreme_comparisons)]
+        fn in_range(v in 5u32..50) {
+            prop_assert!((5..50).contains(&v));
+        }
+    }
+    in_range();
+}
