@@ -192,6 +192,7 @@ pub(crate) fn execute_plan(
     mode: PlannerMode,
     threads: usize,
 ) -> RunResult {
+    // ctlint::allow(wall-clock): runtime_secs is reporting-only output, excluded from the bit-identity contract
     let t0 = Instant::now();
     let cfg = mode.config();
     let w = cfg.w_override.unwrap_or(params.w);

@@ -619,6 +619,7 @@ fn steal_loop(shared: &PoolShared, ctx: &mut ExpandCtx<'_>) {
         if i >= batch.len() {
             break;
         }
+        // ctlint::allow(lock-discipline): the read guard is the batch borrow itself — writers only run between epochs, fenced by the barriers
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.run_item(&batch[i]))) {
             Ok(out) => local.push((i, out)),
             Err(payload) => {

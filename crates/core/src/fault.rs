@@ -167,6 +167,7 @@ impl FailPlan {
             return plan;
         }
         for _ in 0..faults {
+            // ctlint::allow(panic-path): index is modulo-bounded by len; the empty case returned above
             let site = sites[(next() % sites.len() as u64) as usize];
             let nth = 1 + next() % horizon.max(1);
             let action = match next() % 3 {
@@ -287,6 +288,7 @@ impl FaultInjector {
         match action {
             FaultAction::Panic => {
                 self.panics.fetch_add(1, Ordering::Relaxed);
+                // ctlint::allow(panic-path): the injected panic IS the fault being tested; serve's catch_unwind is the consumer
                 panic!("injected fault at {site} (hit {hit})");
             }
             FaultAction::Delay { millis } => {
@@ -334,6 +336,7 @@ pub fn hit(faults: &Option<Arc<FaultInjector>>, site: &str) -> Result<(), FaultE
 pub(crate) fn hit_or_panic(faults: &Option<Arc<FaultInjector>>, site: &str) {
     if let Some(injector) = faults {
         if let Err(e) = injector.check(site) {
+            // ctlint::allow(panic-path): documented escalation — the commit path has no error channel and serve catches the unwind
             panic!("{e}");
         }
     }

@@ -134,6 +134,7 @@ impl Precomputed {
         params: &CtBusParams,
         method: DeltaMethod,
     ) -> Precomputed {
+        // ctlint::allow(wall-clock): stage timing feeds RunResult reporting only; no algorithmic decision reads it
         let t0 = Instant::now();
         let candidates = CandidateSet::build(city, demand, params.tau_m, params.max_detour_factor);
         let shortest_path_secs = t0.elapsed().as_secs_f64();
@@ -146,6 +147,7 @@ impl Precomputed {
             .expect("base trace estimation succeeds")
             .max(f64::MIN_POSITIVE);
 
+        // ctlint::allow(wall-clock): reported as delta_secs only, never read back by the kernels
         let t1 = Instant::now();
         let delta = match method {
             DeltaMethod::PairedProbes => compute_deltas_with_threads(

@@ -538,6 +538,7 @@ impl ServeState {
         // apply works exclusively on session-local copy-on-write state —
         // the only shared mutation is the final whole-Arc swap, and the
         // counters touched on the way out are monotone atomics.
+        // ctlint::allow(lock-discipline): single-writer by design — `_writer` exists to serialize apply_and_publish, and the overload gates above bound the wait
         match panic::catch_unwind(AssertUnwindSafe(|| self.apply_and_publish(&base, &ticket.plan)))
         {
             Ok(Ok((generation, summary))) => {
@@ -661,13 +662,14 @@ pub fn validate_ticket(plan: &RoutePlan, base: &Snapshot) -> Result<(), String> 
         }
     }
     let lookup = cands.pair_lookup();
-    for (i, hop) in plan.stops.windows(2).enumerate() {
-        let key = (hop[0].min(hop[1]), hop[0].max(hop[1]));
-        if lookup.get(&key) != Some(&plan.cand_edges[i]) {
-            return Err(format!(
-                "hop {}–{} does not resolve to claimed candidate id {}",
-                hop[0], hop[1], plan.cand_edges[i]
-            ));
+    for (hop, &claimed) in plan.stops.windows(2).zip(&plan.cand_edges) {
+        let (u, v) = match hop {
+            &[u, v] => (u, v),
+            _ => continue, // windows(2) always yields pairs
+        };
+        let key = (u.min(v), u.max(v));
+        if lookup.get(&key) != Some(&claimed) {
+            return Err(format!("hop {u}–{v} does not resolve to claimed candidate id {claimed}"));
         }
     }
     let mut promoted = std::collections::HashSet::new();

@@ -404,6 +404,7 @@ impl PlanningSession {
         //    the route's new hops in first-occurrence order — the order
         //    `with_route_added` appended them, hence the order a rebuild's
         //    candidate scan would encounter them in.
+        // ctlint::allow(wall-clock): refresh_secs is commit-summary reporting only; the refresh math never reads the clock
         let t0 = Instant::now();
         // The approximate tier carries the previous sweep forward, so the
         // old Δ vector and Ritz basis must be lifted out before the pool

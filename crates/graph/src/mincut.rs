@@ -8,7 +8,7 @@
 //! module supplies the measure itself via the Stoer–Wagner algorithm
 //! (maximum-adjacency search with supernode merging, `O(V·E·log V)`).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::dijkstra::WeightedGraph;
 
@@ -42,7 +42,9 @@ pub fn global_min_cut(num_nodes: usize, edges: &[(u32, u32, f64)]) -> Option<Min
         return None;
     }
     // Supernode adjacency; `members[v]` are the original nodes merged in.
-    let mut adj: Vec<HashMap<u32, f64>> = vec![HashMap::new(); num_nodes];
+    // BTreeMap so maximum-adjacency ties break by node id, never by hash
+    // order — phase output feeds the bit-identity contract.
+    let mut adj: Vec<BTreeMap<u32, f64>> = vec![BTreeMap::new(); num_nodes];
     for &(u, v, w) in edges {
         assert!(
             (u as usize) < num_nodes && (v as usize) < num_nodes,

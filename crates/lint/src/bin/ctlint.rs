@@ -1,0 +1,105 @@
+//! `ctlint` — the workspace lint gate.
+//!
+//! Usage: `ctlint [--root <path>] [--list-rules]`
+//!
+//! Lints every `.rs` file under `<root>/src` and `<root>/crates/*/src`
+//! with the workspace policy ([`ct_lint::Config::workspace`]) and exits
+//! nonzero when any unsuppressed finding remains. With no `--root`, the
+//! workspace root is found by walking up from the current directory to
+//! the first `Cargo.toml` containing `[workspace]`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use ct_lint::{rule, Config, Linter};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("ctlint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => {
+                for r in rule::SUPPRESSIBLE {
+                    println!("{r}");
+                }
+                println!("{}", rule::BAD_ALLOW);
+                println!("{}", rule::UNUSED_ALLOW);
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("ctlint: unknown argument `{other}` (usage: ctlint [--root <path>] [--list-rules])");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("ctlint: no workspace root found (run inside the repo or pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let files = match ct_lint::workspace_files(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("ctlint: cannot enumerate sources under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let mut linter = Linter::new(Config::workspace());
+    let mut checked = 0usize;
+    for path in &files {
+        let rel = relative(path, &root);
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("ctlint: cannot read {rel}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        linter.check_file(&rel, &src);
+        checked += 1;
+    }
+    let findings = linter.finish();
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("ctlint: {checked} files clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("ctlint: {} finding(s) in {checked} files", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Workspace-relative path with forward slashes (rule scoping keys on it).
+fn relative(path: &Path, root: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
+}
+
+/// Walks up from the current directory to a `Cargo.toml` declaring
+/// `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

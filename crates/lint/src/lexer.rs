@@ -1,0 +1,450 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The rule engine needs exactly enough lexical structure to reason about
+//! token *sequences* without being fooled by the classic text-scan traps:
+//! `"call .unwrap() on it"` inside a string literal, `unwrap` inside a
+//! comment, `'a` lifetimes versus `'a'` char literals, nested block
+//! comments, and raw strings. It does **not** parse Rust — rules work on
+//! the token stream with lightweight bracket/brace matching.
+//!
+//! Single-character punctuation is emitted as individual tokens (`::` is
+//! two `:` tokens); rules match on token sequences, so multi-character
+//! operators never need to exist as units.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (see [`is_keyword`]).
+    Ident,
+    /// A lifetime such as `'a` (the leading `'` is included in the text).
+    Lifetime,
+    /// Integer or float literal, including suffixes (`1_000u32`, `1.0e-12`).
+    Num,
+    /// String literal of any flavor: `"…"`, `r"…"`, `r#"…"#`, `b"…"`,
+    /// `br#"…"#`, including the quotes/hashes.
+    Str,
+    /// Character or byte literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// A single punctuation character.
+    Punct,
+    /// `// …` comment (doc comments included), without the newline.
+    LineComment,
+    /// `/* … */` comment, nesting handled.
+    BlockComment,
+}
+
+/// One token: kind, source text, and the 1-based line it starts on.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok<'a> {
+    /// Token class.
+    pub kind: TokKind,
+    /// Exact source slice.
+    pub text: &'a str,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+impl<'a> Tok<'a> {
+    /// True iff this token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// True iff this token is a punctuation character equal to `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.starts_with(c)
+    }
+
+    /// True iff this token is a comment (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Rust keywords (2021 edition, strict + reserved that matter lexically).
+/// Used to distinguish `arr[i]` indexing from `in [a, b]` array literals.
+pub fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "as" | "async"
+            | "await"
+            | "break"
+            | "const"
+            | "continue"
+            | "crate"
+            | "dyn"
+            | "else"
+            | "enum"
+            | "extern"
+            | "false"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "self"
+            | "Self"
+            | "static"
+            | "struct"
+            | "super"
+            | "trait"
+            | "true"
+            | "type"
+            | "unsafe"
+            | "use"
+            | "where"
+            | "while"
+    )
+}
+
+/// Tokenizes `src`. Unterminated constructs (string, block comment) are
+/// closed at end of input rather than reported — the linter's job is to
+/// scan code that already compiles, so error recovery just needs to not
+/// loop forever.
+pub fn tokenize(src: &str) -> Vec<Tok<'_>> {
+    Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, out: Vec::new() }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Tok<'a>>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Tok<'a>> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let b = self.bytes[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => {
+                    self.take_line_comment(start, line);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.take_block_comment(start, line);
+                }
+                b'r' | b'b' if self.raw_or_byte_string(start, line) => {}
+                b'"' => self.take_string(start, line),
+                b'\'' => self.take_char_or_lifetime(start, line),
+                b'0'..=b'9' => self.take_number(start, line),
+                _ if is_ident_start(b) => self.take_ident(start, line),
+                _ => {
+                    // One punctuation byte (multi-byte UTF-8 chars inside
+                    // code can only appear in idents/strings, both handled
+                    // above; anything else is punctuation-like noise).
+                    let len = utf8_len(b);
+                    self.pos += len;
+                    self.push(TokKind::Punct, start, line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, line: u32) {
+        self.out.push(Tok { kind, text: &self.src[start..self.pos], line });
+    }
+
+    fn bump_line_counting(&mut self, upto: usize) {
+        while self.pos < upto {
+            if self.bytes[self.pos] == b'\n' {
+                self.line += 1;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn take_line_comment(&mut self, start: usize, line: u32) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.push(TokKind::LineComment, start, line);
+    }
+
+    fn take_block_comment(&mut self, start: usize, line: u32) {
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                if self.bytes[self.pos] == b'\n' {
+                    self.line += 1;
+                }
+                self.pos += 1;
+            }
+        }
+        self.push(TokKind::BlockComment, start, line);
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br"…"`, `br#"…"#`, `b'x'`, and
+    /// raw identifiers (`r#match`). Returns false when the `r`/`b` starts
+    /// a plain identifier, leaving the position untouched.
+    fn raw_or_byte_string(&mut self, start: usize, line: u32) -> bool {
+        let b0 = self.bytes[self.pos];
+        let mut i = self.pos + 1;
+        if b0 == b'b' {
+            match self.bytes.get(i) {
+                Some(b'\'') => {
+                    self.pos += 1; // consume the b; take_char handles 'x'
+                    self.take_char_or_lifetime(start, line);
+                    return true;
+                }
+                Some(b'"') => {
+                    self.pos += 1;
+                    self.take_string(start, line);
+                    return true;
+                }
+                Some(b'r') => i += 1, // maybe br"…" / br#"…"#
+                _ => return false,
+            }
+        }
+        // At this point we are after `r` (or `br`): raw string or raw ident.
+        let mut hashes = 0usize;
+        while self.bytes.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        if self.bytes.get(i) == Some(&b'"') {
+            // Raw string: scan for `"` followed by `hashes` hashes.
+            let mut j = i + 1;
+            while j < self.bytes.len() {
+                if self.bytes[j] == b'"' && self.bytes[j + 1..].starts_with(&b"#".repeat(hashes)) {
+                    j += 1 + hashes;
+                    break;
+                }
+                j += 1;
+                if j == self.bytes.len() {
+                    break; // unterminated: close at EOF
+                }
+            }
+            self.bump_line_counting(j);
+            self.push(TokKind::Str, start, line);
+            true
+        } else if hashes > 0 && self.bytes.get(i).copied().is_some_and(is_ident_start) {
+            // Raw identifier r#name: emit as Ident including the r#.
+            self.pos = i;
+            while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+                self.pos += 1;
+            }
+            self.push(TokKind::Ident, start, line);
+            true
+        } else {
+            false // plain identifier starting with r/b
+        }
+    }
+
+    fn take_string(&mut self, start: usize, line: u32) {
+        self.pos += 1; // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.pos = self.pos.min(self.bytes.len());
+        self.push(TokKind::Str, start, line);
+    }
+
+    fn take_char_or_lifetime(&mut self, start: usize, line: u32) {
+        // 'a  → lifetime, 'a' → char, '\n' → char, '_ → lifetime.
+        let after = self.pos + 1;
+        let is_lifetime = match self.bytes.get(after) {
+            Some(&c) if is_ident_start(c) => self.bytes.get(after + 1) != Some(&b'\''),
+            _ => false,
+        };
+        if is_lifetime {
+            self.pos = after;
+            while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+                self.pos += 1;
+            }
+            self.push(TokKind::Lifetime, start, line);
+            return;
+        }
+        self.pos += 1; // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2,
+                b'\'' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.pos += utf8_len(self.bytes[self.pos]),
+            }
+        }
+        self.pos = self.pos.min(self.bytes.len());
+        self.push(TokKind::Char, start, line);
+    }
+
+    fn take_number(&mut self, start: usize, line: u32) {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.pos += 1;
+                // Exponent sign: 1e-12 / 1E+3.
+                if (b == b'e' || b == b'E')
+                    && start + 1 < self.pos // not the leading digit
+                    && matches!(self.peek(0), Some(b'+') | Some(b'-'))
+                    && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    self.pos += 1;
+                }
+            } else if b == b'.'
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                && !self.src[start..self.pos].contains('.')
+            {
+                self.pos += 1; // 1.5 but not 1..5 and not 1.0.0
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, start, line);
+    }
+
+    fn take_ident(&mut self, start: usize, line: u32) {
+        while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+        self.push(TokKind::Ident, start, line);
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        tokenize(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_numbers_punct() {
+        let toks = kinds("let x = 42 + y_2;");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "let"),
+                (TokKind::Ident, "x"),
+                (TokKind::Punct, "="),
+                (TokKind::Num, "42"),
+                (TokKind::Punct, "+"),
+                (TokKind::Ident, "y_2"),
+                (TokKind::Punct, ";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "call .unwrap() now";"#);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && *t == "unwrap"));
+    }
+
+    #[test]
+    fn escaped_quotes_and_raw_strings() {
+        let toks = kinds(r##"("a\"b", r"no\escape", r#"has "quotes""#, b"bytes")"##);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 4);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds(r"fn f<'a>(x: &'a str) { let c = 'x'; let n = '\n'; let u = '_'; }");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 3);
+    }
+
+    #[test]
+    fn comments_line_block_nested() {
+        let toks = kinds("a // unwrap() here\nb /* outer /* inner */ still */ c");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::LineComment).count(), 1);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::BlockComment).count(), 1);
+        let idents: Vec<&str> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Ident).map(|(_, t)| *t).collect();
+        assert_eq!(idents, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nlines\"\nb /* c\nd */ e";
+        let toks = tokenize(src);
+        let line_of = |text: &str| toks.iter().find(|t| t.text.contains(text)).map(|t| t.line);
+        assert_eq!(line_of("a"), Some(1));
+        assert_eq!(line_of("two"), Some(2));
+        assert_eq!(line_of("b"), Some(4));
+        assert_eq!(toks.iter().find(|t| t.text == "e").map(|t| t.line), Some(5));
+    }
+
+    #[test]
+    fn numbers_with_exponents_and_ranges() {
+        let toks = kinds("1.0e-12 0x1F 1_000u32 1..5 x.0");
+        let nums: Vec<&str> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Num).map(|(_, t)| *t).collect();
+        assert_eq!(nums, vec!["1.0e-12", "0x1F", "1_000u32", "1", "5", "0"]);
+    }
+
+    #[test]
+    fn byte_char_and_raw_ident() {
+        let toks = kinds("b'x' r#match rest");
+        assert_eq!(toks[0].0, TokKind::Char);
+        assert_eq!(toks[1], (TokKind::Ident, "r#match"));
+        assert_eq!(toks[2], (TokKind::Ident, "rest"));
+    }
+
+    #[test]
+    fn keywords_are_recognized() {
+        assert!(is_keyword("in"));
+        assert!(is_keyword("fn"));
+        assert!(!is_keyword("unwrap"));
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: malformed and stale suppressions are findings themselves.
+
+// ctlint::allow(panic-path) //~ bad-allow
+fn missing_reason(v: &[u32]) -> u32 {
+    v[0] //~ panic-path
+}
+
+// ctlint::allow(no-such-rule): plausible words //~ bad-allow
+fn unknown_rule(v: &[u32]) -> u32 {
+    v.first().copied().unwrap_or(0)
+}
+
+// ctlint::allow(wall-clock): nothing timed here //~ unused-allow
+fn stale_allow(x: u32) -> u32 {
+    x + 1
+}

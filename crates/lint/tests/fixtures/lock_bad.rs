@@ -1,0 +1,52 @@
+// Fixture: lock-discipline violations.
+
+use std::sync::{Mutex, RwLock};
+
+struct Shared {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+    state: RwLock<u32>,
+}
+
+impl Shared {
+    fn self_nested(&self) -> u32 {
+        let g = self.a.lock().unwrap();
+        let h = self.a.lock().unwrap(); //~ lock-discipline
+        *g + *h
+    }
+
+    fn a_then_b(&self) -> u32 {
+        let g = self.a.lock().unwrap();
+        let h = self.b.lock().unwrap(); //~ lock-discipline
+        *g + *h
+    }
+
+    fn b_then_a(&self) -> u32 {
+        let g = self.b.lock().unwrap();
+        let h = self.a.lock().unwrap(); //~ lock-discipline
+        *g + *h
+    }
+
+    fn heavy_under_guard(&self) -> u32 {
+        let g = self.state.read().unwrap();
+        plan(*g) //~ lock-discipline
+    }
+
+    fn try_lock_loop_held(&self) -> u32 {
+        let writer = loop {
+            match self.a.try_lock() {
+                Ok(g) => break g,
+                Err(_) => std::thread::yield_now(),
+            }
+        };
+        commit(*writer) //~ lock-discipline
+    }
+}
+
+fn plan(x: u32) -> u32 {
+    x
+}
+
+fn commit(x: u32) -> u32 {
+    x
+}

@@ -1,0 +1,46 @@
+// Fixture: disciplined locking; nothing here may flag.
+
+use std::sync::Mutex;
+
+struct Queue {
+    inner: Mutex<Vec<u32>>,
+    side: Mutex<u32>,
+}
+
+impl Queue {
+    fn drop_before_heavy(&self) -> u32 {
+        let g = self.inner.lock().unwrap();
+        let n = g.len() as u32;
+        drop(g);
+        plan(n)
+    }
+
+    fn scoped_guard(&self) -> u32 {
+        let n = {
+            let g = self.inner.lock().unwrap();
+            g.len() as u32
+        };
+        plan(n)
+    }
+
+    fn consistent_order_one(&self) -> u32 {
+        let g = self.inner.lock().unwrap();
+        let h = self.side.lock().unwrap();
+        g.len() as u32 + *h
+    }
+
+    fn consistent_order_two(&self) -> u32 {
+        let g = self.inner.lock().unwrap();
+        let h = self.side.lock().unwrap();
+        *h + g.len() as u32
+    }
+
+    fn statement_temporary(&self) -> u32 {
+        let n = self.inner.lock().unwrap().len() as u32;
+        plan(n)
+    }
+}
+
+fn plan(x: u32) -> u32 {
+    x
+}

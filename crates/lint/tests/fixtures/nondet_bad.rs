@@ -1,0 +1,38 @@
+// Fixture: every marked line must flag nondet-iter.
+
+use std::collections::{HashMap, HashSet};
+
+struct Pool {
+    by_pair: HashMap<(u32, u32), u32>,
+}
+
+fn typed_binding(edges: &[(u32, f64)]) -> Vec<u32> {
+    let mut seen: HashSet<u32> = HashSet::new();
+    for &(u, _) in edges {
+        seen.insert(u);
+    }
+    let mut out = Vec::new();
+    for &u in &seen { //~ nondet-iter
+        out.push(u);
+    }
+    out
+}
+
+fn inferred_binding() -> Vec<u32> {
+    let scores = HashMap::from([(1u32, 2.0f64)]);
+    scores.keys().copied().collect() //~ nondet-iter
+}
+
+impl Pool {
+    fn field_iteration(&self) -> f64 {
+        let mut total = 0.0;
+        for (_, &id) in self.by_pair.iter() { //~ nondet-iter
+            total += id as f64;
+        }
+        total
+    }
+}
+
+fn indexed_element(adj: &mut Vec<HashMap<u32, f64>>, v: usize) -> Vec<(u32, f64)> {
+    adj[v].drain().collect() //~ nondet-iter
+}

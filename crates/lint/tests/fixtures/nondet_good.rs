@@ -1,0 +1,33 @@
+// Fixture: nothing here may flag.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+fn btree_is_ordered(m: &BTreeMap<u32, f64>) -> f64 {
+    m.values().sum()
+}
+
+fn lookups_are_fine(m: &HashMap<u32, f64>, k: u32) -> f64 {
+    *m.entry(k).or_insert(0.0) + m.get(&k).copied().unwrap_or(0.0)
+}
+
+fn normalized_consumers(m: &HashMap<u32, f64>, s: &HashSet<u32>) -> (usize, f64) {
+    // Order-insensitive consumption in the same statement is waived.
+    let n = m.keys().count();
+    let top = m.values().copied().fold(0.0, f64::max).max(0.0);
+    let _sorted = s.iter().map(|&v| (v, v)).collect::<BTreeMap<u32, u32>>();
+    let _ordered = s.iter().copied().collect::<std::collections::BTreeSet<u32>>();
+    (n, top)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_iterate_freely() {
+        let m: HashMap<u32, f64> = HashMap::new();
+        for (k, v) in m.iter() {
+            assert!(*v >= 0.0 || *k > 0);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+// Fixture: panic sources on the serve path, plus shapes that must NOT flag.
+
+fn panicky(v: &[u32], m: std::collections::HashMap<u32, u32>) -> u32 {
+    let first = v[0]; //~ panic-path
+    let looked = m.get(&first).unwrap(); //~ panic-path
+    let explained = m.get(&first).expect("present"); //~ panic-path
+    if *looked > 3 {
+        panic!("too big"); //~ panic-path
+    }
+    match looked {
+        0 => unreachable!(), //~ panic-path
+        _ => {}
+    }
+    let pair = (v[1], v[2]); //~ panic-path panic-path
+    pair.0 + explained
+}
+
+#[derive(Debug)]
+struct NotIndexing {
+    field: [u8; 4],
+}
+
+fn silent_shapes(v: &[u32], w: Vec<u32>) -> u32 {
+    // Safe alternatives and non-indexing brackets stay silent.
+    let a = v.get(0).copied().unwrap_or(0);
+    let b = v.first().copied().unwrap_or_default();
+    let whole = &w[..];
+    let lit = [1u32, 2, 3];
+    let from_macro = vec![0u32; 4];
+    match whole {
+        [x, y] => x + y,
+        _ => a + b + lit.len() as u32 + from_macro.len() as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v = vec![1u32];
+        assert_eq!(v.first().copied().unwrap(), v[0]);
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: a suppression silences exactly the finding it names —
+// findings without one still fire.
+
+fn suppressed_sites(v: &[u32]) -> u32 {
+    // ctlint::allow(panic-path): fixture — bounds proven by the caller
+    let a = v[0];
+    let b = v[1]; // ctlint::allow(panic-path): fixture — trailing placement
+    let c = v[2]; //~ panic-path
+    a + b + c
+}

@@ -1,0 +1,10 @@
+// Fixture: the unsafe audit — missing attr reports at line 1. //~ forbid-unsafe
+
+fn raw_read(p: *const u32) -> u32 {
+    unsafe { *p } //~ forbid-unsafe
+}
+
+fn justified(p: *const u32) -> u32 {
+    // ctlint::allow(forbid-unsafe): vendored-stub interop requires one raw read
+    unsafe { *p }
+}

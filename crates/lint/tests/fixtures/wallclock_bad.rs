@@ -1,0 +1,24 @@
+// Fixture: wall-clock reads in kernel code.
+
+use std::time::{Instant, SystemTime};
+
+fn kernel(x: f64) -> f64 {
+    let t0 = Instant::now(); //~ wall-clock
+    let _stamp = SystemTime::now(); //~ wall-clock
+    x * t0.elapsed().as_secs_f64()
+}
+
+fn strings_and_comments_do_not_count() -> &'static str {
+    // Instant::now() in a comment is fine.
+    "Instant::now() in a string is fine"
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _t = Instant::now();
+    }
+}

@@ -1,0 +1,34 @@
+//! The workspace itself must lint clean — this makes `cargo test` a
+//! determinism/panic-freedom/lock-discipline gate even without the CI
+//! `ctlint` step.
+
+use ct_lint::{Config, Linter};
+
+#[test]
+fn workspace_sources_have_no_unsuppressed_findings() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/lint sits two levels under the workspace root")
+        .to_path_buf();
+    let files = ct_lint::workspace_files(&root).expect("enumerate workspace sources");
+    assert!(files.len() > 50, "expected the full workspace, found {} files", files.len());
+    let mut linter = Linter::new(Config::workspace());
+    for path in &files {
+        let rel: String = path
+            .strip_prefix(&root)
+            .expect("workspace file under root")
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = std::fs::read_to_string(path).expect("read workspace source");
+        linter.check_file(&rel, &src);
+    }
+    let findings = linter.finish();
+    assert!(
+        findings.is_empty(),
+        "ctlint findings in the workspace:\n{}",
+        findings.iter().map(|f| format!("  {f}")).collect::<Vec<_>>().join("\n")
+    );
+}
