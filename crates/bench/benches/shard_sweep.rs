@@ -1,0 +1,129 @@
+//! Criterion bench behind spatially sharded planning: the partitioned
+//! Δ(e) sweep with boundary stitching vs the flat global sweep, and the
+//! commit-refresh path that skips shards a committed route never enters.
+//!
+//! Four labels land in `bench_baseline.json`:
+//!
+//! * `sweep/unsharded` — the flat Δ(e) sweep over every candidate
+//!   (`compute_deltas_with_threads`, 4 workers);
+//! * `sweep/shards8` — the same sweep shard-partitioned: workers steal
+//!   whole shards, boundary candidates stitch through the global path;
+//! * `commit_replan/unsharded` — approximate-refresh commit + re-plan on
+//!   a warm session, flat candidate scan;
+//! * `commit_replan/shards8` — the same commit with the sharded layout:
+//!   the refresh skips every shard whose corridors provably miss the
+//!   committed route.
+//!
+//! Bit-identity (same deltas, same plans) is asserted before measuring —
+//! sharding is an execution strategy, never part of the algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ct_core::precompute::{compute_deltas_sharded_with_threads, compute_deltas_with_threads};
+use ct_core::{CtBusParams, PlannerMode, PlanningSession, Precomputed, RefreshPolicy, ShardLayout};
+use ct_data::{CityConfig, DemandModel};
+
+const SHARDS: usize = 8;
+const THREADS: usize = 4;
+
+fn bench_shard_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_sweep");
+    group.sample_size(10);
+
+    let city = CityConfig::medium().generate();
+    let demand = DemandModel::from_city(&city);
+    let mut params = CtBusParams::small_defaults();
+    params.k = 10;
+    params.sn = 300;
+    params.it_max = 600;
+    let mode = PlannerMode::EtaPre;
+
+    let pre = Precomputed::build(&city, &demand, &params);
+    let layout = ShardLayout::build(&city.road, &pre.candidates, SHARDS);
+    assert!(layout.num_shards() > 1, "medium fixture must actually shard");
+
+    // The contract first: the partitioned sweep is bit-identical.
+    let flat = compute_deltas_with_threads(
+        &pre.candidates,
+        &pre.base_adj,
+        &pre.estimator,
+        pre.base_trace,
+        THREADS,
+    );
+    let sharded = compute_deltas_sharded_with_threads(
+        &layout,
+        &pre.candidates,
+        &pre.base_adj,
+        &pre.estimator,
+        pre.base_trace,
+        THREADS,
+    );
+    assert_eq!(flat, sharded, "sharded sweep diverged from the flat sweep");
+
+    group.bench_function(BenchmarkId::new("sweep", "unsharded"), |b| {
+        b.iter(|| {
+            compute_deltas_with_threads(
+                &pre.candidates,
+                &pre.base_adj,
+                &pre.estimator,
+                pre.base_trace,
+                THREADS,
+            )
+        })
+    });
+    group.bench_function(BenchmarkId::new("sweep", format!("shards{SHARDS}")), |b| {
+        b.iter(|| {
+            compute_deltas_sharded_with_threads(
+                &layout,
+                &pre.candidates,
+                &pre.base_adj,
+                &pre.estimator,
+                pre.base_trace,
+                THREADS,
+            )
+        })
+    });
+
+    // Commit path: a warm approximate-refresh session absorbs one route.
+    // With the sharded layout the refresh skips every shard the route's
+    // corridor provably misses; the plans must still match bit for bit.
+    let warm_session = |shards: usize| {
+        let mut p = params;
+        p.parallelism.shards = shards;
+        let mut s = PlanningSession::new(city.clone(), demand.clone(), p)
+            .with_refresh(RefreshPolicy::approximate());
+        let first = s.plan(mode);
+        assert!(!first.best.is_empty());
+        (s, first.best)
+    };
+    let (flat_warm, flat_first) = warm_session(0);
+    let (shard_warm, shard_first) = warm_session(SHARDS);
+    assert_eq!(flat_first, shard_first, "sharded session diverged before commit");
+    {
+        let mut a = flat_warm.branch();
+        let mut b = shard_warm.branch();
+        a.commit(&flat_first);
+        let summary = b.commit(&shard_first);
+        assert!(summary.shards_skipped > 0, "commit skipped no shard on the medium fixture");
+        assert_eq!(a.plan(mode).best, b.plan(mode).best, "sharded commit diverged");
+    }
+
+    group.bench_function(BenchmarkId::new("commit_replan", "unsharded"), |b| {
+        b.iter(|| {
+            let mut s = flat_warm.branch();
+            s.commit(&flat_first);
+            s.plan(mode)
+        })
+    });
+    group.bench_function(BenchmarkId::new("commit_replan", format!("shards{SHARDS}")), |b| {
+        b.iter(|| {
+            let mut s = shard_warm.branch();
+            s.commit(&shard_first);
+            s.plan(mode)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_sweep);
+criterion_main!(benches);

@@ -29,8 +29,8 @@
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as AtomicOrdering};
-use std::sync::{Barrier, Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::{Mutex, RwLock};
 
 use ct_data::City;
 use ct_linalg::{EdgeOverlay, LanczosWorkspace};
@@ -585,9 +585,21 @@ impl Frontier {
 }
 
 /// Epoch-scoped shared state of the work-stealing pool.
+///
+/// **Epoch hand-off protocol.** Earlier revisions synchronized each epoch
+/// with a start/end [`std::sync::Barrier`] pair — two full rendezvous per
+/// epoch, which short queries (many epochs, tiny batches) paid dearly
+/// for. The pool now hands epochs off lock-free: the driver publishes a
+/// batch by bumping `epoch` (release) and unparking the workers; each
+/// worker re-reads `epoch` (acquire) until it moves, steals until the
+/// batch is drained, then decrements `active` — the last one out unparks
+/// the driver, which parks until `active` reaches zero. Park/unpark
+/// tolerate spurious wakeups on both sides (each wait is a re-checked
+/// loop), and the release bump / acquire load pair carries the batch,
+/// cursor, and `active` writes across to the workers.
 struct PoolShared {
-    /// The current epoch's batch (workers read, the driver writes between
-    /// barrier pairs).
+    /// The current epoch's batch (workers read, the driver writes strictly
+    /// between epochs, while every worker is parked or winding down).
     batch: RwLock<Vec<WorkItem>>,
     /// Work-stealing cursor into `batch`.
     next: AtomicUsize,
@@ -595,22 +607,26 @@ struct PoolShared {
     /// merge ordering.
     results: Mutex<Vec<(usize, ExpandOut)>>,
     /// First panic payload caught inside an expansion this epoch; the
-    /// driver re-raises it after the end barrier (a panicking worker must
-    /// still reach both barriers, or everyone else deadlocks — std
-    /// barriers have no poisoning).
+    /// driver re-raises it after the epoch completes (a panicking worker
+    /// still decrements `active`, so the driver always wakes).
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
-    /// Raised by the driver before releasing workers one last time.
+    /// Raised by the driver before the final epoch bump so workers exit.
     done: AtomicBool,
-    /// Epoch start/end rendezvous (all workers + the driver).
-    start: Barrier,
-    end: Barrier,
+    /// Epoch counter: bumped (release) to publish a new batch; workers
+    /// spin-park until it moves past the value they last served.
+    epoch: AtomicU64,
+    /// Workers still stealing from the current batch; the driver parks
+    /// until the last one decrements this to zero and unparks it.
+    active: AtomicUsize,
+    /// The driving thread, for end-of-epoch unparking.
+    driver: std::thread::Thread,
 }
 
 /// Steals items off the current batch into `local` until the cursor runs
 /// out. Shared by workers and the driving thread. Never unwinds: a panic
 /// inside an expansion is parked in `shared.panic` and the remaining
-/// items are abandoned, so every participant still reaches the epoch's
-/// end barrier.
+/// items are abandoned, so every participant still completes the epoch
+/// (workers decrement `active` on the way out, waking the driver).
 fn steal_loop(shared: &PoolShared, ctx: &mut ExpandCtx<'_>) {
     let batch = shared.batch.read().expect("batch lock not poisoned");
     let mut local: Vec<(usize, ExpandOut)> = Vec::new();
@@ -619,7 +635,7 @@ fn steal_loop(shared: &PoolShared, ctx: &mut ExpandCtx<'_>) {
         if i >= batch.len() {
             break;
         }
-        // ctlint::allow(lock-discipline): the read guard is the batch borrow itself — writers only run between epochs, fenced by the barriers
+        // ctlint::allow(lock-discipline): the read guard is the batch borrow itself — writers only run between epochs, fenced by the epoch hand-off (workers hold no guard while parked)
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.run_item(&batch[i]))) {
             Ok(out) => local.push((i, out)),
             Err(payload) => {
@@ -641,12 +657,15 @@ fn steal_loop(shared: &PoolShared, ctx: &mut ExpandCtx<'_>) {
 /// and returns the outputs in batch index order.
 pub(crate) struct Executor<'scope, 'a> {
     pool: Option<&'scope PoolShared>,
+    /// Handles of the pool's parked workers, for epoch-start unparking
+    /// (empty when running inline).
+    workers: Vec<std::thread::Thread>,
     main_ctx: ExpandCtx<'a>,
 }
 
 impl<'scope, 'a> Executor<'scope, 'a> {
     fn inline(main_ctx: ExpandCtx<'a>) -> Self {
-        Executor { pool: None, main_ctx }
+        Executor { pool: None, workers: Vec::new(), main_ctx }
     }
 
     /// The driving thread's expansion context (used for `plan_from`).
@@ -657,7 +676,7 @@ impl<'scope, 'a> Executor<'scope, 'a> {
     /// Maps `items` through the pool; output `i` corresponds to input `i`.
     pub(crate) fn map(&mut self, items: Vec<WorkItem>) -> Vec<ExpandOut> {
         match self.pool {
-            // Single items aren't worth a barrier round-trip; results are
+            // Single items aren't worth an epoch hand-off; results are
             // identical either way because expansion is pure.
             Some(shared) if items.len() > 1 => {
                 {
@@ -665,12 +684,23 @@ impl<'scope, 'a> Executor<'scope, 'a> {
                     *b = items;
                 }
                 shared.next.store(0, AtomicOrdering::Relaxed);
-                shared.start.wait();
+                // Publish the epoch: `active` and the cursor are written
+                // before the release bump, so a worker's acquire load of
+                // `epoch` sees them; unpark wakes anyone already parked.
+                shared.active.store(self.workers.len(), AtomicOrdering::Relaxed);
+                shared.epoch.fetch_add(1, AtomicOrdering::Release);
+                for w in &self.workers {
+                    w.unpark();
+                }
                 steal_loop(shared, &mut self.main_ctx);
-                shared.end.wait();
+                // Wait for the stragglers; the last worker out unparks us.
+                // Spurious unparks just re-check the counter.
+                while shared.active.load(AtomicOrdering::Acquire) != 0 {
+                    std::thread::park();
+                }
                 if let Some(payload) = shared.panic.lock().expect("panic lock not poisoned").take()
                 {
-                    // All workers are parked at the start barrier again;
+                    // All workers are parked awaiting the next epoch;
                     // unwinding runs ShutdownGuard::drop, which releases
                     // and joins them before the panic propagates.
                     std::panic::resume_unwind(payload);
@@ -685,22 +715,28 @@ impl<'scope, 'a> Executor<'scope, 'a> {
     }
 }
 
-/// Raises the pool's `done` flag and releases workers parked on the
-/// start barrier — on normal exit *and* when the driver unwinds (a panic
-/// in merge logic must not leave workers parked forever inside
-/// `std::thread::scope`'s implicit join).
-struct ShutdownGuard<'p>(&'p PoolShared);
+/// Raises the pool's `done` flag and publishes a final epoch so parked
+/// workers wake and exit — on normal completion *and* when the driver
+/// unwinds (a panic in merge logic must not leave workers parked forever
+/// inside `std::thread::scope`'s implicit join).
+struct ShutdownGuard<'p> {
+    shared: &'p PoolShared,
+    workers: Vec<std::thread::Thread>,
+}
 
 impl Drop for ShutdownGuard<'_> {
     fn drop(&mut self) {
-        self.0.done.store(true, AtomicOrdering::Release);
-        self.0.start.wait();
+        self.shared.done.store(true, AtomicOrdering::Release);
+        self.shared.epoch.fetch_add(1, AtomicOrdering::Release);
+        for w in &self.workers {
+            w.unpark();
+        }
     }
 }
 
 /// Runs `drive` with an [`Executor`] backed by `threads` expansion
 /// contexts: the driving thread plus `threads − 1` scoped workers parked
-/// on the epoch barrier. With `threads <= 1` no pool is created and every
+/// on the epoch counter. With `threads <= 1` no pool is created and every
 /// item runs inline — same results either way.
 pub(crate) fn with_executor<'a, R>(
     threads: usize,
@@ -716,26 +752,43 @@ pub(crate) fn with_executor<'a, R>(
         results: Mutex::new(Vec::new()),
         panic: Mutex::new(None),
         done: AtomicBool::new(false),
-        start: Barrier::new(threads),
-        end: Barrier::new(threads),
+        epoch: AtomicU64::new(0),
+        active: AtomicUsize::new(0),
+        driver: std::thread::current(),
     };
     std::thread::scope(|s| {
+        let mut workers = Vec::with_capacity(threads - 1);
         for _ in 0..threads - 1 {
             let shared = &shared;
-            s.spawn(move || {
+            let handle = s.spawn(move || {
                 let mut ctx = mk_ctx();
+                let mut seen = 0u64;
                 loop {
-                    shared.start.wait();
+                    // Await the next epoch. A spurious wakeup (or a park
+                    // that returns immediately because an unpark token was
+                    // already banked) just re-checks the counter.
+                    loop {
+                        let e = shared.epoch.load(AtomicOrdering::Acquire);
+                        if e != seen {
+                            seen = e;
+                            break;
+                        }
+                        std::thread::park();
+                    }
                     if shared.done.load(AtomicOrdering::Acquire) {
                         return;
                     }
                     steal_loop(shared, &mut ctx);
-                    shared.end.wait();
+                    // Last worker out hands the epoch back to the driver.
+                    if shared.active.fetch_sub(1, AtomicOrdering::AcqRel) == 1 {
+                        shared.driver.unpark();
+                    }
                 }
             });
+            workers.push(handle.thread().clone());
         }
-        let _guard = ShutdownGuard(&shared);
-        let mut executor = Executor { pool: Some(&shared), main_ctx: mk_ctx() };
+        let _guard = ShutdownGuard { shared: &shared, workers: workers.clone() };
+        let mut executor = Executor { pool: Some(&shared), workers, main_ctx: mk_ctx() };
         drive(&mut executor)
     })
 }

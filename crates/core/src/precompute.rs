@@ -35,6 +35,7 @@ use crate::bounds::path_bound;
 use crate::candidates::CandidateSet;
 use crate::params::CtBusParams;
 use crate::ranked::RankedList;
+use crate::shard::ShardLayout;
 
 /// How per-edge connectivity increments `Δ(e)` are pre-computed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -112,6 +113,11 @@ pub struct Precomputed {
     /// `None` on the exact path, which stays bit-identical to the
     /// historical cold start.
     pub spectrum_basis: Option<Arc<Vec<Vec<f64>>>>,
+    /// Spatial shard classification of the candidate pool (see
+    /// [`crate::shard`]); `None` when planning unsharded. A locality hint
+    /// only — never part of the bit-identity surface (every shard count
+    /// produces identical numerical state).
+    pub shard_layout: Option<Arc<ShardLayout>>,
     /// Frozen-probe estimator shared by all scoring.
     pub estimator: ConnectivityEstimator,
     /// Base adjacency matrix.
@@ -147,17 +153,33 @@ impl Precomputed {
             .expect("base trace estimation succeeds")
             .max(f64::MIN_POSITIVE);
 
+        // Spatial shard layout, when the parallelism knobs ask for one.
+        // Built before the sweep so the paired-probe path can partition its
+        // id set; a layout that degenerates to one shard is dropped.
+        let shards = params.parallelism.resolve_shards(city.road.num_nodes());
+        let shard_layout = (shards > 1)
+            .then(|| Arc::new(ShardLayout::build(&city.road, &candidates, shards)))
+            .filter(|l| l.num_shards() > 1);
+
         // ctlint::allow(wall-clock): reported as delta_secs only, never read back by the kernels
         let t1 = Instant::now();
-        let delta = match method {
-            DeltaMethod::PairedProbes => compute_deltas_with_threads(
+        let delta = match (method, &shard_layout) {
+            (DeltaMethod::PairedProbes, Some(layout)) => compute_deltas_sharded_with_threads(
+                layout,
                 &candidates,
                 &base_adj,
                 &estimator,
                 base_trace,
                 params.parallelism.worker_threads(),
             ),
-            DeltaMethod::Perturbation => compute_deltas_perturbation(
+            (DeltaMethod::PairedProbes, None) => compute_deltas_with_threads(
+                &candidates,
+                &base_adj,
+                &estimator,
+                base_trace,
+                params.parallelism.worker_threads(),
+            ),
+            (DeltaMethod::Perturbation, _) => compute_deltas_perturbation(
                 &candidates,
                 &base_adj,
                 base_trace,
@@ -174,6 +196,7 @@ impl Precomputed {
             estimator,
             params,
             PrecomputeTimings { shortest_path_secs, connectivity_secs },
+            shard_layout,
         )
     }
 
@@ -187,6 +210,7 @@ impl Precomputed {
     /// refresh): both feed it the same ingredients, so a committed session's
     /// artifacts are bit-identical to a from-scratch rebuild by
     /// construction.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn assemble(
         candidates: CandidateSet,
         delta: Vec<f64>,
@@ -195,6 +219,7 @@ impl Precomputed {
         estimator: ConnectivityEstimator,
         params: &CtBusParams,
         timings: PrecomputeTimings,
+        shard_layout: Option<Arc<ShardLayout>>,
     ) -> Precomputed {
         Self::assemble_with_spectrum(
             candidates,
@@ -205,6 +230,7 @@ impl Precomputed {
             params,
             timings,
             SpectrumMode::Cold,
+            shard_layout,
         )
     }
 
@@ -225,6 +251,7 @@ impl Precomputed {
         params: &CtBusParams,
         timings: PrecomputeTimings,
         spectrum: SpectrumMode<'_>,
+        shard_layout: Option<Arc<ShardLayout>>,
     ) -> Precomputed {
         let base_lambda = base_trace.ln() - (base_adj.n() as f64).ln();
 
@@ -285,6 +312,7 @@ impl Precomputed {
             top_eigs,
             conn_path_ub,
             spectrum_basis,
+            shard_layout,
             estimator,
             base_adj,
             timings,
@@ -331,6 +359,7 @@ impl Precomputed {
             top_eigs: self.top_eigs.clone(),
             conn_path_ub,
             spectrum_basis: self.spectrum_basis.clone(),
+            shard_layout: self.shard_layout.clone(),
             estimator: self.estimator.clone(),
             base_adj: self.base_adj.clone(),
             timings: self.timings,
@@ -466,6 +495,110 @@ pub(crate) fn compute_deltas_scoped(
             delta[id as usize] = inc;
         }
     }
+}
+
+/// The spatially sharded Δ(e) sweep (see [`crate::shard`]), allocating its
+/// own workspace pool (exposed for benches and the equivalence tests).
+///
+/// Phase 1 sweeps shard-local candidates shard-parallel: workers steal
+/// whole shards off an atomic counter and score each shard's pool
+/// sequentially with a thread-local workspace. Phase 2 stitches boundary
+/// candidates (corridors touching ≥ 2 shards) through the same global
+/// [`compute_deltas_scoped`] path the unsharded sweep uses. Every Δ(e) is
+/// a pure function of the frozen probes, so the output is bit-identical to
+/// [`compute_deltas_with_threads`] for any shard and worker count.
+#[doc(hidden)]
+pub fn compute_deltas_sharded_with_threads(
+    layout: &ShardLayout,
+    candidates: &CandidateSet,
+    base: &CsrMatrix,
+    estimator: &ConnectivityEstimator,
+    base_trace: f64,
+    threads: usize,
+) -> Vec<f64> {
+    let mut workspaces: Vec<LanczosWorkspace> =
+        (0..threads.max(1)).map(|_| LanczosWorkspace::new()).collect();
+    let mut delta = vec![0.0f64; candidates.len()];
+    compute_deltas_sharded(
+        layout,
+        candidates,
+        base,
+        estimator,
+        base_trace,
+        &mut workspaces,
+        &mut delta,
+    );
+    delta
+}
+
+/// [`compute_deltas_sharded_with_threads`] over a caller-owned workspace
+/// pool, writing into `delta` in place (the session refresh path).
+pub(crate) fn compute_deltas_sharded(
+    layout: &ShardLayout,
+    candidates: &CandidateSet,
+    base: &CsrMatrix,
+    estimator: &ConnectivityEstimator,
+    base_trace: f64,
+    workspaces: &mut [LanczosWorkspace],
+    delta: &mut [f64],
+) {
+    // Phase 1: shard-parallel local sweep. Each worker steals shard
+    // indices and sweeps that shard's pool with its own workspace — the
+    // per-candidate math is identical to `compute_deltas_scoped`, only the
+    // id-set partition differs, which cannot change any Δ(e).
+    let pools: Vec<&[u32]> =
+        (0..layout.num_shards()).map(|s| layout.local(s)).filter(|p| !p.is_empty()).collect();
+    if !pools.is_empty() {
+        assert!(!workspaces.is_empty(), "compute_deltas_sharded needs at least one workspace");
+        let threads = workspaces.len().min(pools.len());
+        let next = AtomicUsize::new(0);
+        let next = &next;
+        let pools = &pools;
+        let results: Vec<Vec<(u32, f64)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = workspaces
+                .iter_mut()
+                .take(threads)
+                .map(|ws| {
+                    s.spawn(move || {
+                        let mut overlay = EdgeOverlay::empty(base);
+                        let mut out = Vec::new();
+                        loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(pool) = pools.get(idx) else { break };
+                            out.reserve(pool.len());
+                            for &id in *pool {
+                                let e = candidates.edge(id);
+                                overlay.set_edges(&[(e.u, e.v)]);
+                                let inc = match estimator.trace_exp_in(&overlay, ws) {
+                                    Ok(tr) => (tr.max(f64::MIN_POSITIVE) / base_trace).ln(),
+                                    Err(_) => 0.0,
+                                };
+                                out.push((id, inc.max(0.0)));
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard worker does not panic")).collect()
+        });
+        for part in results {
+            for (id, inc) in part {
+                delta[id as usize] = inc;
+            }
+        }
+    }
+
+    // Phase 2: boundary stitching through the global overlay path.
+    compute_deltas_scoped(
+        candidates,
+        base,
+        estimator,
+        base_trace,
+        workspaces,
+        layout.boundary(),
+        delta,
+    );
 }
 
 /// The pre-overlay Δ(e) sweep: statically chunked threads, one full CSR
@@ -779,6 +912,48 @@ mod tests {
                 compute_deltas_with_threads(&candidates, &base, &estimator, base_trace, threads);
             assert_eq!(fast, reference, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn sharded_sweep_is_bit_identical_to_unsharded() {
+        let (city, demand, params) = setup();
+        let candidates =
+            CandidateSet::build(&city, &demand, params.tau_m, params.max_detour_factor);
+        let base = city.transit.adjacency_matrix();
+        let estimator =
+            ConnectivityEstimator::new(base.n(), &params.trace_params(), params.probe_seed);
+        let base_trace = estimator.trace_exp(&base).unwrap().max(f64::MIN_POSITIVE);
+        let reference = compute_deltas_with_threads(&candidates, &base, &estimator, base_trace, 2);
+        for shards in [1usize, 2, 4, 16] {
+            let layout = ShardLayout::build(&city.road, &candidates, shards);
+            for threads in [1usize, 3] {
+                let sharded = compute_deltas_sharded_with_threads(
+                    &layout,
+                    &candidates,
+                    &base,
+                    &estimator,
+                    base_trace,
+                    threads,
+                );
+                assert_eq!(sharded, reference, "shards={shards} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn build_with_shards_produces_identical_state() {
+        let (city, demand, params) = setup();
+        let reference = Precomputed::build(&city, &demand, &params);
+        assert!(reference.shard_layout.is_none());
+        let mut sharded_params = params;
+        sharded_params.parallelism.shards = 4;
+        let sharded = Precomputed::build(&city, &demand, &sharded_params);
+        assert!(sharded.shard_layout.is_some());
+        assert_eq!(sharded.delta, reference.delta);
+        assert_eq!(sharded.base_trace, reference.base_trace);
+        assert_eq!(sharded.top_eigs, reference.top_eigs);
+        assert_eq!(sharded.d_max, reference.d_max);
+        assert_eq!(sharded.lambda_max, reference.lambda_max);
     }
 
     #[test]

@@ -54,6 +54,7 @@ use std::time::Instant;
 use ct_data::{City, DemandModel};
 use ct_linalg::LanczosWorkspace;
 
+use crate::candidates::CandidateEdge;
 use crate::eta::execute_plan;
 use crate::fault::{self, FaultInjector};
 use crate::metrics::apply_plan;
@@ -61,7 +62,8 @@ use crate::params::CtBusParams;
 use crate::plan::RoutePlan;
 use crate::precompute::{
     compute_deltas_in, compute_deltas_perturbation, compute_deltas_perturbation_scoped,
-    compute_deltas_scoped, DeltaMethod, PrecomputeTimings, Precomputed, SpectrumMode,
+    compute_deltas_scoped, compute_deltas_sharded, DeltaMethod, PrecomputeTimings, Precomputed,
+    SpectrumMode,
 };
 use crate::sites::{select_sites, SiteParams, SiteSelection};
 use crate::{PlannerMode, RunResult};
@@ -126,6 +128,12 @@ pub struct CommitSummary {
     /// under [`RefreshPolicy::Exact`], only the touched subset under
     /// [`RefreshPolicy::Approximate`].
     pub swept_candidates: usize,
+    /// Spatial shards in the session's layout (0 when planning unsharded).
+    pub shards_total: usize,
+    /// Shards whose local corridors provably miss the committed route, so
+    /// the approximate refresh skipped their candidate scans entirely
+    /// (always 0 for [`RefreshPolicy::Exact`], which re-sweeps everything).
+    pub shards_skipped: usize,
     /// Wall-clock seconds of the incremental refresh (trace + Δ-sweep +
     /// re-ranking) — the per-round cost a cold rebuild would dwarf with
     /// its candidate-generation shortest paths on top.
@@ -362,6 +370,8 @@ impl PlanningSession {
                 covered_road_edges: 0,
                 refreshed_candidates: 0,
                 swept_candidates: 0,
+                shards_total: 0,
+                shards_skipped: 0,
                 refresh_secs: 0.0,
             };
         }
@@ -413,6 +423,13 @@ impl PlanningSession {
             if self.refresh.is_exact() { Vec::new() } else { std::mem::take(&mut pre.delta) };
         let prev_basis = if self.refresh.is_exact() { None } else { pre.spectrum_basis.take() };
         let old_of = pre.candidates.promote_to_existing(&plan.new_stop_pairs);
+        // The shard layout tracks candidate ids, so it follows the same
+        // reorder (the road-node partition itself never changes — roads are
+        // immutable). Lifted out here; re-attached to the refreshed state.
+        if let Some(layout) = pre.shard_layout.as_mut() {
+            Arc::make_mut(layout).remap_after_promotion(&old_of, &pre.candidates);
+        }
+        let shard_layout = pre.shard_layout.take();
         let refreshed_candidates = pre.candidates.refresh_demand(&self.demand, &covered_mask);
         pre.base_adj.absorb_unit_edges(&plan.new_stop_pairs);
 
@@ -421,6 +438,8 @@ impl PlanningSession {
             .trace_exp(&pre.base_adj)
             .expect("base trace estimation succeeds")
             .max(f64::MIN_POSITIVE);
+        let shards_total = shard_layout.as_deref().map_or(0, |l| l.num_shards());
+        let mut shards_skipped = 0usize;
         let (delta, swept_candidates) = match self.refresh {
             RefreshPolicy::Exact => {
                 let delta = match self.method {
@@ -429,13 +448,30 @@ impl PlanningSession {
                         if self.workspaces.len() < threads {
                             self.workspaces.resize_with(threads, LanczosWorkspace::new);
                         }
-                        compute_deltas_in(
-                            &pre.candidates,
-                            &pre.base_adj,
-                            &pre.estimator,
-                            base_trace,
-                            &mut self.workspaces[..threads],
-                        )
+                        if let Some(layout) = shard_layout.as_deref() {
+                            // Shard-parallel re-sweep: same id coverage as
+                            // `compute_deltas_in` (local ∪ boundary = every
+                            // new candidate), bit-identical values.
+                            let mut delta = vec![0.0f64; pre.candidates.len()];
+                            compute_deltas_sharded(
+                                layout,
+                                &pre.candidates,
+                                &pre.base_adj,
+                                &pre.estimator,
+                                base_trace,
+                                &mut self.workspaces[..threads],
+                                &mut delta,
+                            );
+                            delta
+                        } else {
+                            compute_deltas_in(
+                                &pre.candidates,
+                                &pre.base_adj,
+                                &pre.estimator,
+                                base_trace,
+                                &mut self.workspaces[..threads],
+                            )
+                        }
                     }
                     DeltaMethod::Perturbation => compute_deltas_perturbation(
                         &pre.candidates,
@@ -461,11 +497,40 @@ impl PlanningSession {
                 }
                 // Touched = corridor overlap (the demand refresh's own
                 // criterion) ∪ optionally the committed route's stop
-                // neighborhoods.
+                // neighborhoods. With a shard layout, whole shards whose
+                // local corridors provably miss the covered set skip their
+                // candidate scans — the per-shard road-edge bitsets
+                // over-approximate the live corridors, so a skipped shard
+                // cannot contain an overlapping candidate and the touched
+                // set equals the unsharded O(n) scan's exactly.
+                let overlaps =
+                    |e: &CandidateEdge| e.road_edges.iter().any(|&r| covered_mask[r as usize]);
                 let mut touched = vec![false; n];
-                for (id, e) in pre.candidates.edges().iter().enumerate() {
-                    if !e.existing && e.road_edges.iter().any(|&r| covered_mask[r as usize]) {
-                        touched[id] = true;
+                match shard_layout.as_deref() {
+                    Some(layout) => {
+                        for s in 0..layout.num_shards() {
+                            if !layout.shard_touches(s, &covered_mask) {
+                                shards_skipped += 1;
+                                continue;
+                            }
+                            for &id in layout.local(s) {
+                                if overlaps(pre.candidates.edge(id)) {
+                                    touched[id as usize] = true;
+                                }
+                            }
+                        }
+                        for &id in layout.boundary() {
+                            if overlaps(pre.candidates.edge(id)) {
+                                touched[id as usize] = true;
+                            }
+                        }
+                    }
+                    None => {
+                        for (id, e) in pre.candidates.edges().iter().enumerate() {
+                            if !e.existing && overlaps(e) {
+                                touched[id] = true;
+                            }
+                        }
                     }
                 }
                 if include_route_stops {
@@ -525,6 +590,7 @@ impl PlanningSession {
             &self.params,
             PrecomputeTimings { shortest_path_secs: 0.0, connectivity_secs: refresh_secs },
             spectrum,
+            shard_layout,
         )));
         self.commits += 1;
 
@@ -533,6 +599,8 @@ impl PlanningSession {
             covered_road_edges,
             refreshed_candidates,
             swept_candidates,
+            shards_total,
+            shards_skipped,
             refresh_secs,
         }
     }

@@ -1,0 +1,287 @@
+//! Spatially sharded planning: partitioned Δ(e) sweep with boundary
+//! stitching.
+//!
+//! The road network is split into spatial shards with
+//! [`ct_spatial::ShardMap`]; every *new* candidate is then classified by
+//! the shards its road corridor touches:
+//!
+//! * **shard-local** — the corridor stays inside one shard. Local
+//!   candidates are swept shard-parallel: workers steal whole shards and
+//!   sweep each shard's pool with a thread-local workspace.
+//! * **boundary** — the corridor touches ≥ 2 shards. Boundary candidates
+//!   are stitched through the existing global [`ct_linalg::EdgeOverlay`]
+//!   sweep, exactly as the unsharded path scores them.
+//!
+//! **Bit-identity contract.** Each Δ(e) is a pure function of the frozen
+//! probes, the base matrix, and the candidate edge — never of which worker
+//! or which partition scored it. Sharding therefore only re-groups the id
+//! set: `shards = 1` is literally the unsharded sweep, and every shard
+//! count produces bit-identical `Precomputed` state (pinned by the
+//! `shard_equivalence` suite the same way thread invariance is).
+//!
+//! **Commit skipping.** The layout keeps, per shard, a bitset of the road
+//! edges its local corridors touch. A committed route's covered road
+//! edges intersect few shards, so the approximate refresh tier skips the
+//! per-candidate corridor scan for every shard the route never enters —
+//! the "most shards never see a given commit" locality the ROADMAP's
+//! sharding item calls for.
+
+use ct_graph::RoadNetwork;
+use ct_spatial::ShardMap;
+
+use crate::candidates::CandidateSet;
+
+/// A fixed-size bitset over road-edge ids.
+#[derive(Debug, Clone, Default)]
+struct EdgeBits {
+    words: Vec<u64>,
+}
+
+impl EdgeBits {
+    fn new(bits: usize) -> Self {
+        EdgeBits { words: vec![0u64; bits.div_ceil(64)] }
+    }
+
+    fn set(&mut self, i: u32) {
+        self.words[i as usize / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Whether any set bit is also set in the boolean `mask`.
+    fn intersects(&self, mask: &[bool]) -> bool {
+        for (wi, &word) in self.words.iter().enumerate() {
+            if word == 0 {
+                continue;
+            }
+            let base = wi * 64;
+            for b in 0..64 {
+                if word & (1u64 << b) != 0 && mask.get(base + b).copied().unwrap_or(false) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// The shard classification of a candidate pool over a road network.
+///
+/// Candidate ids held by the layout track the pool through commits via
+/// [`ShardLayout::remap_after_promotion`]; the per-shard road-edge bitsets
+/// stay fixed (they only ever *over*-approximate after promotions, which
+/// keeps skipping conservative).
+#[derive(Debug, Clone)]
+pub struct ShardLayout {
+    num_shards: usize,
+    node_shard: Vec<u32>,
+    /// Per shard: sorted ids of new candidates whose corridor stays inside
+    /// the shard.
+    local: Vec<Vec<u32>>,
+    /// Sorted ids of new candidates whose corridor touches ≥ 2 shards (or
+    /// has no corridor to classify by).
+    boundary: Vec<u32>,
+    /// Per shard: road edges any of its local corridors touch.
+    road_touch: Vec<EdgeBits>,
+}
+
+impl ShardLayout {
+    /// Builds the layout for `candidates` over `road`, partitioned into
+    /// (at most) `num_shards` spatial shards of road nodes.
+    pub fn build(road: &RoadNetwork, candidates: &CandidateSet, num_shards: usize) -> ShardLayout {
+        let map = ShardMap::build(road.positions(), num_shards);
+        let node_shard: Vec<u32> = (0..road.num_nodes() as u32).map(|i| map.shard_of(i)).collect();
+        Self::from_node_shards(road, candidates, node_shard, map.num_shards())
+    }
+
+    /// Builds the layout from an explicit road-node → shard assignment
+    /// (exposed for tests that need full control over the boundary set,
+    /// e.g. an assignment where every corridor straddles two shards).
+    pub fn from_node_shards(
+        road: &RoadNetwork,
+        candidates: &CandidateSet,
+        node_shard: Vec<u32>,
+        num_shards: usize,
+    ) -> ShardLayout {
+        assert_eq!(node_shard.len(), road.num_nodes(), "one shard per road node");
+        assert!(num_shards >= 1, "at least one shard");
+        let mut local: Vec<Vec<u32>> = vec![Vec::new(); num_shards];
+        let mut boundary: Vec<u32> = Vec::new();
+        let mut road_touch: Vec<EdgeBits> = vec![EdgeBits::new(road.num_edges()); num_shards];
+
+        for (id, e) in candidates.edges().iter().enumerate() {
+            if e.existing {
+                continue;
+            }
+            // The shards this corridor touches, via its road-edge endpoints.
+            let mut first: Option<u32> = None;
+            let mut multi = e.road_edges.is_empty();
+            'scan: for &r in &e.road_edges {
+                let re = road.edge(r);
+                for node in [re.u, re.v] {
+                    let s = node_shard[node as usize];
+                    match first {
+                        None => first = Some(s),
+                        Some(f) if f != s => {
+                            multi = true;
+                            break 'scan;
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+            if multi {
+                boundary.push(id as u32);
+            } else if let Some(s) = first {
+                local[s as usize].push(id as u32);
+                for &r in &e.road_edges {
+                    road_touch[s as usize].set(r);
+                }
+            }
+        }
+        // Ids were pushed in ascending order, so the lists are sorted; the
+        // sweep order inside a shard matches the unsharded scan order.
+        ShardLayout { num_shards, node_shard, local, boundary, road_touch }
+    }
+
+    /// Number of shards (≥ 1).
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// The shard of road node `node`.
+    pub fn node_shard(&self, node: u32) -> u32 {
+        self.node_shard[node as usize]
+    }
+
+    /// Sorted shard-local candidate ids of shard `s`.
+    pub fn local(&self, s: usize) -> &[u32] {
+        &self.local[s]
+    }
+
+    /// Sorted boundary candidate ids (corridor touches ≥ 2 shards).
+    pub fn boundary(&self) -> &[u32] {
+        &self.boundary
+    }
+
+    /// Total number of classified (new) candidates.
+    pub fn num_classified(&self) -> usize {
+        self.local.iter().map(Vec::len).sum::<usize>() + self.boundary.len()
+    }
+
+    /// Whether shard `s`'s local corridors touch any road edge set in
+    /// `covered` (indexed by road-edge id). A `false` answer proves no
+    /// local candidate of the shard overlaps the covered set, so a commit
+    /// refresh may skip the shard without scanning its candidates.
+    pub fn shard_touches(&self, s: usize, covered: &[bool]) -> bool {
+        self.road_touch[s].intersects(covered)
+    }
+
+    /// Rewrites the tracked candidate ids after
+    /// [`CandidateSet::promote_to_existing`] reordered the pool.
+    ///
+    /// `old_of` is the permutation the promotion returned (`old_of[new_id]`
+    /// = old id; empty = identity). Promoted candidates have become
+    /// existing edges and leave their lists; every surviving id is mapped
+    /// to its new value. The road-edge bitsets are left as built — a
+    /// superset of the surviving corridors, so skip decisions stay
+    /// conservative (a shard is never skipped while a live local candidate
+    /// overlaps the commit).
+    pub fn remap_after_promotion(&mut self, old_of: &[u32], candidates: &CandidateSet) {
+        let map_ids = |ids: &mut Vec<u32>| {
+            if old_of.is_empty() {
+                // Identity reorder: promoted pairs kept their ids but are
+                // existing now — only possible when nothing was promoted,
+                // so nothing to drop either.
+                return;
+            }
+            let mut new_of = vec![u32::MAX; old_of.len()];
+            for (new_id, &old_id) in old_of.iter().enumerate() {
+                new_of[old_id as usize] = new_id as u32;
+            }
+            let mapped: Vec<u32> = ids
+                .iter()
+                .map(|&old| new_of[old as usize])
+                .filter(|&new| !candidates.edge(new).existing)
+                .collect();
+            *ids = mapped;
+            ids.sort_unstable();
+        };
+        for list in &mut self.local {
+            map_ids(list);
+        }
+        map_ids(&mut self.boundary);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ct_data::{CityConfig, DemandModel};
+
+    #[test]
+    fn classification_covers_every_new_candidate_exactly_once() {
+        let city = CityConfig::small().seed(7).generate();
+        let demand = DemandModel::from_city(&city);
+        let cands = CandidateSet::build(&city, &demand, 450.0, 6.0);
+        for shards in [1usize, 2, 4, 16] {
+            let layout = ShardLayout::build(&city.road, &cands, shards);
+            let mut seen: Vec<u32> = layout.boundary().to_vec();
+            for s in 0..layout.num_shards() {
+                seen.extend_from_slice(layout.local(s));
+            }
+            seen.sort_unstable();
+            let expect: Vec<u32> =
+                (0..cands.len() as u32).filter(|&i| !cands.edge(i).existing).collect();
+            assert_eq!(seen, expect, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn one_shard_has_no_boundary() {
+        let city = CityConfig::small().seed(7).generate();
+        let demand = DemandModel::from_city(&city);
+        let cands = CandidateSet::build(&city, &demand, 450.0, 6.0);
+        let layout = ShardLayout::build(&city.road, &cands, 1);
+        assert_eq!(layout.num_shards(), 1);
+        assert!(layout.boundary().is_empty());
+        assert_eq!(layout.local(0).len(), cands.num_new());
+    }
+
+    #[test]
+    fn local_corridors_are_recorded_in_the_touch_bitset() {
+        let city = CityConfig::small().seed(3).generate();
+        let demand = DemandModel::from_city(&city);
+        let cands = CandidateSet::build(&city, &demand, 450.0, 6.0);
+        let layout = ShardLayout::build(&city.road, &cands, 4);
+        let mut mask = vec![false; city.road.num_edges()];
+        for s in 0..layout.num_shards() {
+            for &id in layout.local(s) {
+                for &r in &cands.edge(id).road_edges {
+                    mask.fill(false);
+                    mask[r as usize] = true;
+                    assert!(layout.shard_touches(s, &mask), "shard {s} misses road edge {r}");
+                }
+            }
+        }
+        // A mask with no covered edges touches nothing.
+        mask.fill(false);
+        for s in 0..layout.num_shards() {
+            assert!(!layout.shard_touches(s, &mask));
+        }
+    }
+
+    #[test]
+    fn edge_bits_set_and_intersect() {
+        let mut b = EdgeBits::new(130);
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        let mut mask = vec![false; 130];
+        assert!(!b.intersects(&mask));
+        mask[129] = true;
+        assert!(b.intersects(&mask));
+        // A mask shorter than the bit domain is handled (out-of-range bits
+        // count as uncovered).
+        assert!(b.intersects(&[true]));
+        assert!(!b.intersects(&[false]));
+    }
+}

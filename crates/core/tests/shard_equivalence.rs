@@ -1,0 +1,176 @@
+//! Equivalence contract of spatially sharded planning: partitioning the
+//! Δ(e) sweep into shards (`Parallelism::shards`) must be **bit-identical**
+//! to the unsharded path — same `Precomputed` state, same plans, same
+//! session commit histories — for every shard count and thread count.
+//! Sharding, like threading, is an execution strategy, never part of the
+//! algorithm (see `crates/core/src/shard.rs`).
+
+use ct_core::precompute::compute_deltas_sharded_with_threads;
+use ct_core::{CtBusParams, PlannerMode, PlanningSession, Precomputed, RefreshPolicy, ShardLayout};
+use ct_data::{City, CityConfig, DemandModel};
+use proptest::prelude::*;
+
+fn small_city(seed: u64) -> (City, DemandModel) {
+    let city = CityConfig::small().seed(seed).generate();
+    let demand = DemandModel::from_city(&city);
+    (city, demand)
+}
+
+/// Trimmed parameters so the shard × thread matrix stays fast.
+fn quick_params() -> CtBusParams {
+    let mut params = CtBusParams::small_defaults();
+    params.k = 6;
+    params.sn = 80;
+    params.it_max = 400;
+    params.trace_probes = 8;
+    params.lanczos_steps = 6;
+    params
+}
+
+/// Asserts the algorithmically meaningful `Precomputed` state matches.
+fn assert_pre_identical(a: &Precomputed, b: &Precomputed, what: &str) {
+    assert_eq!(a.delta, b.delta, "{what}: delta diverged");
+    assert_eq!(a.base_trace, b.base_trace, "{what}: base_trace");
+    assert_eq!(a.top_eigs, b.top_eigs, "{what}: top_eigs");
+    assert_eq!(a.d_max, b.d_max, "{what}: d_max");
+    assert_eq!(a.lambda_max, b.lambda_max, "{what}: lambda_max");
+    assert_eq!(a.base_lambda, b.base_lambda, "{what}: base_lambda");
+    assert_eq!(a.conn_path_ub, b.conn_path_ub, "{what}: conn_path_ub");
+}
+
+#[test]
+fn all_boundary_layout_stitches_bit_identically() {
+    // Adversarial layout: every road node is its own shard, so every
+    // corridor with at least one road edge straddles shards and every new
+    // candidate lands in the boundary set — the sweep runs entirely
+    // through the global stitching path and must still be bit-identical.
+    let (city, demand) = small_city(41);
+    let params = quick_params();
+    let unsharded =
+        Precomputed::build_with(&city, &demand, &params, ct_core::DeltaMethod::PairedProbes);
+    let n = city.road.num_nodes();
+    let node_shard: Vec<u32> = (0..n as u32).collect();
+    let layout = ShardLayout::from_node_shards(&city.road, &unsharded.candidates, node_shard, n);
+    for s in 0..layout.num_shards() {
+        assert!(layout.local(s).is_empty(), "shard {s} captured a local candidate");
+    }
+    assert_eq!(layout.boundary().len(), unsharded.candidates.num_new());
+
+    let delta = compute_deltas_sharded_with_threads(
+        &layout,
+        &unsharded.candidates,
+        &unsharded.base_adj,
+        &unsharded.estimator,
+        unsharded.base_trace,
+        2,
+    );
+    assert_eq!(delta, unsharded.delta, "all-boundary sweep diverged");
+}
+
+#[test]
+fn one_shard_is_literally_unsharded() {
+    // `shards = 1` resolves to no layout at all: the build goes down the
+    // exact unsharded code path, not a degenerate sharded one.
+    let (city, demand) = small_city(42);
+    let mut params = quick_params();
+    params.parallelism.shards = 1;
+    let pre = Precomputed::build_with(&city, &demand, &params, ct_core::DeltaMethod::PairedProbes);
+    assert!(pre.shard_layout.is_none());
+}
+
+#[test]
+fn commit_histories_match_across_shard_counts() {
+    // Multi-round plan → commit sessions: every shard count must produce
+    // the same plans and the same algorithmic commit summaries as the
+    // unsharded session, under both refresh tiers.
+    let (city, demand) = small_city(43);
+    let params = quick_params();
+    for refresh in [RefreshPolicy::Exact, RefreshPolicy::approximate()] {
+        let mut reference: Option<Vec<_>> = None;
+        for shards in [0usize, 1, 2, 4, 16] {
+            let mut p = params;
+            p.parallelism.shards = shards;
+            let mut session =
+                PlanningSession::new(city.clone(), demand.clone(), p).with_refresh(refresh);
+            let mut history = Vec::new();
+            for _ in 0..3 {
+                let result = session.plan(PlannerMode::EtaPre);
+                if result.best.is_empty() {
+                    break;
+                }
+                let summary = session.commit(&result.best);
+                history.push((
+                    result.best,
+                    result.trace,
+                    result.evaluations,
+                    summary.new_edges,
+                    summary.covered_road_edges,
+                    summary.refreshed_candidates,
+                ));
+            }
+            assert!(!history.is_empty(), "fixture planned nothing");
+            match &reference {
+                None => reference = Some(history),
+                Some(want) => {
+                    assert_eq!(&history, want, "shards={shards} refresh={refresh:?} diverged");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn approximate_tier_skips_untouched_shards() {
+    // The perf claim behind sharding: with enough shards, a committed
+    // route's corridor misses most of them and the approximate refresh
+    // reports the skips (while staying bit-identical, per the tests
+    // above).
+    let (city, demand) = small_city(44);
+    let mut params = quick_params();
+    params.parallelism.shards = 16;
+    let mut session =
+        PlanningSession::new(city, demand, params).with_refresh(RefreshPolicy::approximate());
+    let result = session.plan(PlannerMode::EtaPre);
+    assert!(!result.best.is_empty());
+    let summary = session.commit(&result.best);
+    assert!(summary.shards_total > 1, "layout did not shard");
+    assert!(
+        summary.shards_skipped > 0,
+        "no shard skipped: route touched all {} shards",
+        summary.shards_total
+    );
+    assert!(summary.shards_skipped < summary.shards_total, "route touched no shard at all");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // Random city, shard count, thread count: sharded precompute and the
+    // plan it feeds must reproduce the unsharded reference bit for bit.
+    #[test]
+    fn sharded_planning_bit_identical_on_generated_cities(
+        seed in 0u64..10_000,
+        shards_idx in 0usize..4,
+        threads_idx in 0usize..3,
+    ) {
+        let (city, demand) = small_city(seed);
+        let mut params = quick_params();
+        params.parallelism.threads = 1;
+        params.parallelism.shards = 0;
+        let reference =
+            Precomputed::build_with(&city, &demand, &params, ct_core::DeltaMethod::PairedProbes);
+        let ref_run = ct_core::Planner::with_precomputed(&city, params, reference.clone())
+            .run(PlannerMode::EtaPre);
+
+        params.parallelism.shards = [1usize, 2, 4, 16][shards_idx];
+        params.parallelism.threads = [1usize, 2, 4][threads_idx];
+        let sharded =
+            Precomputed::build_with(&city, &demand, &params, ct_core::DeltaMethod::PairedProbes);
+        assert_pre_identical(&sharded, &reference, "sharded build");
+        let run = ct_core::Planner::with_precomputed(&city, params, sharded)
+            .run(PlannerMode::EtaPre);
+        prop_assert_eq!(&run.best, &ref_run.best);
+        prop_assert_eq!(&run.trace, &ref_run.trace);
+        prop_assert_eq!(run.evaluations, ref_run.evaluations);
+    }
+}

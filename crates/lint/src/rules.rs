@@ -83,11 +83,55 @@ fn receiver(ctx: &FileCtx, mut j: usize) -> Option<(String, usize)> {
 /// Rule 1: nondeterministic iteration over `HashMap`/`HashSet`.
 pub(crate) fn nondet_iter(ctx: &FileCtx, out: &mut Vec<Finding>) {
     // Pass A: names whose declared type or initializer mentions a hash
-    // container — `let`/field/param declarations with `: …HashMap…`, and
-    // untyped `let name = …HashMap::…` initializers.
+    // container — `let`/field/param declarations with `: …HashMap…`,
+    // untyped `let name = …HashMap::…` initializers, and `let name =
+    // f(…)` bindings where `f` is a same-file function whose declared
+    // return type mentions one (Pass A0 below).
     let mut hashy: BTreeSet<&str> = BTreeSet::new();
     let is_hash =
         |ci: usize| ctx.get(ci).is_some_and(|t| t.is_ident("HashMap") || t.is_ident("HashSet"));
+
+    // Pass A0: functions declared `fn name(…) -> …HashMap…`. Calling one
+    // in a `let` initializer (free or as a method, `recv.name(…)`) makes
+    // the binding hashy even though no hash type appears at the call site.
+    let mut hash_fns: BTreeSet<&str> = BTreeSet::new();
+    for ci in 0..ctx.len() {
+        if ctx.excluded[ci] || !ctx.ct(ci).is_ident("fn") {
+            continue;
+        }
+        let Some(name) = ctx
+            .get(ci + 1)
+            .filter(|n| n.kind == crate::lexer::TokKind::Ident && !is_keyword(n.text))
+        else {
+            continue;
+        };
+        // Parameter list (first `(` past any generics), then `-> Type`.
+        let mut open = ci + 2;
+        while ctx.get(open).is_some_and(|n| !n.is_punct('(')) && open <= ci + 64 {
+            open += 1;
+        }
+        if !ctx.get(open).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        let close = ctx.matching(open, '(', ')');
+        if !(ctx.get(close + 1).is_some_and(|n| n.is_punct('-'))
+            && ctx.get(close + 2).is_some_and(|n| n.is_punct('>')))
+        {
+            continue;
+        }
+        let mut j = close + 3;
+        while let Some(n) = ctx.get(j) {
+            if n.is_punct('{') || n.is_punct(';') || n.is_ident("where") || j > close + 48 {
+                break;
+            }
+            if is_hash(j) {
+                hash_fns.insert(name.text);
+                break;
+            }
+            j += 1;
+        }
+    }
+
     for ci in 0..ctx.len() {
         if ctx.excluded[ci] {
             continue;
@@ -140,7 +184,12 @@ pub(crate) fn nondet_iter(ctx: &FileCtx, out: &mut Vec<Finding>) {
                         } else if n.is_punct(';') && depth <= 0 {
                             break;
                         }
-                        if is_hash(j) {
+                        // A hash type in the initializer, or a call to a
+                        // function known (Pass A0) to return one.
+                        let calls_hash_fn = n.kind == crate::lexer::TokKind::Ident
+                            && hash_fns.contains(n.text)
+                            && ctx.get(j + 1).is_some_and(|p| p.is_punct('('));
+                        if is_hash(j) || calls_hash_fn {
                             hashy.insert(name.text);
                             break;
                         }

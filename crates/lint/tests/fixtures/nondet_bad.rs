@@ -36,3 +36,27 @@ impl Pool {
 fn indexed_element(adj: &mut Vec<HashMap<u32, f64>>, v: usize) -> Vec<(u32, f64)> {
     adj[v].drain().collect() //~ nondet-iter
 }
+
+fn build_scores() -> HashMap<u32, f64> {
+    HashMap::from([(1u32, 2.0f64)])
+}
+
+fn fn_return_binding() -> Vec<u32> {
+    let scores = build_scores();
+    scores.keys().copied().collect() //~ nondet-iter
+}
+
+impl Pool {
+    fn pair_set(&self) -> HashSet<u32> {
+        HashSet::new()
+    }
+}
+
+fn method_return_binding(p: &Pool) -> Vec<u32> {
+    let ids = p.pair_set();
+    let mut out = Vec::new();
+    for &u in &ids { //~ nondet-iter
+        out.push(u);
+    }
+    out
+}

@@ -19,6 +19,22 @@ fn normalized_consumers(m: &HashMap<u32, f64>, s: &HashSet<u32>) -> (usize, f64)
     (n, top)
 }
 
+fn ordered_scores() -> BTreeMap<u32, f64> {
+    BTreeMap::new()
+}
+
+fn hash_scores() -> HashMap<u32, f64> {
+    HashMap::new()
+}
+
+fn returned_bindings(k: u32) -> (f64, f64) {
+    // A BTreeMap-returning call stays untracked; a HashMap-returning call
+    // is tracked but lookups on the binding never flag.
+    let ordered = ordered_scores();
+    let looked_up = hash_scores();
+    (ordered.values().sum(), looked_up.get(&k).copied().unwrap_or(0.0))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,229 @@
+//! Spatial sharding of point sets for partitioned planning.
+//!
+//! A [`ShardMap`] assigns every point (road-network node, in the planner's
+//! use) to one of `num_shards` spatial shards. Shards are built from the
+//! same uniform-grid machinery as [`crate::GridIndex`]: points are bucketed
+//! into grid cells, the cells are walked in sorted key order, and
+//! consecutive cells are greedily packed into shards of roughly equal point
+//! count. The construction is fully deterministic — it depends only on the
+//! point coordinates and the requested shard count, never on hash or thread
+//! order — so shard assignments can participate in the workspace's
+//! bit-identity contract.
+//!
+//! Sharding is a *locality hint*, not a semantic partition: consumers must
+//! produce identical results for every shard count (see `ct_core::shard`).
+
+use std::collections::BTreeMap;
+
+use crate::point::Point;
+
+/// How many grid cells each shard is carved from, on average. More cells
+/// per shard gives the greedy packer finer granularity (better balance) at
+/// the cost of less spatial compactness per shard.
+const CELLS_PER_SHARD: usize = 16;
+
+/// A deterministic assignment of points to spatial shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    shard_of: Vec<u32>,
+    num_shards: usize,
+}
+
+impl ShardMap {
+    /// Partitions `points` into (at most) `num_shards` spatial shards.
+    ///
+    /// `num_shards` is clamped to at least 1 and at most `points.len()`
+    /// (an empty point set yields a single empty shard). Shard ids are
+    /// dense in `0..num_shards()`, but individual shards may be empty when
+    /// the spatial distribution is extremely skewed.
+    pub fn build(points: &[Point], num_shards: usize) -> Self {
+        let n = points.len();
+        let num_shards = num_shards.clamp(1, n.max(1));
+        if num_shards == 1 || n == 0 {
+            return ShardMap { shard_of: vec![0; n], num_shards: 1 };
+        }
+
+        // Grid resolution: aim for CELLS_PER_SHARD occupied-area cells per
+        // shard so the packer has granularity to balance with.
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in points {
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        let span_x = (max_x - min_x).max(1e-9);
+        let span_y = (max_y - min_y).max(1e-9);
+        let mut cell = (span_x * span_y / (num_shards * CELLS_PER_SHARD) as f64).sqrt();
+        if !cell.is_finite() || cell <= 0.0 {
+            cell = 1.0;
+        }
+
+        // Bucket points into grid cells. A BTreeMap keeps the cell walk in
+        // sorted key order, independent of insertion or hash order.
+        let mut cells: BTreeMap<(i64, i64), Vec<u32>> = BTreeMap::new();
+        for (id, p) in points.iter().enumerate() {
+            let key =
+                (((p.x - min_x) / cell).floor() as i64, ((p.y - min_y) / cell).floor() as i64);
+            cells.entry(key).or_default().push(id as u32);
+        }
+
+        // Greedily pack consecutive sorted cells into shards of about
+        // ceil(n / num_shards) points. A single oversized cell stays in one
+        // shard (cells are never split), so shards are balanced best-effort.
+        let target = n.div_ceil(num_shards);
+        let mut shard_of = vec![0u32; n];
+        let mut shard = 0usize;
+        let mut in_shard = 0usize;
+        for ids in cells.values() {
+            if in_shard > 0 && in_shard + ids.len() > target && shard + 1 < num_shards {
+                shard += 1;
+                in_shard = 0;
+            }
+            for &id in ids {
+                shard_of[id as usize] = shard as u32;
+            }
+            in_shard += ids.len();
+        }
+        ShardMap { shard_of, num_shards }
+    }
+
+    /// Partitions `points` so each shard holds about `target_points`
+    /// points. `target_points == 0` disables sharding (one shard).
+    pub fn with_target_points(points: &[Point], target_points: usize) -> Self {
+        let shards =
+            if target_points == 0 { 1 } else { points.len().div_ceil(target_points).max(1) };
+        ShardMap::build(points, shards)
+    }
+
+    /// The shard holding point `id`.
+    pub fn shard_of(&self, id: u32) -> u32 {
+        self.shard_of[id as usize]
+    }
+
+    /// Number of shards (≥ 1; some may be empty).
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Number of points in the map.
+    pub fn len(&self) -> usize {
+        self.shard_of.len()
+    }
+
+    /// Whether the map covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.shard_of.is_empty()
+    }
+
+    /// Point count per shard, indexed by shard id.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_shards];
+        for &s in &self.shard_of {
+            sizes[s as usize] += 1;
+        }
+        sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_clusters() -> Vec<Point> {
+        let mut pts = Vec::new();
+        for i in 0..40 {
+            pts.push(Point::new(i as f64 * 10.0, (i % 5) as f64 * 10.0));
+        }
+        for i in 0..40 {
+            pts.push(Point::new(100_000.0 + i as f64 * 10.0, (i % 5) as f64 * 10.0));
+        }
+        pts
+    }
+
+    #[test]
+    fn one_shard_maps_everything_to_zero() {
+        let pts = two_clusters();
+        let m = ShardMap::build(&pts, 1);
+        assert_eq!(m.num_shards(), 1);
+        assert!((0..pts.len() as u32).all(|i| m.shard_of(i) == 0));
+    }
+
+    #[test]
+    fn empty_points_yield_single_empty_shard() {
+        let m = ShardMap::build(&[], 8);
+        assert_eq!(m.num_shards(), 1);
+        assert!(m.is_empty());
+        assert_eq!(m.shard_sizes(), vec![0]);
+    }
+
+    #[test]
+    fn shard_ids_are_in_range_and_cover_all_points() {
+        let pts = two_clusters();
+        for shards in [2usize, 3, 4, 16] {
+            let m = ShardMap::build(&pts, shards);
+            assert_eq!(m.len(), pts.len());
+            assert!(m.num_shards() <= shards.max(1));
+            for i in 0..pts.len() as u32 {
+                assert!((m.shard_of(i) as usize) < m.num_shards());
+            }
+            assert_eq!(m.shard_sizes().iter().sum::<usize>(), pts.len());
+        }
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let pts = two_clusters();
+        let a = ShardMap::build(&pts, 4);
+        let b = ShardMap::build(&pts, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn far_clusters_land_in_different_shards() {
+        let pts = two_clusters();
+        let m = ShardMap::build(&pts, 2);
+        // Every point within a cluster shares its cluster's shard, and the
+        // two clusters (100 km apart) get distinct shards.
+        let left = m.shard_of(0);
+        let right = m.shard_of(40);
+        assert_ne!(left, right);
+        assert!((0..40).all(|i| m.shard_of(i) == left));
+        assert!((40..80).all(|i| m.shard_of(i) == right));
+    }
+
+    #[test]
+    fn shards_are_roughly_balanced() {
+        let mut pts = Vec::new();
+        for i in 0..32 {
+            for j in 0..32 {
+                pts.push(Point::new(i as f64 * 25.0, j as f64 * 25.0));
+            }
+        }
+        let m = ShardMap::build(&pts, 4);
+        assert_eq!(m.num_shards(), 4);
+        let sizes = m.shard_sizes();
+        let target = pts.len() / 4;
+        for &s in &sizes {
+            assert!(s > 0, "no shard should be empty on a uniform lattice: {sizes:?}");
+            assert!(s <= 2 * target, "shard too large: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn with_target_points_derives_the_shard_count() {
+        let pts = two_clusters(); // 80 points
+        let m = ShardMap::with_target_points(&pts, 20);
+        assert!(m.num_shards() >= 2 && m.num_shards() <= 4, "got {}", m.num_shards());
+        assert_eq!(ShardMap::with_target_points(&pts, 0).num_shards(), 1);
+        assert_eq!(ShardMap::with_target_points(&pts, 1000).num_shards(), 1);
+    }
+
+    #[test]
+    fn more_shards_than_points_is_clamped() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)];
+        let m = ShardMap::build(&pts, 64);
+        assert!(m.num_shards() <= 2);
+    }
+}

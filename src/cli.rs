@@ -72,12 +72,12 @@ USAGE:
   ctbus stats    --city city.json
   ctbus plan     --city city.json [--k N] [--w F] [--tau M] [--tn N]
                  [--mode eta|eta-pre|vk-tsp] [--geojson out.geojson]
-  ctbus multi    --city city.json --routes N [--k N] [--w F]
+  ctbus multi    --city city.json --routes N [--k N] [--w F] [--shards N]
   ctbus sites    --city city.json [--n N] [--w F] [--walk M] [--gap M] [--routes N]
   ctbus augment  --city city.json [--k N] [--pool N] [--no-bound true]
   ctbus serve    --city city.json [--requests N] [--threads N] [--commit-every N]
                  [--chaos SEED] [--refresh exact|approximate]
-                 [--k N] [--w F] [--mode eta|eta-pre|vk-tsp]
+                 [--k N] [--w F] [--mode eta|eta-pre|vk-tsp] [--shards N]
   ctbus gtfs-export --city city.json --out <dir>
   ctbus gtfs-import --gtfs <dir> --city city.json [--out city2.json]
 ";
@@ -174,6 +174,11 @@ impl Cli {
         }
         if let Some(it) = self.get::<u64>("it-max")? {
             p.it_max = it;
+        }
+        // Spatial shards for the Δ-sweep and commit refresh; an execution
+        // strategy only — results are bit-identical at any count.
+        if let Some(shards) = self.get::<usize>("shards")? {
+            p.parallelism.shards = shards;
         }
         let problems = p.validate();
         if !problems.is_empty() {
@@ -289,10 +294,18 @@ impl Cli {
                     }
                     let p = &result.best;
                     let summary = session.commit(p);
+                    let shard_note = if summary.shards_total > 0 {
+                        format!(
+                            ", {}/{} shards skipped",
+                            summary.shards_skipped, summary.shards_total
+                        )
+                    } else {
+                        String::new()
+                    };
                     writeln!(
                         out,
                         "  #{}: {} edges ({} new), demand {:.0}, conn +{:.5} \
-                         [commit: {} road edges zeroed, {} candidates refreshed, {:.2}s]",
+                         [commit: {} road edges zeroed, {} candidates refreshed{}, {:.2}s]",
                         i + 1,
                         p.num_edges(),
                         p.num_new_edges(),
@@ -300,6 +313,7 @@ impl Cli {
                         p.conn_increment,
                         summary.covered_road_edges,
                         summary.refreshed_candidates,
+                        shard_note,
                         summary.refresh_secs
                     )
                     .map_err(w)?;
@@ -699,6 +713,14 @@ mod tests {
         let p = cli.params().unwrap();
         assert_eq!(p.k, 12);
         assert_eq!(p.w, 0.3);
+    }
+
+    #[test]
+    fn shards_flag_reaches_parallelism() {
+        let cli = Cli::parse(args("multi --city c.json --routes 2 --shards 4")).unwrap();
+        assert_eq!(cli.params().unwrap().parallelism.shards, 4);
+        let cli = Cli::parse(args("plan --city c.json")).unwrap();
+        assert_eq!(cli.params().unwrap().parallelism.shards, 0);
     }
 
     #[test]
